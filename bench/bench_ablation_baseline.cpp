@@ -1,0 +1,78 @@
+// Ablation A-2: rush-current-reduction baselines ([7], [8]) vs state
+// monitoring. Staggered switch turn-on divides the rail droop by the stage
+// count — reducing the upset *rate* — but any upset that still occurs goes
+// uncorrected. Monitoring leaves the electrical transient alone but detects
+// and repairs the damage. This bench sweeps the stagger stages and reports,
+// per wake-up: expected upsets, residual corrupted-wake probability without
+// monitoring, and with monitoring (Hamming+CRC), plus the wake-latency cost
+// of staggering.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "power/corruption.hpp"
+#include "testbench/harness.hpp"
+
+using namespace retscan;
+
+int main() {
+  const std::size_t sequences = bench::sequence_budget(20000);
+  bench::header("Ablation A-2 — rush-reduction baseline vs monitoring (" +
+                std::to_string(sequences) + " wake-ups per row)");
+
+  std::cout << "# stages  droop_V  E[upsets]  settle_ns  corrupted%_baseline"
+               "  corrupted%_monitored\n"
+            << std::fixed;
+  bool ok = true;
+  double prev_baseline = 1e9;
+  for (const std::size_t stages : {1u, 2u, 4u, 8u, 16u}) {
+    RushParameters rush;
+    rush.resistance_ohm = 0.15;  // aggressive switch sizing: rings hard
+    rush.stagger_stages = stages;
+    const RushCurrentModel model(rush);
+
+    CorruptionParameters cparams;
+    cparams.vulnerability = 0.05;
+    const CorruptionModel corruption(cparams, model);
+
+    // Baseline: no monitoring — every sampled upset survives into active
+    // mode. Monitored: the Fig. 8 protocol repairs what it can.
+    ValidationConfig config;
+    config.fifo = FifoSpec{32, 32};
+    config.chain_count = 80;
+    config.mode = InjectionMode::RushModel;
+    config.rush = rush;
+    config.corruption = cparams;
+    config.seed = 31 * stages;
+    const ValidationStats stats = FastTestbench(config).run(sequences);
+
+    const double corrupted_baseline =
+        100.0 * static_cast<double>(stats.sequences_with_errors) /
+        static_cast<double>(stats.sequences);
+    const double corrupted_monitored =
+        100.0 *
+        static_cast<double>(stats.sequences_with_errors - stats.corrected) /
+        static_cast<double>(stats.sequences);
+
+    std::cout << std::setw(8) << stages << std::setprecision(3) << std::setw(9)
+              << model.peak_droop() << std::setw(11)
+              << corruption.expected_upsets(1040) << std::setprecision(1)
+              << std::setw(11) << model.settle_time_ns() << std::setprecision(3)
+              << std::setw(21) << corrupted_baseline << std::setw(22)
+              << corrupted_monitored << "\n";
+
+    // Staggering reduces the baseline corruption rate but never to the
+    // monitored level at stage 1..4; monitoring dominates the baseline at
+    // every operating point.
+    ok = ok && corrupted_monitored <= corrupted_baseline;
+    ok = ok && corrupted_baseline <= prev_baseline + 1e-9;
+    ok = ok && stats.silent_corruptions == 0;
+    prev_baseline = corrupted_baseline;
+  }
+  std::cout << "\nNote: residual corrupted%_monitored counts wake-ups with burst\n"
+               "errors the SEC code cannot repair; those are flagged (detected),\n"
+               "never silent — the baseline has no flag at all.\n";
+  std::cout << (ok ? "\n[ablation-baseline] PASS\n" : "\n[ablation-baseline] FAIL\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Reproduces Fig. 9: implementation trade-offs of state monitoring for
+// CRC-16 and Hamming(7,4).
+//  (a) area overhead (%) and coding power (mW) vs number of scan chains
+//  (b) coding latency (ns) and energy (nJ) vs number of scan chains
+// Prints the four series in gnuplot-ready columns.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "circuits/fifo.hpp"
+#include "core/synthesizer.hpp"
+
+using namespace retscan;
+
+int main() {
+  bench::header("Fig. 9 — trade-offs vs number of scan chains (32x32 FIFO)");
+  ReliabilitySynthesizer synth([] { return make_fifo(FifoSpec{32, 32}); },
+                               TechLibrary::st120(), 10.0);
+
+  std::vector<CostRow> crc_rows, hamming_rows;
+  for (const std::size_t w : {4u, 8u, 16u, 40u, 80u}) {
+    ProtectionConfig crc;
+    crc.kind = CodeKind::CrcDetect;
+    crc.chain_count = w;
+    crc.test_width = 4;
+    crc_rows.push_back(synth.characterize(crc));
+
+    ProtectionConfig hamming;
+    hamming.kind = CodeKind::HammingCorrect;
+    hamming.chain_count = w;
+    hamming.test_width = 4;
+    hamming_rows.push_back(synth.characterize(hamming));
+  }
+
+  std::cout << "\n# Fig 9(a): area overhead (%) and coding power (mW)\n";
+  std::cout << "# W  area_crc  power_crc  area_h74  power_h74\n" << std::fixed;
+  for (std::size_t i = 0; i < crc_rows.size(); ++i) {
+    std::cout << std::setw(4) << crc_rows[i].chain_count << std::setprecision(2)
+              << std::setw(10) << crc_rows[i].overhead_percent << std::setw(11)
+              << crc_rows[i].dec_power_mw << std::setw(10)
+              << hamming_rows[i].overhead_percent << std::setw(11)
+              << hamming_rows[i].dec_power_mw << "\n";
+  }
+
+  std::cout << "\n# Fig 9(b): coding latency (ns) and energy (nJ)\n";
+  std::cout << "# W  latency  energy_crc  energy_h74\n";
+  for (std::size_t i = 0; i < crc_rows.size(); ++i) {
+    std::cout << std::setw(4) << crc_rows[i].chain_count << std::setprecision(0)
+              << std::setw(9) << crc_rows[i].latency_ns << std::setprecision(3)
+              << std::setw(12) << crc_rows[i].dec_energy_nj << std::setw(12)
+              << hamming_rows[i].dec_energy_nj << "\n";
+  }
+
+  // Shape checks per the paper's discussion of Fig. 9:
+  bool ok = true;
+  for (std::size_t i = 0; i < crc_rows.size(); ++i) {
+    // Hamming area overhead well above CRC; power only 20-60% higher
+    // because scan-shift switching dominates both.
+    ok = ok && hamming_rows[i].overhead_percent > 3.0 * crc_rows[i].overhead_percent;
+    const double power_ratio = hamming_rows[i].dec_power_mw / crc_rows[i].dec_power_mw;
+    ok = ok && power_ratio > 1.0 && power_ratio < 2.0;
+    // Latency identical across codes (set by chain length alone).
+    ok = ok && hamming_rows[i].latency_ns == crc_rows[i].latency_ns;
+  }
+  // Energy drops by >10x across the sweep for both codes.
+  ok = ok && crc_rows.front().dec_energy_nj > 10.0 * crc_rows.back().dec_energy_nj;
+  ok = ok && hamming_rows.front().dec_energy_nj > 10.0 * hamming_rows.back().dec_energy_nj;
+  std::cout << (ok ? "\n[fig9] shape check PASS\n" : "\n[fig9] shape check FAIL\n");
+  return ok ? 0 : 1;
+}

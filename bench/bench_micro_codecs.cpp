@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) of the kernels the mass experiments
+// rest on: Hamming encode/decode, CRC absorption, chain-protector passes,
+// and the cycle simulator's step rate on the protected FIFO.
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/fifo.hpp"
+#include "coding/protectors.hpp"
+#include "core/protected_design.hpp"
+#include "util/rng.hpp"
+
+namespace retscan {
+namespace {
+
+void BM_HammingEncode(benchmark::State& state) {
+  const HammingCode code(static_cast<unsigned>(state.range(0)));
+  Rng rng(1);
+  const BitVec data = rng.next_bits(code.k());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(data));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HammingEncode)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_HammingDecodeWithError(benchmark::State& state) {
+  const HammingCode code(static_cast<unsigned>(state.range(0)));
+  Rng rng(2);
+  const BitVec original = rng.next_bits(code.k());
+  const BitVec parity = code.encode(original);
+  for (auto _ : state) {
+    BitVec corrupted = original;
+    corrupted.flip(0);
+    benchmark::DoNotOptimize(code.decode(corrupted, parity));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HammingDecodeWithError)->Arg(3)->Arg(6);
+
+void BM_Crc16Stream(benchmark::State& state) {
+  const Crc16 crc = Crc16::ccitt();
+  Rng rng(3);
+  const BitVec bits = rng.next_bits(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc.compute(bits));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) / 8);
+}
+BENCHMARK(BM_Crc16Stream)->Arg(1040)->Arg(16384);
+
+void BM_ProtectorEncodeDecode(benchmark::State& state) {
+  // Paper geometry: 80 chains x 13.
+  HammingChainProtector protector(HammingCode::h7_4(), 80, 13);
+  Rng rng(4);
+  std::vector<BitVec> chains;
+  for (int c = 0; c < 80; ++c) {
+    chains.push_back(rng.next_bits(13));
+  }
+  for (auto _ : state) {
+    protector.encode(chains);
+    auto copy = chains;
+    copy[5].flip(7);
+    benchmark::DoNotOptimize(protector.decode_and_correct(copy));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProtectorEncodeDecode);
+
+void BM_SimulatorStepProtectedFifo(benchmark::State& state) {
+  ProtectionConfig config;
+  config.kind = CodeKind::HammingPlusCrc;
+  config.chain_count = 8;
+  config.test_width = 4;
+  const ProtectedDesign design(make_fifo(FifoSpec{32, 2}), config);
+  RetentionSession session(design);
+  session.sim().set_input("wr_en", true);
+  session.sim().set_input("din0", true);
+  for (auto _ : state) {
+    session.sim().step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorStepProtectedFifo);
+
+void BM_FullSleepWakeCycleGateLevel(benchmark::State& state) {
+  ProtectionConfig config;
+  config.kind = CodeKind::HammingCorrect;
+  config.chain_count = 8;
+  config.test_width = 4;
+  const ProtectedDesign design(make_fifo(FifoSpec{32, 2}), config);
+  RetentionSession session(design);
+  for (auto _ : state) {
+    const auto outcome = session.sleep_wake_cycle({ErrorLocation{2, 3}}, nullptr);
+    benchmark::DoNotOptimize(outcome);
+    session.reset_fsm();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullSleepWakeCycleGateLevel);
+
+}  // namespace
+}  // namespace retscan
+
+BENCHMARK_MAIN();

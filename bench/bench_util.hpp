@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+namespace retscan::bench {
+
+/// Sequence-count scaling for the statistical benches. The paper runs 100M
+/// FPGA sequences; default bench runs are scaled down to finish in seconds.
+/// Override with RETSCAN_SEQUENCES=<n> to run paper-scale campaigns.
+inline std::size_t sequence_budget(std::size_t default_count) {
+  if (const char* env = std::getenv("RETSCAN_SEQUENCES")) {
+    const long long v = std::atoll(env);
+    if (v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return default_count;
+}
+
+inline void header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Print an ours-vs-paper comparison line.
+inline void compare(const std::string& label, double ours, double paper,
+                    const std::string& unit) {
+  std::cout << std::left << std::setw(34) << label << std::right << "ours "
+            << std::setw(10) << std::setprecision(4) << ours << " " << unit
+            << "   paper " << std::setw(10) << paper << " " << unit << "\n";
+}
+
+}  // namespace retscan::bench

@@ -1,0 +1,65 @@
+// Design-space exploration with the reliability-aware synthesizer (Fig. 4):
+// sweep code choices and chain configurations over the 32x32 FIFO, print
+// the cost table, the Pareto front, and the quality solution under a
+// configuration-file-style set of constraints.
+//
+//   ./build/examples/design_space
+
+#include <iostream>
+
+#include "circuits/fifo.hpp"
+#include "core/synthesizer.hpp"
+
+using namespace retscan;
+
+int main() {
+  ReliabilitySynthesizer synth([] { return make_fifo(FifoSpec{32, 32}); },
+                               TechLibrary::st120(), 10.0);
+
+  // Candidate configurations: CRC-16 and two Hamming codes across the
+  // feasible chain counts of a 1040-flop design.
+  std::vector<ProtectionConfig> configs;
+  for (const std::size_t w : {4u, 8u, 16u, 40u, 80u}) {
+    ProtectionConfig crc;
+    crc.kind = CodeKind::CrcDetect;
+    crc.chain_count = w;
+    crc.test_width = 4;
+    configs.push_back(crc);
+
+    ProtectionConfig h74 = crc;
+    h74.kind = CodeKind::HammingCorrect;
+    h74.hamming_r = 3;
+    configs.push_back(h74);
+  }
+  // Hamming(31,26) fits W=52 exactly (1040 = 52 * 20).
+  ProtectionConfig h3126;
+  h3126.kind = CodeKind::HammingCorrect;
+  h3126.hamming_r = 5;
+  h3126.chain_count = 52;
+  h3126.test_width = 4;
+  configs.push_back(h3126);
+
+  const auto rows = synth.sweep(configs);
+  print_cost_table(std::cout, "design space (32x32 FIFO, 100 MHz)", rows);
+
+  std::cout << "\nPareto front (area overhead vs decode energy):\n";
+  for (const std::size_t i : ReliabilitySynthesizer::pareto_front(rows)) {
+    std::cout << "  " << rows[i].code_name << " W=" << rows[i].chain_count << " ("
+              << rows[i].overhead_percent << "%, " << rows[i].dec_energy_nj
+              << " nJ)\n";
+  }
+
+  // The "configuration file" of Fig. 4: hardware correction required,
+  // bounded area and wake-up latency.
+  QualityConstraints constraints;
+  constraints.min_capability_percent = 10.0;   // must be able to correct
+  constraints.max_area_overhead_percent = 60.0;
+  constraints.max_latency_ns = 700.0;
+  const CostRow& choice = ReliabilitySynthesizer::pick(rows, constraints);
+  std::cout << "\nquality solution under constraints (correcting, <=60% area, "
+               "<=700 ns):\n  "
+            << choice.code_name << " with W=" << choice.chain_count << ": "
+            << choice.overhead_percent << "% area, " << choice.latency_ns
+            << " ns, " << choice.dec_energy_nj << " nJ per decode\n";
+  return 0;
+}

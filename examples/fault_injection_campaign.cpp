@@ -1,0 +1,55 @@
+// Fault-injection campaign across injection models and electrical operating
+// points: how often does a wake-up corrupt state, and what does monitoring
+// recover? Sweeps the rush-current severity (switch resistance) under the
+// physical corruption model.
+//
+//   ./build/examples/fault_injection_campaign
+
+#include <iomanip>
+#include <iostream>
+
+#include "power/corruption.hpp"
+#include "testbench/harness.hpp"
+
+using namespace retscan;
+
+int main() {
+  const std::size_t sequences = 20000;
+  std::cout << "Rush-current severity sweep (32x32 FIFO, 80 chains, Hamming(7,4)+CRC)\n";
+  std::cout << "# R_switch  droop_V  p_upset      corrupted-wakes  corrected  flagged\n"
+            << std::fixed;
+
+  for (const double r : {2.0, 0.8, 0.4, 0.2, 0.1, 0.05}) {
+    RushParameters rush;
+    rush.resistance_ohm = r;
+    const RushCurrentModel model(rush);
+    CorruptionParameters cparams;
+    cparams.vulnerability = 0.02;
+    const CorruptionModel corruption(cparams, model);
+
+    ValidationConfig config;
+    config.fifo = FifoSpec{32, 32};
+    config.chain_count = 80;
+    config.mode = InjectionMode::RushModel;
+    config.rush = rush;
+    config.corruption = cparams;
+    config.seed = static_cast<std::uint64_t>(r * 1000) + 1;
+
+    FastTestbench tb(config);
+    const ValidationStats stats = tb.run(sequences);
+    std::cout << std::setprecision(2) << std::setw(9) << r << std::setprecision(3)
+              << std::setw(9) << model.peak_droop() << std::scientific
+              << std::setprecision(2) << std::setw(12)
+              << corruption.upset_probability() << std::fixed << std::setw(13)
+              << stats.sequences_with_errors << " /" << sequences << std::setw(10)
+              << stats.corrected << std::setw(9) << stats.flagged_uncorrectable
+              << "\n";
+    if (stats.silent_corruptions != 0) {
+      std::cout << "ESCAPE DETECTED — should never happen\n";
+      return 1;
+    }
+  }
+  std::cout << "\nEvery corrupted wake-up was either repaired or flagged; no state\n"
+               "corruption ever reached active mode unnoticed.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The paper's case study end to end: a 32x32-bit FIFO protected with
+// Hamming(7,4) + CRC-16 over 80 scan chains of 13 flops, validated with the
+// Fig. 8 testbench at both tiers (gate-level and behavioral).
+//
+//   ./build/examples/fifo_protection
+
+#include <iostream>
+
+#include "netlist/techlib.hpp"
+#include "testbench/harness.hpp"
+
+using namespace retscan;
+
+int main() {
+  // Paper-scale behavioral campaign (Section IV geometry).
+  ValidationConfig config;
+  config.fifo = FifoSpec{32, 32};
+  config.chain_count = 80;
+  config.kind = CodeKind::HammingPlusCrc;
+  config.seed = 42;
+
+  std::cout << "=== experiment 1: one random retention upset per sequence ===\n";
+  config.mode = InjectionMode::SingleRandom;
+  {
+    FastTestbench tb(config);
+    const ValidationStats stats = tb.run(50000);
+    std::cout << stats.sequences << " sequences: detection "
+              << 100.0 * stats.detection_rate() << "%, correction "
+              << 100.0 * stats.correction_rate() << "%, escapes "
+              << stats.silent_corruptions << "\n";
+  }
+
+  std::cout << "\n=== experiment 2: clustered burst per sequence ===\n";
+  config.mode = InjectionMode::MultipleBurst;
+  config.burst_size = 4;
+  config.burst_spread = 1;
+  {
+    FastTestbench tb(config);
+    const ValidationStats stats = tb.run(10000);
+    std::cout << stats.sequences << " sequences: detection "
+              << 100.0 * stats.detection_rate() << "%, correction "
+              << 100.0 * stats.correction_rate()
+              << "% (bursts defeat SEC, all flagged), escapes "
+              << stats.silent_corruptions << "\n";
+  }
+
+  std::cout << "\n=== gate-level confirmation on a FIFO slice ===\n";
+  ValidationConfig gate;
+  gate.fifo = FifoSpec{32, 2};
+  gate.chain_count = 8;
+  gate.mode = InjectionMode::SingleRandom;
+  gate.seed = 7;
+  StructuralTestbench tb(gate);
+  const ValidationStats stats = tb.run(30);
+  std::cout << stats.sequences << " gate-level sequences: detection "
+            << 100.0 * stats.detection_rate() << "%, correction "
+            << 100.0 * stats.correction_rate() << "%, comparator mismatches "
+            << stats.comparator_mismatches << "\n";
+
+  const TechLibrary tech = TechLibrary::st120();
+  const AreaReport base = tb.design().base_area(tech);
+  const AreaReport monitor = tb.design().monitor_area(tech);
+  std::cout << "\nprotected slice area: base " << base.total_um2 << " um^2 + monitor "
+            << monitor.total_um2 << " um^2 ("
+            << tb.design().overhead_percent(tech) << "% overhead)\n";
+  return 0;
+}

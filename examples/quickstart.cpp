@@ -1,0 +1,57 @@
+// Quickstart: protect a power-gated design with scan-based state
+// monitoring, corrupt its retention state during sleep, and watch the
+// monitoring architecture repair it.
+//
+//   cmake --build build && ./build/examples/quickstart
+
+#include <iostream>
+
+#include "circuits/generators.hpp"
+#include "core/protected_design.hpp"
+#include "scan/scan_io.hpp"
+
+using namespace retscan;
+
+int main() {
+  // 1. A conventional power-gated design: here, a 16-bit counter. Any
+  //    Netlist with plain Dff flops works.
+  Netlist counter = make_counter(16);
+
+  // 2. The reliability-aware synthesis step (Fig. 4 of the paper): insert
+  //    retention scan chains, generate Hamming(7,4) + CRC-16 monitoring
+  //    blocks and the error-correction logic, wire the mode multiplexers.
+  ProtectionConfig config;
+  config.kind = CodeKind::HammingPlusCrc;
+  config.chain_count = 4;  // 16 flops -> 4 chains of 4
+  config.test_width = 4;
+  const ProtectedDesign design(std::move(counter), config);
+  std::cout << "protected design: " << design.netlist().cell_count() << " cells, "
+            << design.chains().chain_count() << " chains of "
+            << design.chain_length() << "\n";
+
+  // 3. Run it: count a while, then take it through a protected sleep/wake
+  //    cycle with a rush-current upset injected into a retention latch.
+  RetentionSession session(design);
+  session.sim().set_input("en", true);
+  session.sim().step_n(1000);
+  session.sim().set_input("en", false);  // idle before sleep
+  const auto before = scan_snapshot(session.sim(), design.chains());
+
+  const std::vector<ErrorLocation> upset = {ErrorLocation{2, 1}};
+  const auto outcome = session.sleep_wake_cycle(upset, nullptr);
+
+  std::cout << "upset injected at chain 2, position 1\n"
+            << "detected:  " << (outcome.errors_detected ? "yes" : "no") << "\n"
+            << "repaired:  " << (outcome.recheck_clean ? "yes" : "no") << "\n"
+            << "controller: " << pg_state_name(outcome.final_state) << "\n";
+
+  const bool restored = scan_snapshot(session.sim(), design.chains()) == before;
+  std::cout << "state after wake matches state before sleep: "
+            << (restored ? "yes" : "no") << "\n";
+
+  // 4. Back to normal operation.
+  session.sim().set_input("en", true);
+  session.sim().step_n(10);
+  std::cout << "counter resumed.\n";
+  return restored && outcome.recheck_clean ? 0 : 1;
+}

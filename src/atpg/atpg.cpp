@@ -1,0 +1,90 @@
+#include "atpg/atpg.hpp"
+
+#include <limits>
+
+namespace retscan {
+
+AtpgResult run_atpg(const CombinationalFrame& frame, const std::vector<Fault>& faults,
+                    const AtpgOptions& options) {
+  AtpgResult result;
+  result.total_faults = faults.size();
+  Rng rng(options.seed);
+
+  std::vector<bool> detected(faults.size(), false);
+  std::size_t remaining = faults.size();
+
+  // --- Phase 1: random patterns, 64 at a time, with fault dropping.
+  for (std::size_t base = 0; base < options.random_patterns && remaining > 0; base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, options.random_patterns - base);
+    std::vector<BitVec> batch;
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      batch.push_back(frame.random_pattern(rng));
+    }
+    std::vector<BitVec> good;
+    good.reserve(count);
+    for (const BitVec& p : batch) {
+      good.push_back(frame.good_response(p));
+    }
+    std::uint64_t useful = 0;  // patterns that detected something new
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (detected[fi]) {
+        continue;
+      }
+      const std::uint64_t mask = frame.detect_mask(faults[fi], batch, good);
+      if (mask != 0) {
+        detected[fi] = true;
+        ++result.detected_random;
+        --remaining;
+        useful |= mask & (~mask + 1);  // credit the first detecting pattern
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      if ((useful >> i) & 1u) {
+        result.patterns.push_back(batch[i]);
+      }
+    }
+  }
+
+  // --- Phase 2: PODEM top-up.
+  if (options.run_podem && remaining > 0) {
+    Podem podem(frame, options.max_backtracks);
+    for (std::size_t fi = 0; fi < faults.size() && remaining > 0; ++fi) {
+      if (detected[fi]) {
+        continue;
+      }
+      const PodemResult generated = podem.generate(faults[fi], rng);
+      if (generated.untestable) {
+        ++result.untestable;
+        detected[fi] = true;  // resolved, not counted as detected
+        --remaining;
+        continue;
+      }
+      if (!generated.success) {
+        ++result.aborted;
+        continue;
+      }
+      // Fault-simulate the new pattern against all remaining faults.
+      const std::vector<BitVec> batch{generated.pattern};
+      const std::vector<BitVec> good{frame.good_response(generated.pattern)};
+      bool useful = false;
+      for (std::size_t fj = 0; fj < faults.size(); ++fj) {
+        if (detected[fj]) {
+          continue;
+        }
+        if (frame.detect_mask(faults[fj], batch, good) != 0) {
+          detected[fj] = true;
+          ++result.detected_podem;
+          --remaining;
+          useful = true;
+        }
+      }
+      if (useful) {
+        result.patterns.push_back(generated.pattern);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace retscan

@@ -1,0 +1,64 @@
+#include "atpg/fault.hpp"
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+std::string fault_name(const Netlist& netlist, const Fault& fault) {
+  const std::string& name = netlist.net_name(fault.net);
+  const std::string base = name.empty() ? "n" + std::to_string(fault.net) : name;
+  return base + (fault.stuck_at ? "/SA1" : "/SA0");
+}
+
+std::vector<Fault> enumerate_faults(const Netlist& netlist) {
+  std::vector<Fault> faults;
+  const auto& fanouts = netlist.fanouts();
+  for (NetId net = 0; net < netlist.net_count(); ++net) {
+    if (netlist.driver(net) == kNullCell || fanouts[net].empty()) {
+      continue;
+    }
+    faults.push_back(Fault{net, false});
+    faults.push_back(Fault{net, true});
+  }
+  return faults;
+}
+
+std::vector<Fault> collapse_faults(const Netlist& netlist, const std::vector<Fault>& faults) {
+  // Map each fault to its representative by walking backward through
+  // Buf/Not drivers until a multi-input gate, flop, or input is reached.
+  auto representative = [&netlist](Fault fault) {
+    for (;;) {
+      const CellId drv = netlist.driver(fault.net);
+      if (drv == kNullCell) {
+        return fault;
+      }
+      const Cell& cell = netlist.cell(drv);
+      if (cell.type == CellType::Buf) {
+        fault.net = cell.fanin[0];
+      } else if (cell.type == CellType::Not) {
+        fault.net = cell.fanin[0];
+        fault.stuck_at = !fault.stuck_at;
+      } else {
+        return fault;
+      }
+    }
+  };
+
+  std::vector<Fault> collapsed;
+  collapsed.reserve(faults.size());
+  std::unordered_map<std::uint64_t, bool> seen;
+  for (const Fault& fault : faults) {
+    const Fault rep = representative(fault);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(rep.net) << 1) | (rep.stuck_at ? 1u : 0u);
+    if (!seen.emplace(key, true).second) {
+      continue;
+    }
+    collapsed.push_back(rep);
+  }
+  return collapsed;
+}
+
+}  // namespace retscan

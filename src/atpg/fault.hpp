@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace retscan {
+
+/// Single stuck-at fault on a net (the driving stem). The library uses the
+/// stem fault model: one SA0 and one SA1 per driven net. Branch (pin)
+/// faults are not modelled separately; for fanout-free regions they are
+/// equivalent to the stem fault, which keeps coverage numbers meaningful
+/// while halving the fault universe — the classic simplification.
+struct Fault {
+  NetId net = kNullNet;
+  bool stuck_at = false;  ///< stuck value: false = SA0, true = SA1
+
+  bool operator==(const Fault& other) const {
+    return net == other.net && stuck_at == other.stuck_at;
+  }
+};
+
+/// Human-readable fault name for reports: "<netname-or-id>/SA0".
+std::string fault_name(const Netlist& netlist, const Fault& fault);
+
+/// Enumerate the full stem fault universe: SA0 + SA1 on every net that is
+/// driven and read by at least one cell (dangling nets are excluded — they
+/// are unobservable by construction).
+std::vector<Fault> enumerate_faults(const Netlist& netlist);
+
+/// Structural fault collapsing. Rules applied:
+///  * Buf: output SAv is equivalent to input SAv — keep the input fault.
+///  * Not: output SAv is equivalent to input SA(!v) — keep the input fault.
+/// Returns the collapsed list (order-preserving over representatives).
+std::vector<Fault> collapse_faults(const Netlist& netlist, const std::vector<Fault>& faults);
+
+}  // namespace retscan

@@ -1,0 +1,195 @@
+#include "atpg/fault_sim.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+CombinationalFrame::CombinationalFrame(const Netlist& netlist)
+    : netlist_(&netlist), order_(netlist.combinational_order()) {
+  for (const CellId input : netlist.inputs()) {
+    pi_nets_.push_back(netlist.cell(input).out);
+  }
+  flops_ = netlist.flops();
+  for (const CellId output : netlist.outputs()) {
+    po_nets_.push_back(netlist.cell(output).fanin[0]);
+  }
+  // Constant cells are sources (not in combinational_order) and must be
+  // initialized explicitly on every load.
+  for (CellId id = 0; id < netlist.cell_count(); ++id) {
+    if (netlist.cell(id).type == CellType::Const1) {
+      const1_nets_.push_back(netlist.cell(id).out);
+    }
+  }
+}
+
+void CombinationalFrame::constrain(const std::string& input_name, bool value) {
+  const NetId net = netlist_->find_net(input_name);
+  for (std::size_t i = 0; i < pi_nets_.size(); ++i) {
+    if (pi_nets_[i] == net) {
+      constraints_.emplace_back(i, value);
+      return;
+    }
+  }
+  RETSCAN_CHECK(false, "CombinationalFrame::constrain: not a primary input: " + input_name);
+}
+
+BitVec CombinationalFrame::random_pattern(Rng& rng) const {
+  BitVec pattern = rng.next_bits(pattern_width());
+  for (const auto& [index, value] : constraints_) {
+    pattern.set(index, value);
+  }
+  return pattern;
+}
+
+void CombinationalFrame::load(std::vector<std::uint64_t>& values,
+                              const std::vector<BitVec>& patterns) const {
+  RETSCAN_CHECK(patterns.size() <= 64, "CombinationalFrame: batch larger than 64");
+  std::fill(values.begin(), values.end(), 0);
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    RETSCAN_CHECK(patterns[p].size() == pattern_width(),
+                  "CombinationalFrame: pattern width mismatch");
+    const std::uint64_t bit = std::uint64_t{1} << p;
+    for (std::size_t i = 0; i < pi_nets_.size(); ++i) {
+      if (patterns[p].get(i)) {
+        values[pi_nets_[i]] |= bit;
+      }
+    }
+    for (std::size_t i = 0; i < flops_.size(); ++i) {
+      if (patterns[p].get(pi_nets_.size() + i)) {
+        values[netlist_->cell(flops_[i]).out] |= bit;
+      }
+    }
+  }
+  for (const auto& [index, value] : constraints_) {
+    values[pi_nets_[index]] = value ? ~std::uint64_t{0} : 0;
+  }
+  for (const NetId net : const1_nets_) {
+    values[net] = ~std::uint64_t{0};
+  }
+}
+
+void CombinationalFrame::evaluate(std::vector<std::uint64_t>& values, NetId fault_net,
+                                  std::uint64_t fault_value) const {
+  auto force = [&](NetId net) {
+    if (net == fault_net) {
+      values[net] = fault_value;
+    }
+  };
+  // PIs and flop outputs may themselves be the fault site.
+  if (fault_net != kNullNet) {
+    force(fault_net);
+  }
+  for (const CellId id : order_) {
+    const Cell& c = netlist_->cell(id);
+    if (c.type == CellType::Output) {
+      continue;
+    }
+    std::uint64_t value = 0;
+    const auto& f = c.fanin;
+    switch (c.type) {
+      case CellType::Buf: value = values[f[0]]; break;
+      case CellType::Not: value = ~values[f[0]]; break;
+      case CellType::And2: value = values[f[0]] & values[f[1]]; break;
+      case CellType::Or2: value = values[f[0]] | values[f[1]]; break;
+      case CellType::Xor2: value = values[f[0]] ^ values[f[1]]; break;
+      case CellType::Nand2: value = ~(values[f[0]] & values[f[1]]); break;
+      case CellType::Nor2: value = ~(values[f[0]] | values[f[1]]); break;
+      case CellType::Xnor2: value = ~(values[f[0]] ^ values[f[1]]); break;
+      case CellType::Mux2:
+        value = (values[f[0]] & values[f[2]]) | (~values[f[0]] & values[f[1]]);
+        break;
+      case CellType::Const0: value = 0; break;
+      case CellType::Const1: value = ~std::uint64_t{0}; break;
+      default:
+        continue;  // sequential outputs already loaded
+    }
+    values[c.out] = value;
+    if (c.out == fault_net) {
+      values[c.out] = fault_value;
+    }
+  }
+}
+
+void CombinationalFrame::extract(const std::vector<std::uint64_t>& values, std::size_t count,
+                                 std::vector<BitVec>& responses) const {
+  responses.assign(count, BitVec(response_width()));
+  for (std::size_t p = 0; p < count; ++p) {
+    const std::uint64_t bit = std::uint64_t{1} << p;
+    for (std::size_t i = 0; i < po_nets_.size(); ++i) {
+      responses[p].set(i, (values[po_nets_[i]] & bit) != 0);
+    }
+    for (std::size_t i = 0; i < flops_.size(); ++i) {
+      // PPO = functional D pin (capture path, se = 0).
+      const NetId d = netlist_->cell(flops_[i]).fanin[0];
+      responses[p].set(po_nets_.size() + i, (values[d] & bit) != 0);
+    }
+  }
+}
+
+BitVec CombinationalFrame::good_response(const BitVec& pattern) const {
+  std::vector<std::uint64_t> values(netlist_->net_count(), 0);
+  load(values, {pattern});
+  evaluate(values, kNullNet, 0);
+  std::vector<BitVec> responses;
+  extract(values, 1, responses);
+  return responses[0];
+}
+
+std::uint64_t CombinationalFrame::detect_mask(const Fault& fault,
+                                              const std::vector<BitVec>& patterns,
+                                              const std::vector<BitVec>& good) const {
+  RETSCAN_CHECK(patterns.size() == good.size(),
+                "CombinationalFrame::detect_mask: good responses missing");
+  std::vector<std::uint64_t> values(netlist_->net_count(), 0);
+  load(values, patterns);
+  const std::uint64_t fault_value = fault.stuck_at ? ~std::uint64_t{0} : 0;
+  evaluate(values, fault.net, fault_value);
+  std::vector<BitVec> faulty;
+  extract(values, patterns.size(), faulty);
+  std::uint64_t mask = 0;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    if (faulty[p] != good[p]) {
+      mask |= std::uint64_t{1} << p;
+    }
+  }
+  return mask;
+}
+
+FaultSimResult fault_simulate(const CombinationalFrame& frame,
+                              const std::vector<Fault>& faults,
+                              const std::vector<BitVec>& patterns) {
+  constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+  FaultSimResult result;
+  result.total_faults = faults.size();
+  result.detected_by.assign(faults.size(), npos);
+
+  // Precompute good responses batch by batch.
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    std::vector<BitVec> batch(patterns.begin() + base, patterns.begin() + base + count);
+    std::vector<BitVec> good;
+    good.reserve(count);
+    for (const BitVec& p : batch) {
+      good.push_back(frame.good_response(p));
+    }
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (result.detected_by[fi] != npos) {
+        continue;  // fault dropping
+      }
+      const std::uint64_t mask = frame.detect_mask(faults[fi], batch, good);
+      if (mask != 0) {
+        std::size_t first = 0;
+        while (((mask >> first) & 1u) == 0) {
+          ++first;
+        }
+        result.detected_by[fi] = base + first;
+        ++result.detected;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace retscan

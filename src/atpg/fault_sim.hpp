@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace retscan {
+
+/// Combinational test frame of a (scan) design: flip-flop outputs are
+/// pseudo-primary inputs (loaded through the chains), flip-flop D pins are
+/// pseudo-primary outputs (captured and unloaded). A scan test pattern is
+/// therefore an assignment to PIs + PPIs, and its response is the POs +
+/// PPOs. This is exactly the view a scan tester has of the circuit.
+class CombinationalFrame {
+ public:
+  explicit CombinationalFrame(const Netlist& netlist);
+
+  const Netlist& netlist() const { return *netlist_; }
+  /// Primary input nets (excludes scan controls only if caller wires them).
+  const std::vector<NetId>& pi_nets() const { return pi_nets_; }
+  /// Flop cells serving as PPI (Q) / PPO (D capture).
+  const std::vector<CellId>& flops() const { return flops_; }
+  const std::vector<NetId>& po_nets() const { return po_nets_; }
+  std::size_t pattern_width() const { return pi_nets_.size() + flops_.size(); }
+  std::size_t response_width() const { return po_nets_.size() + flops_.size(); }
+
+  /// Constrain a primary input to a fixed value during capture (e.g. the
+  /// scan-enable, retain and monitor controls must be 0 while a pattern is
+  /// applied). Constrained bits are forced in every pattern and excluded
+  /// from PODEM's decision space.
+  void constrain(const std::string& input_name, bool value);
+  /// Constraints as (pattern index, value) pairs.
+  const std::vector<std::pair<std::size_t, bool>>& constraints() const {
+    return constraints_;
+  }
+
+  /// A pattern assigns pattern_width() bits: PIs first, then PPIs.
+  BitVec random_pattern(Rng& rng) const;
+
+  /// Good-machine response of a single pattern.
+  BitVec good_response(const BitVec& pattern) const;
+
+  /// 64-way parallel-pattern single-fault propagation: returns the set of
+  /// pattern indices (bitmask) in `patterns` that detect `fault`, given the
+  /// precomputed good responses. Patterns beyond 64 must be batched by the
+  /// caller.
+  std::uint64_t detect_mask(const Fault& fault, const std::vector<BitVec>& patterns,
+                            const std::vector<BitVec>& good) const;
+
+ private:
+  /// Word-parallel evaluation of up to 64 patterns; values[net] holds one
+  /// bit per pattern. If fault_net != kNullNet its value is forced.
+  void evaluate(std::vector<std::uint64_t>& values, NetId fault_net,
+                std::uint64_t fault_value) const;
+  void load(std::vector<std::uint64_t>& values, const std::vector<BitVec>& patterns) const;
+  void extract(const std::vector<std::uint64_t>& values, std::size_t count,
+               std::vector<BitVec>& responses) const;
+
+  const Netlist* netlist_;
+  std::vector<CellId> order_;
+  std::vector<NetId> pi_nets_;
+  std::vector<CellId> flops_;
+  std::vector<NetId> po_nets_;
+  std::vector<std::pair<std::size_t, bool>> constraints_;
+  std::vector<NetId> const1_nets_;
+};
+
+/// Fault-simulate a pattern set over a fault list with fault dropping.
+struct FaultSimResult {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  /// detected_by[i] = index of the first detecting pattern, or npos.
+  std::vector<std::size_t> detected_by;
+  double coverage() const {
+    return total_faults == 0 ? 1.0
+                             : static_cast<double>(detected) / static_cast<double>(total_faults);
+  }
+};
+
+FaultSimResult fault_simulate(const CombinationalFrame& frame,
+                              const std::vector<Fault>& faults,
+                              const std::vector<BitVec>& patterns);
+
+}  // namespace retscan

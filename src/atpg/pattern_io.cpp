@@ -1,0 +1,56 @@
+#include "atpg/pattern_io.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+void write_patterns(std::ostream& os, const CombinationalFrame& frame,
+                    const std::vector<BitVec>& patterns) {
+  os << "# retscan patterns v1\n";
+  os << "inputs " << frame.pi_nets().size() << " flops " << frame.flops().size() << "\n";
+  for (const BitVec& pattern : patterns) {
+    RETSCAN_CHECK(pattern.size() == frame.pattern_width(),
+                  "write_patterns: pattern width mismatch");
+    os << "pattern " << pattern.to_string() << "\n";
+  }
+}
+
+std::vector<BitVec> read_patterns(std::istream& is, const CombinationalFrame& frame) {
+  std::vector<BitVec> patterns;
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "inputs") {
+      std::size_t pis = 0, flops = 0;
+      std::string flops_keyword;
+      fields >> pis >> flops_keyword >> flops;
+      RETSCAN_CHECK(flops_keyword == "flops", "read_patterns: malformed header");
+      RETSCAN_CHECK(pis == frame.pi_nets().size() && flops == frame.flops().size(),
+                    "read_patterns: geometry does not match the frame");
+      header_seen = true;
+    } else if (keyword == "pattern") {
+      RETSCAN_CHECK(header_seen, "read_patterns: pattern before header");
+      std::string bits;
+      fields >> bits;
+      const BitVec pattern = BitVec::from_string(bits);
+      RETSCAN_CHECK(pattern.size() == frame.pattern_width(),
+                    "read_patterns: pattern width mismatch");
+      patterns.push_back(pattern);
+    } else {
+      RETSCAN_CHECK(false, "read_patterns: unknown keyword " + keyword);
+    }
+  }
+  RETSCAN_CHECK(header_seen, "read_patterns: missing header");
+  return patterns;
+}
+
+}  // namespace retscan

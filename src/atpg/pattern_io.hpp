@@ -1,0 +1,29 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "atpg/fault_sim.hpp"
+#include "util/bitvec.hpp"
+
+namespace retscan {
+
+/// Plain-text interchange format for scan test pattern sets — the handoff
+/// artifact between ATPG and the tester (a simplified STIL). Layout:
+///
+///   # retscan patterns v1
+///   inputs <pi-count> flops <flop-count>
+///   pattern <pi-bits><ppi-bits>        (one '0'/'1' string per line)
+///   ...
+///
+/// Responses are not stored; the tester recomputes the good machine (or
+/// asks the frame). Round-trips exactly.
+void write_patterns(std::ostream& os, const CombinationalFrame& frame,
+                    const std::vector<BitVec>& patterns);
+
+/// Parse a pattern file; validates widths against the frame and throws
+/// retscan::Error on any malformed content.
+std::vector<BitVec> read_patterns(std::istream& is, const CombinationalFrame& frame);
+
+}  // namespace retscan

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace retscan {
+
+/// Outcome of one PODEM run for a single fault.
+struct PodemResult {
+  bool success = false;
+  /// Exhausted the decision space: the fault is provably untestable in the
+  /// combinational frame (redundant logic).
+  bool untestable = false;
+  /// Exceeded the backtrack budget (status unknown).
+  bool aborted = false;
+  BitVec pattern;  ///< valid when success
+  std::size_t backtracks = 0;
+};
+
+/// Path-Oriented DEcision Making test generator over the combinational
+/// frame. Uses the classic dual-machine three-valued formulation: the good
+/// and faulty circuits are simulated in {0,1,X}; a D (good=1/faulty=0) or
+/// D' at any primary or pseudo-primary output means the pattern detects the
+/// fault. Decisions are made only at (pseudo-)primary inputs, with
+/// objective/backtrace steering and chronological backtracking.
+class Podem {
+ public:
+  Podem(const CombinationalFrame& frame, std::size_t max_backtracks = 500);
+
+  PodemResult generate(const Fault& fault, Rng& rng);
+
+ private:
+  static constexpr std::uint8_t kX = 2;
+
+  struct Objective {
+    bool valid = false;
+    NetId net = kNullNet;
+    bool value = false;
+  };
+
+  void imply(const Fault& fault);
+  bool detected() const;
+  bool activation_impossible(const Fault& fault) const;
+  bool propagation_impossible(const Fault& fault) const;
+  Objective pick_objective(const Fault& fault) const;
+  /// Walk an objective back to an unassigned (pseudo-)input; returns the
+  /// input *index* into the pattern and the value to assign.
+  std::pair<std::size_t, bool> backtrace(const Objective& objective) const;
+
+  const CombinationalFrame* frame_;
+  std::size_t max_backtracks_;
+  std::vector<std::uint8_t> good_;
+  std::vector<std::uint8_t> faulty_;
+  std::vector<std::uint8_t> input_values_;   // per pattern index: 0/1/X
+  std::vector<NetId> input_nets_;            // pattern index -> net
+  std::vector<std::size_t> input_of_net_;    // net -> pattern index or npos
+};
+
+}  // namespace retscan

@@ -1,0 +1,154 @@
+#include "atpg/scan_test.hpp"
+
+#include "scan/scan_io.hpp"
+#include "util/error.hpp"
+
+namespace retscan {
+
+namespace {
+
+/// Split a frame pattern's PPI section into per-chain load data plus direct
+/// assignments for flops outside the chains (monitor storage).
+struct PpiSplit {
+  std::vector<BitVec> chain_data;
+  std::vector<std::pair<CellId, bool>> other_flops;
+};
+
+PpiSplit split_ppi(const CombinationalFrame& frame, const ScanChains& chains,
+                   const BitVec& pattern) {
+  PpiSplit split;
+  split.chain_data.assign(chains.chain_count(), BitVec(chains.length()));
+  const std::size_t pi_count = frame.pi_nets().size();
+  const auto& flops = frame.flops();
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    const bool value = pattern.get(pi_count + i);
+    const auto it = chains.position_of.find(flops[i]);
+    if (it != chains.position_of.end()) {
+      split.chain_data[it->second.first].set(it->second.second, value);
+    } else {
+      split.other_flops.emplace_back(flops[i], value);
+    }
+  }
+  return split;
+}
+
+void apply_pis(Simulator& sim, const CombinationalFrame& frame, const BitVec& pattern) {
+  const auto& pis = frame.pi_nets();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    sim.set_input(pis[i], pattern.get(i));
+  }
+}
+
+/// Compare the observable response against the good machine. POs are read
+/// pre-capture; flop PPOs are read from the post-capture states.
+bool response_matches(Simulator& sim, const CombinationalFrame& frame,
+                      const BitVec& good) {
+  const auto& pos = frame.po_nets();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (sim.net_value(pos[i]) != good.get(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool captured_matches(Simulator& sim, const CombinationalFrame& frame, const BitVec& good) {
+  const std::size_t po_count = frame.po_nets().size();
+  const auto& flops = frame.flops();
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    if (sim.flop_state(flops[i]) != good.get(po_count + i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ScanTestResult apply_scan_test(Simulator& sim, const ScanChains& chains,
+                               const CombinationalFrame& frame,
+                               const std::vector<BitVec>& patterns) {
+  ScanTestResult result;
+  for (const BitVec& pattern : patterns) {
+    const BitVec good = frame.good_response(pattern);
+    const PpiSplit split = split_ppi(frame, chains, pattern);
+
+    // Shift phase (se asserted inside scan_load).
+    if (chains.retain != kNullNet) {
+      sim.set_input(chains.retain, false);
+    }
+    scan_load(sim, chains, split.chain_data);
+    for (const auto& [flop, value] : split.other_flops) {
+      sim.set_flop_state(flop, value);
+    }
+
+    // Capture phase: functional inputs from the pattern, se released.
+    apply_pis(sim, frame, pattern);
+    sim.set_input(chains.se, false);
+    sim.eval();
+    bool ok = response_matches(sim, frame, good);
+    sim.step();
+    ok = ok && captured_matches(sim, frame, good);
+
+    ++result.patterns_applied;
+    if (!ok) {
+      ++result.mismatches;
+    }
+  }
+  return result;
+}
+
+ScanTestResult apply_test_mode_scan_test(RetentionSession& session,
+                                         const ProtectedDesign& design,
+                                         const CombinationalFrame& frame,
+                                         const std::vector<BitVec>& patterns) {
+  ScanTestResult result;
+  Simulator& sim = session.sim();
+  const ScanChains& chains = design.chains();
+  const TestModeConfig& test = design.test_config();
+  const std::size_t l = design.chain_length();
+  const std::size_t group_len = test.concatenated_length(l);
+  const NetId test_mode = design.netlist().find_net("test_mode");
+
+  for (const BitVec& pattern : patterns) {
+    const BitVec good = frame.good_response(pattern);
+    const PpiSplit split = split_ppi(frame, chains, pattern);
+
+    // Build per-test-group serial streams: long-chain index j corresponds
+    // to chain groups[g][j / l], position j % l; the bit destined for the
+    // largest index must enter first.
+    sim.set_input(chains.se, true);
+    sim.set_input(test_mode, true);
+    if (chains.retain != kNullNet) {
+      sim.set_input(chains.retain, false);
+    }
+    for (std::size_t t = 0; t < group_len; ++t) {
+      for (std::size_t g = 0; g < test.groups.size(); ++g) {
+        const std::size_t j = group_len - 1 - t;
+        const std::size_t chain = test.groups[g][j / l];
+        sim.set_input(design.netlist().find_net("tsi" + std::to_string(g)),
+                      split.chain_data[chain].get(j % l));
+      }
+      sim.step();
+    }
+    for (const auto& [flop, value] : split.other_flops) {
+      sim.set_flop_state(flop, value);
+    }
+
+    // Capture with all scan/monitor controls at their constrained values.
+    apply_pis(sim, frame, pattern);
+    sim.set_input(chains.se, false);
+    sim.eval();
+    bool ok = response_matches(sim, frame, good);
+    sim.step();
+    ok = ok && captured_matches(sim, frame, good);
+
+    ++result.patterns_applied;
+    if (!ok) {
+      ++result.mismatches;
+    }
+  }
+  return result;
+}
+
+}  // namespace retscan

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "atpg/fault_sim.hpp"
+#include "core/protected_design.hpp"
+#include "scan/scan_insert.hpp"
+#include "sim/simulator.hpp"
+#include "util/bitvec.hpp"
+
+namespace retscan {
+
+/// Apply a combinational-frame test pattern set to a live simulated design
+/// through its scan chains — the procedure a tester executes — and check
+/// each response against the good machine. This is how the library proves
+/// the Section III claim: the monitoring chain configuration, concatenated
+/// per Fig. 5(b), delivers exactly the same manufacturing test.
+
+/// Result of applying a pattern set through scan.
+struct ScanTestResult {
+  std::size_t patterns_applied = 0;
+  std::size_t mismatches = 0;  ///< responses differing from the good machine
+  bool all_passed() const { return mismatches == 0; }
+};
+
+/// Apply patterns to a plain scanned design through its per-chain si/so
+/// ports (full-width scan access).
+ScanTestResult apply_scan_test(Simulator& sim, const ScanChains& chains,
+                               const CombinationalFrame& frame,
+                               const std::vector<BitVec>& patterns);
+
+/// Apply patterns to a ProtectedDesign through the narrow manufacturing
+/// test ports tsi/tso with test_mode asserted, exercising the Fig. 5(b)
+/// concatenation muxes. Shift depth is (W/T) * l per load/unload.
+ScanTestResult apply_test_mode_scan_test(RetentionSession& session,
+                                         const ProtectedDesign& design,
+                                         const CombinationalFrame& frame,
+                                         const std::vector<BitVec>& patterns);
+
+}  // namespace retscan

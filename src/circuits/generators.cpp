@@ -1,0 +1,146 @@
+#include "circuits/generators.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+Netlist make_counter(std::size_t bits) {
+  RETSCAN_CHECK(bits >= 1, "make_counter: bits must be >= 1");
+  Netlist nl("counter" + std::to_string(bits));
+  const NetId en = nl.add_input("en");
+
+  std::vector<CellId> cells(bits);
+  std::vector<NetId> q(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    const NetId dummy = nl.add_net();
+    cells[i] = nl.add_cell(CellType::Dff, {dummy}, "q" + std::to_string(i));
+    q[i] = nl.output_of(cells[i]);
+  }
+
+  NetId carry = en;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const NetId next = nl.n_xor(q[i], carry);
+    nl.rewire_fanin(cells[i], 0, next);
+    if (i + 1 < bits) {
+      carry = nl.n_and(q[i], carry);
+    }
+    nl.add_output("q" + std::to_string(i), q[i]);
+  }
+  return nl;
+}
+
+Netlist make_shift_register(std::size_t length, bool expose_taps) {
+  RETSCAN_CHECK(length >= 1, "make_shift_register: length must be >= 1");
+  Netlist nl("shiftreg" + std::to_string(length));
+  const NetId sin = nl.add_input("sin");
+
+  NetId prev = sin;
+  for (std::size_t i = 0; i < length; ++i) {
+    prev = nl.n_dff(prev, "sr" + std::to_string(i));
+    if (expose_taps) {
+      nl.add_output("q" + std::to_string(i), prev);
+    }
+  }
+  nl.add_output("sout", prev);
+  return nl;
+}
+
+namespace {
+NetId equals_const(Netlist& nl, const std::vector<NetId>& x, std::size_t value) {
+  std::vector<NetId> terms;
+  terms.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    terms.push_back(((value >> i) & 1u) ? x[i] : nl.n_not(x[i]));
+  }
+  return nl.n_and_tree(terms);
+}
+}  // namespace
+
+Netlist make_register_file(std::size_t words, std::size_t width) {
+  RETSCAN_CHECK(words >= 2 && (words & (words - 1)) == 0,
+                "make_register_file: words must be a power of two >= 2");
+  RETSCAN_CHECK(width >= 1, "make_register_file: width must be >= 1");
+  std::size_t abits = 0;
+  while ((std::size_t{1} << abits) < words) {
+    ++abits;
+  }
+
+  Netlist nl("regfile" + std::to_string(words) + "x" + std::to_string(width));
+  const NetId we = nl.add_input("we");
+  std::vector<NetId> waddr(abits), raddr(abits), wdata(width);
+  for (std::size_t i = 0; i < abits; ++i) {
+    waddr[i] = nl.add_input("waddr" + std::to_string(i));
+    raddr[i] = nl.add_input("raddr" + std::to_string(i));
+  }
+  for (std::size_t b = 0; b < width; ++b) {
+    wdata[b] = nl.add_input("wdata" + std::to_string(b));
+  }
+
+  std::vector<CellId> cells(words * width);
+  std::vector<NetId> q(words * width);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const NetId dummy = nl.add_net();
+    cells[i] = nl.add_cell(CellType::Dff, {dummy}, "rf" + std::to_string(i));
+    q[i] = nl.output_of(cells[i]);
+  }
+
+  for (std::size_t w = 0; w < words; ++w) {
+    const NetId sel = nl.n_and(we, equals_const(nl, waddr, w));
+    for (std::size_t b = 0; b < width; ++b) {
+      const std::size_t i = w * width + b;
+      nl.rewire_fanin(cells[i], 0, nl.n_mux(sel, q[i], wdata[b]));
+    }
+  }
+
+  for (std::size_t b = 0; b < width; ++b) {
+    std::vector<NetId> level(words);
+    for (std::size_t w = 0; w < words; ++w) {
+      level[w] = q[w * width + b];
+    }
+    for (std::size_t s = 0; s < abits; ++s) {
+      std::vector<NetId> next(level.size() / 2);
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        next[i] = nl.n_mux(raddr[s], level[2 * i], level[2 * i + 1]);
+      }
+      level = std::move(next);
+    }
+    nl.add_output("rdata" + std::to_string(b), level[0]);
+  }
+  return nl;
+}
+
+void append_padding_flops(Netlist& netlist, std::size_t count) {
+  if (count == 0) {
+    return;
+  }
+  NetId prev = netlist.add_input("pad_in");
+  for (std::size_t i = 0; i < count; ++i) {
+    prev = netlist.n_dff(prev, "pad" + std::to_string(i));
+  }
+  netlist.add_output("pad_out", prev);
+}
+
+Netlist make_registered_adder(std::size_t bits) {
+  RETSCAN_CHECK(bits >= 1, "make_registered_adder: bits must be >= 1");
+  Netlist nl("adder" + std::to_string(bits));
+  std::vector<NetId> a(bits), b(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    a[i] = nl.n_dff(nl.add_input("a" + std::to_string(i)), "ra" + std::to_string(i));
+    b[i] = nl.n_dff(nl.add_input("b" + std::to_string(i)), "rb" + std::to_string(i));
+  }
+  NetId carry = nl.n_dff(nl.add_input("cin"), "rc");
+  for (std::size_t i = 0; i < bits; ++i) {
+    const NetId axb = nl.n_xor(a[i], b[i]);
+    const NetId sum = nl.n_xor(axb, carry);
+    const NetId cout = nl.n_or(nl.n_and(a[i], b[i]), nl.n_and(axb, carry));
+    nl.add_output("sum" + std::to_string(i), nl.n_dff(sum, "rs" + std::to_string(i)));
+    carry = cout;
+  }
+  nl.add_output("cout", nl.n_dff(carry, "rcout"));
+  return nl;
+}
+
+}  // namespace retscan

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace retscan {
+
+/// Free-running binary up-counter with enable.
+/// Ports: input `en`; outputs `q{i}` for i in [0, bits).
+Netlist make_counter(std::size_t bits);
+
+/// Serial-in serial-out shift register (also a degenerate scan-chain-like
+/// structure useful for property tests).
+/// Ports: input `sin`; output `sout`; taps `q{i}` optional via outputs.
+Netlist make_shift_register(std::size_t length, bool expose_taps = false);
+
+/// Register file with one write port and one combinational read port.
+/// Ports: inputs `we`, `waddr{i}`, `raddr{i}`, `wdata{i}`;
+/// outputs `rdata{i}`. words must be a power of two.
+Netlist make_register_file(std::size_t words, std::size_t width);
+
+/// Append `count` spare flip-flops to an existing design as a daisy chain
+/// from a new input `pad_in` to a new output `pad_out`. Used to round a
+/// design's flop count up to a multiple of the desired chain count (the
+/// paper's Table III uses W values like 56/55/57 that do not divide the
+/// FIFO's 1040 flops evenly; padding with spare flops is the standard
+/// practice). Must be called before scan insertion.
+void append_padding_flops(Netlist& netlist, std::size_t count);
+
+/// A small combinational benchmark circuit (4-bit ripple-carry adder with
+/// registered inputs/outputs) used by the ATPG tests; has both reconvergent
+/// fanout and redundant-free structure.
+/// Ports: inputs `a{i}`, `b{i}`, `cin`; outputs `sum{i}`, `cout`.
+Netlist make_registered_adder(std::size_t bits);
+
+}  // namespace retscan

@@ -1,0 +1,28 @@
+#include "coding/crc.hpp"
+
+namespace retscan {
+
+Crc16::Crc16(std::uint16_t polynomial, std::string name)
+    : polynomial_(polynomial), name_(std::move(name)) {}
+
+Crc16 Crc16::ccitt() { return Crc16(0x1021, "CRC-16-CCITT"); }
+Crc16 Crc16::ibm() { return Crc16(0x8005, "CRC-16-IBM"); }
+
+void Crc16::shift_bit(bool bit) {
+  const bool feedback = bit != (((state_ >> 15) & 1u) != 0);
+  state_ = static_cast<std::uint16_t>(state_ << 1);
+  if (feedback) {
+    state_ ^= polynomial_;
+  }
+}
+
+std::uint16_t Crc16::compute(const BitVec& bits) const {
+  Crc16 scratch = *this;
+  scratch.reset();
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    scratch.shift_bit(bits.get(i));
+  }
+  return scratch.value();
+}
+
+}  // namespace retscan

@@ -1,0 +1,90 @@
+#include "coding/hamming.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+namespace {
+constexpr std::size_t kNoData = std::numeric_limits<std::size_t>::max();
+
+bool is_power_of_two(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+HammingCode::HammingCode(unsigned parity_bits) : r_(parity_bits) {
+  RETSCAN_CHECK(parity_bits >= 2 && parity_bits <= 16, "HammingCode: r must be in [2, 16]");
+  n_ = (std::size_t{1} << r_) - 1;
+  k_ = n_ - r_;
+  position_to_data_.assign(n_ + 1, kNoData);
+  for (unsigned pos = 1; pos <= n_; ++pos) {
+    if (!is_power_of_two(pos)) {
+      position_to_data_[pos] = data_positions_.size();
+      data_positions_.push_back(pos);
+    }
+  }
+}
+
+std::string HammingCode::name() const {
+  return "Hamming(" + std::to_string(n_) + "," + std::to_string(k_) + ")";
+}
+
+double HammingCode::redundancy() const {
+  return static_cast<double>(n_ - k_) / static_cast<double>(k_);
+}
+
+BitVec HammingCode::encode(const BitVec& data) const {
+  RETSCAN_CHECK(data.size() == k_, "HammingCode::encode: wrong data width");
+  BitVec parity(r_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!data.get(i)) {
+      continue;
+    }
+    const unsigned pos = data_positions_[i];
+    for (unsigned b = 0; b < r_; ++b) {
+      if ((pos >> b) & 1u) {
+        parity.flip(b);
+      }
+    }
+  }
+  return parity;
+}
+
+unsigned HammingCode::syndrome(const BitVec& data, const BitVec& stored_parity) const {
+  RETSCAN_CHECK(stored_parity.size() == r_, "HammingCode::syndrome: wrong parity width");
+  const BitVec recomputed = encode(data);
+  unsigned s = 0;
+  for (unsigned b = 0; b < r_; ++b) {
+    if (recomputed.get(b) != stored_parity.get(b)) {
+      s |= 1u << b;
+    }
+  }
+  return s;
+}
+
+HammingDecodeResult HammingCode::decode(BitVec& data, const BitVec& stored_parity) const {
+  HammingDecodeResult result;
+  result.syndrome = syndrome(data, stored_parity);
+  if (result.syndrome == 0) {
+    result.outcome = HammingOutcome::Clean;
+    return result;
+  }
+  const std::size_t data_index =
+      result.syndrome <= n_ ? position_to_data_[result.syndrome] : kNoData;
+  if (data_index == kNoData) {
+    // Syndrome names a parity position: detected, nothing to flip in data.
+    result.outcome = HammingOutcome::ParityPosition;
+    return result;
+  }
+  data.flip(data_index);
+  result.outcome = HammingOutcome::Corrected;
+  result.corrected_data_bit = data_index;
+  return result;
+}
+
+unsigned HammingCode::data_position(std::size_t i) const {
+  RETSCAN_CHECK(i < k_, "HammingCode::data_position: index out of range");
+  return data_positions_[i];
+}
+
+}  // namespace retscan

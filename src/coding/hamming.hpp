@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/bitvec.hpp"
+
+namespace retscan {
+
+/// Outcome of one Hamming word decode.
+enum class HammingOutcome {
+  Clean,            ///< syndrome zero: no error detected
+  Corrected,        ///< syndrome named a data position; bit flipped
+  ParityPosition,   ///< syndrome named a parity position: error detected but
+                    ///< no data bit was changed (with parity stored in the
+                    ///< always-on monitor memory this indicates a multi-bit
+                    ///< data error whose syndrome aliases a parity position)
+};
+
+struct HammingDecodeResult {
+  HammingOutcome outcome = HammingOutcome::Clean;
+  /// Data bit index that was flipped (valid when outcome == Corrected).
+  std::size_t corrected_data_bit = 0;
+  /// Raw syndrome value (codeword position, 0 = clean).
+  unsigned syndrome = 0;
+};
+
+/// Single-error-correcting Hamming code of length n = 2^r - 1 with
+/// k = n - r data bits, in the standard positional layout: codeword
+/// positions are numbered 1..n, parity bits sit at power-of-two positions,
+/// and the syndrome of a single error equals its position.
+///
+/// The paper evaluates (7,4), (15,11), (31,26) and (63,57) — r = 3..6.
+/// In the monitoring architecture the r parity bits per word are stored in
+/// always-on monitor memory, so decode checks received *data* against
+/// stored parity. Like any SEC code, words with two or more errors produce
+/// a nonzero syndrome that names the wrong position: decode then
+/// *miscorrects* (or aliases a parity position). The library reproduces
+/// this faithfully — it is the mechanism behind the paper's finding that
+/// clustered multi-bit errors are detected (by CRC) but not correctable by
+/// Hamming (Section IV experiment 2, Fig. 10).
+class HammingCode {
+ public:
+  /// r in [2, 16].
+  explicit HammingCode(unsigned parity_bits);
+
+  static HammingCode h7_4() { return HammingCode(3); }
+  static HammingCode h15_11() { return HammingCode(4); }
+  static HammingCode h31_26() { return HammingCode(5); }
+  static HammingCode h63_57() { return HammingCode(6); }
+
+  std::size_t n() const { return n_; }
+  std::size_t k() const { return k_; }
+  std::size_t r() const { return r_; }
+  std::string name() const;
+
+  /// Redundancy (n-k)/k — the paper's Table III "cap(%)" column, the
+  /// fraction of additional storage and (loosely) the per-word correction
+  /// strength per data bit.
+  double redundancy() const;
+
+  /// Compute the r parity bits of a k-bit data word.
+  BitVec encode(const BitVec& data) const;
+
+  /// Check a (possibly corrupted) k-bit data word against stored parity and
+  /// correct a single-bit data error in place.
+  HammingDecodeResult decode(BitVec& data, const BitVec& stored_parity) const;
+
+  /// Syndrome of received data vs stored parity without correcting.
+  unsigned syndrome(const BitVec& data, const BitVec& stored_parity) const;
+
+  /// Codeword position (1-based) of data bit `i`; positions skip powers of
+  /// two. Exposed for the structural monitor generator.
+  unsigned data_position(std::size_t i) const;
+
+ private:
+  unsigned r_;
+  std::size_t n_;
+  std::size_t k_;
+  std::vector<unsigned> data_positions_;         // data index -> codeword position
+  std::vector<std::size_t> position_to_data_;    // codeword position -> data index (or npos)
+};
+
+}  // namespace retscan

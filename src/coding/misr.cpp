@@ -1,0 +1,70 @@
+#include "coding/misr.hpp"
+
+#include "util/error.hpp"
+#include "util/lfsr.hpp"
+
+namespace retscan {
+
+Misr::Misr(unsigned width) : width_(width) {
+  RETSCAN_CHECK(width >= 2 && width <= 64, "Misr: width must be in [2, 64]");
+  // Reuse the primitive-polynomial table; the taps of a maximal LFSR of
+  // this width define the characteristic polynomial. Widths absent from
+  // the table reject at construction, matching Lfsr::maximal.
+  const Lfsr reference = Lfsr::maximal(width);
+  // Recover the tap mask by probing the reference implementation once:
+  // feed state with a single walking bit and observe feedback parity.
+  feedback_mask_ = 0;
+  for (unsigned bit = 0; bit < width; ++bit) {
+    Lfsr probe = Lfsr::maximal(width, std::uint64_t{1} << bit);
+    probe.step();
+    if (probe.state() & 1u) {
+      feedback_mask_ |= std::uint64_t{1} << bit;
+    }
+  }
+  reg_mask_ = (width == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+void Misr::absorb(const BitVec& inputs) {
+  RETSCAN_CHECK(inputs.size() == width_, "Misr::absorb: input width mismatch");
+  const bool feedback = (__builtin_popcountll(state_ & feedback_mask_) & 1) != 0;
+  state_ = ((state_ << 1) | static_cast<std::uint64_t>(feedback)) & reg_mask_;
+  state_ ^= inputs.to_uint(0, width_);
+}
+
+MisrChainProtector::MisrChainProtector(std::size_t chain_count, std::size_t chain_length)
+    : chain_count_(chain_count), chain_length_(chain_length) {
+  RETSCAN_CHECK(chain_count_ >= 2 && chain_count_ <= 64,
+                "MisrChainProtector: chain count must be in [2, 64]");
+  RETSCAN_CHECK(chain_length_ > 0, "MisrChainProtector: empty chains");
+}
+
+std::uint64_t MisrChainProtector::signature_of(
+    const std::vector<BitVec>& chain_data) const {
+  RETSCAN_CHECK(chain_data.size() == chain_count_,
+                "MisrChainProtector: chain count mismatch");
+  Misr misr(static_cast<unsigned>(chain_count_));
+  // Absorb in scan-out order: position l-1 first.
+  for (std::size_t t = 0; t < chain_length_; ++t) {
+    BitVec word(chain_count_);
+    for (std::size_t c = 0; c < chain_count_; ++c) {
+      word.set(c, chain_data[c].get(chain_length_ - 1 - t));
+    }
+    misr.absorb(word);
+  }
+  return misr.signature();
+}
+
+void MisrChainProtector::encode(const std::vector<BitVec>& chain_data) {
+  reference_ = signature_of(chain_data);
+  encoded_ = true;
+}
+
+MisrChainProtector::CheckStats MisrChainProtector::check(
+    const std::vector<BitVec>& chain_data) const {
+  RETSCAN_CHECK(encoded_, "MisrChainProtector: check before encode");
+  CheckStats stats;
+  stats.mismatch = signature_of(chain_data) != reference_;
+  return stats;
+}
+
+}  // namespace retscan

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace retscan {
+
+/// Multiple-input signature register — the classic BIST compaction
+/// structure and the natural alternative to the paper's CRC-16 detection
+/// arm. A W-bit LFSR absorbs W bits per cycle (one per scan chain, XORed
+/// into the corresponding stage), so a single MISR the width of the chain
+/// count replaces the CRC block with zero serialization logic. The cost of
+/// compaction is *aliasing*: a multi-bit error pattern maps to the same
+/// signature with probability ~2^-W, so the register width is a direct
+/// reliability knob (see bench_ablation_misr).
+class Misr {
+ public:
+  /// width in [2, 64]; characteristic polynomial from the maximal-length
+  /// LFSR tap table.
+  explicit Misr(unsigned width);
+
+  unsigned width() const { return width_; }
+  std::uint64_t signature() const { return state_; }
+  void reset() { state_ = 0; }
+
+  /// One clock: shift with polynomial feedback, then XOR the parallel
+  /// inputs (inputs.size() == width) into the stages.
+  void absorb(const BitVec& inputs);
+
+ private:
+  unsigned width_;
+  std::uint64_t state_ = 0;
+  std::uint64_t feedback_mask_;
+  std::uint64_t reg_mask_;
+};
+
+/// MISR-based state monitoring over a W-chain scan configuration:
+/// detection-only, like CrcChainProtector, but with a single register of
+/// width W and signature storage of W bits (vs CRC's per-group 16+16).
+class MisrChainProtector {
+ public:
+  MisrChainProtector(std::size_t chain_count, std::size_t chain_length);
+
+  std::size_t chain_count() const { return chain_count_; }
+  /// Always-on storage: the W-bit reference signature.
+  std::size_t signature_storage_bits() const { return chain_count_; }
+
+  void encode(const std::vector<BitVec>& chain_data);
+
+  struct CheckStats {
+    bool mismatch = false;
+    bool any_error() const { return mismatch; }
+  };
+  CheckStats check(const std::vector<BitVec>& chain_data) const;
+
+ private:
+  std::uint64_t signature_of(const std::vector<BitVec>& chain_data) const;
+
+  std::size_t chain_count_;
+  std::size_t chain_length_;
+  std::uint64_t reference_ = 0;
+  bool encoded_ = false;
+};
+
+}  // namespace retscan

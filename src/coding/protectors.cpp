@@ -1,0 +1,212 @@
+#include "coding/protectors.hpp"
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+HammingChainProtector::HammingChainProtector(HammingCode code, std::size_t chain_count,
+                                             std::size_t chain_length, bool extended)
+    : code_(std::move(code)), chain_count_(chain_count), chain_length_(chain_length) {
+  RETSCAN_CHECK(chain_count_ > 0 && chain_length_ > 0,
+                "HammingChainProtector: empty configuration");
+  RETSCAN_CHECK(chain_count_ % code_.k() == 0,
+                "HammingChainProtector: chain count must be a multiple of k");
+  group_count_ = chain_count_ / code_.k();
+  if (extended) {
+    extended_.emplace(static_cast<unsigned>(code_.r()));
+  }
+}
+
+std::size_t HammingChainProtector::parity_storage_bits() const {
+  return group_count_ * chain_length_ * (code_.r() + (extended() ? 1 : 0));
+}
+
+BitVec HammingChainProtector::word_at(const std::vector<BitVec>& chain_data,
+                                      std::size_t group, std::size_t cycle) const {
+  BitVec word(code_.k());
+  for (std::size_t j = 0; j < code_.k(); ++j) {
+    word.set(j, chain_data[group * code_.k() + j].get(cycle));
+  }
+  return word;
+}
+
+void HammingChainProtector::encode(const std::vector<BitVec>& chain_data) {
+  RETSCAN_CHECK(chain_data.size() == chain_count_,
+                "HammingChainProtector::encode: chain count mismatch");
+  for (const auto& chain : chain_data) {
+    RETSCAN_CHECK(chain.size() == chain_length_,
+                  "HammingChainProtector::encode: chain length mismatch");
+  }
+  parity_.assign(group_count_, std::vector<BitVec>(chain_length_));
+  for (std::size_t g = 0; g < group_count_; ++g) {
+    for (std::size_t t = 0; t < chain_length_; ++t) {
+      const BitVec word = word_at(chain_data, g, t);
+      parity_[g][t] = extended_ ? extended_->encode(word) : code_.encode(word);
+    }
+  }
+  encoded_ = true;
+}
+
+HammingChainProtector::DecodeStats HammingChainProtector::decode_and_correct(
+    std::vector<BitVec>& chain_data) const {
+  RETSCAN_CHECK(encoded_, "HammingChainProtector: decode before encode");
+  RETSCAN_CHECK(chain_data.size() == chain_count_,
+                "HammingChainProtector::decode: chain count mismatch");
+  DecodeStats stats;
+  for (std::size_t g = 0; g < group_count_; ++g) {
+    for (std::size_t t = 0; t < chain_length_; ++t) {
+      BitVec word = word_at(chain_data, g, t);
+      ++stats.words_checked;
+      if (extended_) {
+        const SecDedDecodeResult result = extended_->decode(word, parity_[g][t]);
+        switch (result.outcome) {
+          case SecDedOutcome::Clean:
+            break;
+          case SecDedOutcome::Corrected:
+            ++stats.words_with_error;
+            ++stats.bits_corrected;
+            chain_data[g * code_.k() + result.corrected_data_bit].set(
+                t, word.get(result.corrected_data_bit));
+            break;
+          case SecDedOutcome::DoubleError:
+            ++stats.words_with_error;
+            ++stats.double_errors;
+            break;
+          case SecDedOutcome::MultiError:
+            ++stats.words_with_error;
+            ++stats.parity_syndromes;
+            break;
+        }
+        continue;
+      }
+      const HammingDecodeResult result = code_.decode(word, parity_[g][t]);
+      switch (result.outcome) {
+        case HammingOutcome::Clean:
+          break;
+        case HammingOutcome::Corrected:
+          ++stats.words_with_error;
+          ++stats.bits_corrected;
+          chain_data[g * code_.k() + result.corrected_data_bit].set(
+              t, word.get(result.corrected_data_bit));
+          break;
+        case HammingOutcome::ParityPosition:
+          ++stats.words_with_error;
+          ++stats.parity_syndromes;
+          break;
+      }
+    }
+  }
+  return stats;
+}
+
+CrcChainProtector::CrcChainProtector(Crc16 crc, std::size_t chain_count,
+                                     std::size_t chain_length, std::size_t group_width)
+    : crc_(std::move(crc)),
+      chain_count_(chain_count),
+      chain_length_(chain_length),
+      group_width_(group_width) {
+  RETSCAN_CHECK(chain_count_ > 0 && chain_length_ > 0,
+                "CrcChainProtector: empty configuration");
+  RETSCAN_CHECK(group_width_ > 0 && chain_count_ % group_width_ == 0,
+                "CrcChainProtector: chain count must be a multiple of group width");
+  group_count_ = chain_count_ / group_width_;
+}
+
+std::uint16_t CrcChainProtector::signature_of(const std::vector<BitVec>& chain_data,
+                                              std::size_t group) const {
+  Crc16 reg = crc_;
+  reg.reset();
+  // Cycle-major order: at shift cycle t the group's chains emit the bits at
+  // position l-1-t; hardware absorbs them in chain order within the cycle.
+  for (std::size_t t = 0; t < chain_length_; ++t) {
+    const std::size_t position = chain_length_ - 1 - t;
+    for (std::size_t j = 0; j < group_width_; ++j) {
+      reg.shift_bit(chain_data[group * group_width_ + j].get(position));
+    }
+  }
+  return reg.value();
+}
+
+void CrcChainProtector::encode(const std::vector<BitVec>& chain_data) {
+  RETSCAN_CHECK(chain_data.size() == chain_count_,
+                "CrcChainProtector::encode: chain count mismatch");
+  for (const auto& chain : chain_data) {
+    RETSCAN_CHECK(chain.size() == chain_length_,
+                  "CrcChainProtector::encode: chain length mismatch");
+  }
+  signatures_.assign(group_count_, 0);
+  for (std::size_t g = 0; g < group_count_; ++g) {
+    signatures_[g] = signature_of(chain_data, g);
+  }
+  encoded_ = true;
+}
+
+CrcChainProtector::CheckStats CrcChainProtector::check(
+    const std::vector<BitVec>& chain_data) const {
+  RETSCAN_CHECK(encoded_, "CrcChainProtector: check before encode");
+  RETSCAN_CHECK(chain_data.size() == chain_count_,
+                "CrcChainProtector::check: chain count mismatch");
+  CheckStats stats;
+  for (std::size_t g = 0; g < group_count_; ++g) {
+    ++stats.groups_checked;
+    if (signature_of(chain_data, g) != signatures_[g]) {
+      ++stats.groups_mismatched;
+    }
+  }
+  return stats;
+}
+
+BlockHammingCodec::BlockHammingCodec(HammingCode code, std::size_t state_bits)
+    : code_(std::move(code)), state_bits_(state_bits) {
+  RETSCAN_CHECK(state_bits_ > 0, "BlockHammingCodec: empty state");
+  word_count_ = (state_bits_ + code_.k() - 1) / code_.k();
+}
+
+std::vector<BitVec> BlockHammingCodec::encode(const BitVec& state) const {
+  RETSCAN_CHECK(state.size() == state_bits_, "BlockHammingCodec::encode: size mismatch");
+  std::vector<BitVec> parity(word_count_);
+  for (std::size_t w = 0; w < word_count_; ++w) {
+    BitVec word(code_.k());
+    for (std::size_t j = 0; j < code_.k(); ++j) {
+      const std::size_t bit = w * code_.k() + j;
+      word.set(j, bit < state_bits_ && state.get(bit));
+    }
+    parity[w] = code_.encode(word);
+  }
+  return parity;
+}
+
+BlockHammingCodec::RepairStats BlockHammingCodec::repair(
+    BitVec& state, const std::vector<BitVec>& parity, const BitVec& reference) const {
+  RETSCAN_CHECK(state.size() == state_bits_, "BlockHammingCodec::repair: size mismatch");
+  RETSCAN_CHECK(parity.size() == word_count_, "BlockHammingCodec::repair: parity mismatch");
+  RETSCAN_CHECK(reference.size() == state_bits_,
+                "BlockHammingCodec::repair: reference mismatch");
+  RepairStats stats;
+  for (std::size_t w = 0; w < word_count_; ++w) {
+    BitVec word(code_.k());
+    for (std::size_t j = 0; j < code_.k(); ++j) {
+      const std::size_t bit = w * code_.k() + j;
+      word.set(j, bit < state_bits_ && state.get(bit));
+    }
+    const HammingDecodeResult result = code_.decode(word, parity[w]);
+    if (result.outcome != HammingOutcome::Clean) {
+      ++stats.words_with_error;
+    }
+    if (result.outcome == HammingOutcome::Corrected) {
+      ++stats.bits_corrected;
+      const std::size_t bit = w * code_.k() + result.corrected_data_bit;
+      // Padding bits beyond the state are virtual zeros; a "correction"
+      // aimed there cannot be applied (treated like a parity-position
+      // syndrome by hardware).
+      if (bit < state_bits_) {
+        state.set(bit, word.get(result.corrected_data_bit));
+      }
+    }
+  }
+  stats.residual_wrong_bits = state.hamming_distance(reference);
+  stats.fully_corrected = stats.residual_wrong_bits == 0;
+  return stats;
+}
+
+}  // namespace retscan

@@ -1,0 +1,56 @@
+#include "coding/secded.hpp"
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+SecDedCode::SecDedCode(unsigned hamming_parity_bits) : base_(hamming_parity_bits) {}
+
+std::string SecDedCode::name() const {
+  return "SEC-DED(" + std::to_string(base_.n() + 1) + "," + std::to_string(base_.k()) + ")";
+}
+
+BitVec SecDedCode::encode(const BitVec& data) const {
+  RETSCAN_CHECK(data.size() == k(), "SecDedCode::encode: wrong data width");
+  BitVec check = base_.encode(data);
+  check.push_back(data.parity());
+  return check;
+}
+
+SecDedDecodeResult SecDedCode::decode(BitVec& data, const BitVec& stored) const {
+  RETSCAN_CHECK(stored.size() == check_bits(), "SecDedCode::decode: wrong check width");
+  RETSCAN_CHECK(data.size() == k(), "SecDedCode::decode: wrong data width");
+
+  const BitVec hamming_stored = stored.slice(0, base_.r());
+  SecDedDecodeResult result;
+  result.syndrome = base_.syndrome(data, hamming_stored);
+  result.overall_mismatch = data.parity() != stored.get(base_.r());
+
+  if (result.syndrome == 0 && !result.overall_mismatch) {
+    result.outcome = SecDedOutcome::Clean;
+    return result;
+  }
+  if (!result.overall_mismatch) {
+    // Even error count with a nonzero syndrome: a double (or even-weight
+    // multi) error. Touch nothing — this is the miscorrection SEC-DED
+    // exists to prevent.
+    result.outcome = SecDedOutcome::DoubleError;
+    return result;
+  }
+  // Odd error count. A true single error has a syndrome naming a data
+  // position; anything else is >= 3 errors aliasing somewhere unhelpful.
+  if (result.syndrome != 0) {
+    BitVec scratch = data;
+    const HammingDecodeResult inner = base_.decode(scratch, hamming_stored);
+    if (inner.outcome == HammingOutcome::Corrected) {
+      data = scratch;
+      result.outcome = SecDedOutcome::Corrected;
+      result.corrected_data_bit = inner.corrected_data_bit;
+      return result;
+    }
+  }
+  result.outcome = SecDedOutcome::MultiError;
+  return result;
+}
+
+}  // namespace retscan

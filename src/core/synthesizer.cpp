@@ -1,0 +1,144 @@
+#include "core/synthesizer.hpp"
+
+#include "coding/secded.hpp"
+
+#include <iomanip>
+
+#include "scan/scan_io.hpp"
+#include "util/error.hpp"
+
+namespace retscan {
+
+ReliabilitySynthesizer::ReliabilitySynthesizer(NetlistFactory factory, TechLibrary tech,
+                                               double clock_period_ns)
+    : factory_(std::move(factory)), tech_(std::move(tech)),
+      clock_period_ns_(clock_period_ns) {
+  RETSCAN_CHECK(clock_period_ns_ > 0, "ReliabilitySynthesizer: bad clock period");
+}
+
+CostRow ReliabilitySynthesizer::characterize(const ProtectionConfig& config,
+                                             std::uint64_t seed) const {
+  const ProtectedDesign design(factory_(), config);
+  RetentionSession session(design);
+
+  // Load a random resident state so shift activity is realistic (~50%
+  // toggle density, as in a FIFO full of random payload).
+  Rng rng(seed);
+  std::vector<BitVec> state;
+  state.reserve(design.chains().chain_count());
+  for (std::size_t c = 0; c < design.chains().chain_count(); ++c) {
+    state.push_back(rng.next_bits(design.chain_length()));
+  }
+  scan_restore(session.sim(), design.chains(), state);
+
+  CostRow row;
+  switch (config.kind) {
+    case CodeKind::CrcDetect:
+      row.code_name = "CRC-16";
+      break;
+    case CodeKind::HammingCorrect:
+      row.code_name =
+          config.secded ? SecDedCode(config.hamming_r).name() : config.hamming().name();
+      row.capability_percent = 100.0 * config.hamming().redundancy();
+      break;
+    case CodeKind::HammingPlusCrc:
+      row.code_name =
+          (config.secded ? SecDedCode(config.hamming_r).name() : config.hamming().name()) +
+          "+CRC-16";
+      row.capability_percent = 100.0 * config.hamming().redundancy();
+      break;
+  }
+  row.chain_count = config.chain_count;
+  row.chain_length = design.chain_length();
+  row.base_area_um2 = design.base_area(tech_).total_um2;
+  row.total_area_um2 = row.base_area_um2 + design.monitor_area(tech_).total_um2;
+  row.overhead_percent = design.overhead_percent(tech_);
+
+  // Coding latency per Section III: l cycles of circulation.
+  row.latency_ns = static_cast<double>(design.chain_length()) * clock_period_ns_;
+
+  const ActivityReport enc = session.measure_encode(tech_);
+  row.enc_power_mw = enc.average_power_mw(clock_period_ns_);
+  row.enc_energy_nj = row.enc_power_mw * row.latency_ns * 1e-3;  // mW*ns = pJ
+
+  const ActivityReport dec = session.measure_decode(tech_);
+  row.dec_power_mw = dec.average_power_mw(clock_period_ns_);
+  row.dec_energy_nj = row.dec_power_mw * row.latency_ns * 1e-3;
+  return row;
+}
+
+std::vector<CostRow> ReliabilitySynthesizer::sweep(
+    const std::vector<ProtectionConfig>& configs) const {
+  std::vector<CostRow> rows;
+  rows.reserve(configs.size());
+  for (const ProtectionConfig& config : configs) {
+    rows.push_back(characterize(config));
+  }
+  return rows;
+}
+
+std::vector<std::size_t> ReliabilitySynthesizer::pareto_front(
+    const std::vector<CostRow>& rows) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < rows.size() && !dominated; ++j) {
+      if (i == j) {
+        continue;
+      }
+      const bool no_worse = rows[j].overhead_percent <= rows[i].overhead_percent &&
+                            rows[j].dec_energy_nj <= rows[i].dec_energy_nj;
+      const bool strictly_better = rows[j].overhead_percent < rows[i].overhead_percent ||
+                                   rows[j].dec_energy_nj < rows[i].dec_energy_nj;
+      dominated = no_worse && strictly_better;
+    }
+    if (!dominated) {
+      front.push_back(i);
+    }
+  }
+  return front;
+}
+
+const CostRow& ReliabilitySynthesizer::pick(const std::vector<CostRow>& rows,
+                                            const QualityConstraints& constraints) {
+  const CostRow* best = nullptr;
+  for (const CostRow& row : rows) {
+    if (row.overhead_percent > constraints.max_area_overhead_percent ||
+        row.latency_ns > constraints.max_latency_ns ||
+        row.dec_energy_nj > constraints.max_energy_nj ||
+        row.capability_percent < constraints.min_capability_percent) {
+      continue;
+    }
+    if (best == nullptr || row.dec_energy_nj < best->dec_energy_nj) {
+      best = &row;
+    }
+  }
+  RETSCAN_CHECK(best != nullptr,
+                "ReliabilitySynthesizer::pick: no configuration satisfies the constraints");
+  return *best;
+}
+
+void print_cost_table(std::ostream& os, const std::string& title,
+                      const std::vector<CostRow>& rows) {
+  os << title << "\n";
+  os << std::setw(16) << "code" << std::setw(5) << "W" << std::setw(6) << "l"
+     << std::setw(12) << "area um^2" << std::setw(8) << "ovh %" << std::setw(10)
+     << "enc mW" << std::setw(10) << "dec mW" << std::setw(10) << "t ns"
+     << std::setw(10) << "enc nJ" << std::setw(10) << "dec nJ" << std::setw(8)
+     << "cap %" << "\n";
+  os << std::fixed;
+  for (const CostRow& row : rows) {
+    os << std::setw(16) << row.code_name << std::setw(5) << row.chain_count
+       << std::setw(6) << row.chain_length << std::setprecision(0) << std::setw(12)
+       << row.total_area_um2 << std::setprecision(1) << std::setw(8)
+       << row.overhead_percent << std::setprecision(2) << std::setw(10)
+       << row.enc_power_mw << std::setw(10) << row.dec_power_mw
+       << std::setprecision(0) << std::setw(10) << row.latency_ns
+       << std::setprecision(2) << std::setw(10) << row.enc_energy_nj << std::setw(10)
+       << row.dec_energy_nj << std::setprecision(2) << std::setw(8)
+       << row.capability_percent << "\n";
+  }
+  os.unsetf(std::ios_base::floatfield);
+}
+
+}  // namespace retscan

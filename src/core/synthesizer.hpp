@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/protected_design.hpp"
+#include "netlist/techlib.hpp"
+
+namespace retscan {
+
+/// One characterized configuration — a row of the paper's Tables I-III.
+struct CostRow {
+  std::string code_name;
+  std::size_t chain_count = 0;   ///< W
+  std::size_t chain_length = 0;  ///< l
+  double base_area_um2 = 0.0;    ///< unprotected design + scan
+  double total_area_um2 = 0.0;   ///< base + monitoring logic
+  double overhead_percent = 0.0;
+  double enc_power_mw = 0.0;
+  double dec_power_mw = 0.0;
+  double latency_ns = 0.0;       ///< coding time l * T (Section III)
+  double enc_energy_nj = 0.0;
+  double dec_energy_nj = 0.0;
+  /// Hamming correction strength (n-k)/k in percent (Table III "cap");
+  /// zero for detection-only codes.
+  double capability_percent = 0.0;
+};
+
+/// Quality constraints from the synthesis flow's configuration file
+/// (Fig. 4 input). Unset limits default to infinity.
+struct QualityConstraints {
+  double max_area_overhead_percent = std::numeric_limits<double>::infinity();
+  double max_latency_ns = std::numeric_limits<double>::infinity();
+  double max_energy_nj = std::numeric_limits<double>::infinity();
+  double min_capability_percent = 0.0;
+};
+
+/// The reliability-aware synthesizer (Fig. 4). Inputs: a conventional
+/// power-gated design (as a netlist factory, so sweeps can rebuild it), the
+/// configuration file (quality constraints), and the monitoring templates
+/// (ProtectionConfig). It inserts scan chains, generates the monitoring and
+/// correction logic, configures the proposed power-gating controller, and
+/// characterizes the result against the technology library.
+class ReliabilitySynthesizer {
+ public:
+  using NetlistFactory = std::function<Netlist()>;
+
+  ReliabilitySynthesizer(NetlistFactory factory, TechLibrary tech,
+                         double clock_period_ns = 10.0);
+
+  /// Build + measure one configuration (one table row). Runs the actual
+  /// encode and decode sequences on the synthesized design with a random
+  /// resident state and derives power from counted toggles.
+  CostRow characterize(const ProtectionConfig& config, std::uint64_t seed = 1) const;
+
+  /// Sweep a list of configurations (e.g. Table I's W in {4,8,16,40,80}).
+  std::vector<CostRow> sweep(const std::vector<ProtectionConfig>& configs) const;
+
+  /// Indices of rows on the (overhead, dec_energy) Pareto front.
+  static std::vector<std::size_t> pareto_front(const std::vector<CostRow>& rows);
+
+  /// The quality solution of Fig. 4: the feasible row with the smallest
+  /// decode energy; throws if no row satisfies the constraints.
+  static const CostRow& pick(const std::vector<CostRow>& rows,
+                             const QualityConstraints& constraints);
+
+  double clock_period_ns() const { return clock_period_ns_; }
+
+ private:
+  NetlistFactory factory_;
+  TechLibrary tech_;
+  double clock_period_ns_;
+};
+
+/// Render rows in the layout of the paper's tables.
+void print_cost_table(std::ostream& os, const std::string& title,
+                      const std::vector<CostRow>& rows);
+
+}  // namespace retscan

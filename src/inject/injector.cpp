@@ -1,0 +1,109 @@
+#include "inject/injector.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+namespace {
+unsigned bits_for(std::size_t bound) {
+  unsigned bits = 2;
+  while ((std::size_t{1} << bits) < bound * 2 && bits < 32) {
+    ++bits;
+  }
+  return bits;
+}
+}  // namespace
+
+ErrorInjector::ErrorInjector(std::size_t chain_count, std::size_t chain_length,
+                             std::uint64_t seed)
+    : chain_count_(chain_count),
+      chain_length_(chain_length),
+      row_lfsr_(Lfsr::maximal(bits_for(chain_count), (seed | 1) & 0xffff)),
+      column_lfsr_(Lfsr::maximal(bits_for(chain_length), ((seed >> 16) | 1) & 0xffff)) {
+  RETSCAN_CHECK(chain_count_ > 0 && chain_length_ > 0, "ErrorInjector: empty fabric");
+}
+
+std::size_t ErrorInjector::next_index(std::size_t bound) {
+  // Draw from whichever LFSR matches the axis; rejection-sample so every
+  // index is reachable (an LFSR state is never zero, so we subtract 1).
+  Lfsr& source = bound == chain_count_ ? row_lfsr_ : column_lfsr_;
+  for (;;) {
+    source.step();
+    const std::size_t value = static_cast<std::size_t>(source.state() - 1);
+    if (value < bound) {
+      return value;
+    }
+  }
+}
+
+ErrorLocation ErrorInjector::random_single() {
+  return ErrorLocation{next_index(chain_count_), next_index(chain_length_)};
+}
+
+std::vector<ErrorLocation> ErrorInjector::random_multiple(std::size_t count) {
+  RETSCAN_CHECK(count <= chain_count_ * chain_length_,
+                "ErrorInjector: more errors than flops");
+  std::vector<ErrorLocation> errors;
+  errors.reserve(count);
+  while (errors.size() < count) {
+    const ErrorLocation loc = random_single();
+    if (std::find(errors.begin(), errors.end(), loc) == errors.end()) {
+      errors.push_back(loc);
+    }
+  }
+  return errors;
+}
+
+std::vector<ErrorLocation> ErrorInjector::clustered_burst(std::size_t count,
+                                                          std::size_t spread) {
+  RETSCAN_CHECK(count <= chain_count_ * chain_length_,
+                "ErrorInjector: more errors than flops");
+  const ErrorLocation centre = random_single();
+  const std::size_t chain_span = std::min(chain_count_, 2 * spread + 1);
+  const std::size_t pos_span = std::min(chain_length_, 2 * spread + 1);
+  RETSCAN_CHECK(count <= chain_span * pos_span,
+                "ErrorInjector: burst too large for spread window");
+  std::vector<ErrorLocation> errors;
+  errors.reserve(count);
+  while (errors.size() < count) {
+    // Offsets drawn from the LFSRs, folded into the window around centre.
+    const std::size_t dc = next_index(chain_count_) % chain_span;
+    const std::size_t dp = next_index(chain_length_) % pos_span;
+    ErrorLocation loc;
+    loc.chain = (centre.chain + dc) % chain_count_;
+    loc.position = (centre.position + dp) % chain_length_;
+    if (std::find(errors.begin(), errors.end(), loc) == errors.end()) {
+      errors.push_back(loc);
+    }
+  }
+  return errors;
+}
+
+void ErrorInjector::flip_retention(Simulator& sim, const ScanChains& chains,
+                                   const std::vector<ErrorLocation>& errors) {
+  for (const ErrorLocation& loc : errors) {
+    sim.flip_retention(chains.at(loc.chain, loc.position));
+  }
+}
+
+void ErrorInjector::flip_flops(Simulator& sim, const ScanChains& chains,
+                               const std::vector<ErrorLocation>& errors) {
+  for (const ErrorLocation& loc : errors) {
+    const CellId flop = chains.at(loc.chain, loc.position);
+    sim.set_flop_state(flop, !sim.flop_state(flop));
+  }
+}
+
+void ErrorInjector::flip_chain_data(std::vector<BitVec>& chain_data,
+                                    const std::vector<ErrorLocation>& errors) {
+  for (const ErrorLocation& loc : errors) {
+    RETSCAN_CHECK(loc.chain < chain_data.size() &&
+                      loc.position < chain_data[loc.chain].size(),
+                  "ErrorInjector: location outside fabric");
+    chain_data[loc.chain].flip(loc.position);
+  }
+}
+
+}  // namespace retscan

@@ -1,0 +1,47 @@
+#include "netlist/dot.hpp"
+
+#include <sstream>
+
+namespace retscan {
+
+void write_dot(std::ostream& os, const Netlist& netlist, const DotOptions& options) {
+  os << "digraph \"" << netlist.name() << "\" {\n";
+  os << "  rankdir=LR;\n  node [fontsize=9];\n";
+  const std::size_t limit = std::min<std::size_t>(netlist.cell_count(), options.max_cells);
+  for (CellId id = 0; id < limit; ++id) {
+    const Cell& c = netlist.cell(id);
+    os << "  c" << id << " [label=\"" << cell_type_name(c.type);
+    if (!c.name.empty()) {
+      os << "\\n" << c.name;
+    }
+    os << "\"";
+    if (c.type == CellType::Input || c.type == CellType::Output) {
+      os << ", shape=invhouse, style=filled, fillcolor=lightblue";
+    } else if (options.highlight_sequential && cell_is_sequential(c.type)) {
+      os << ", shape=box, style=filled, fillcolor=khaki";
+    }
+    os << "];\n";
+  }
+  for (CellId id = 0; id < limit; ++id) {
+    const Cell& c = netlist.cell(id);
+    for (std::size_t pin = 0; pin < c.fanin.size(); ++pin) {
+      const CellId drv = netlist.driver(c.fanin[pin]);
+      if (drv != kNullCell && drv < limit) {
+        os << "  c" << drv << " -> c" << id << " [label=\"" << pin << "\", fontsize=7];\n";
+      }
+    }
+  }
+  if (limit < netlist.cell_count()) {
+    os << "  truncated [label=\"... " << (netlist.cell_count() - limit)
+       << " more cells\", shape=plaintext];\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Netlist& netlist, const DotOptions& options) {
+  std::ostringstream oss;
+  write_dot(oss, netlist, options);
+  return oss.str();
+}
+
+}  // namespace retscan

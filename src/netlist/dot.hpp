@@ -1,0 +1,25 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace retscan {
+
+/// Options controlling Graphviz export.
+struct DotOptions {
+  /// Skip cells beyond this count (huge netlists are unreadable anyway).
+  std::size_t max_cells = 4000;
+  /// Color sequential cells differently.
+  bool highlight_sequential = true;
+};
+
+/// Write the netlist as a Graphviz digraph. Intended for debugging and for
+/// documentation figures of the generated monitor/corrector blocks.
+void write_dot(std::ostream& os, const Netlist& netlist, const DotOptions& options = {});
+
+/// Convenience: render to string.
+std::string to_dot(const Netlist& netlist, const DotOptions& options = {});
+
+}  // namespace retscan

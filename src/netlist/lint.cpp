@@ -1,0 +1,89 @@
+#include "netlist/lint.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+std::vector<LintIssue> lint_netlist(const Netlist& netlist) {
+  std::vector<LintIssue> issues;
+  const auto& fanouts = netlist.fanouts();
+
+  auto net_label = [&](NetId net) {
+    const std::string& name = netlist.net_name(net);
+    return name.empty() ? "net " + std::to_string(net) : name;
+  };
+
+  // Undriven / dangling nets, floating inputs.
+  for (NetId net = 0; net < netlist.net_count(); ++net) {
+    const CellId driver = netlist.driver(net);
+    const bool read = !fanouts[net].empty();
+    if (driver == kNullCell && read) {
+      issues.push_back({LintKind::UndrivenNet, net, kNullCell,
+                        "undriven net " + net_label(net)});
+    }
+    if (driver != kNullCell && !read) {
+      const CellType type = netlist.cell(driver).type;
+      if (type == CellType::Input) {
+        issues.push_back({LintKind::FloatingInput, net, driver,
+                          "floating input " + net_label(net)});
+      } else {
+        issues.push_back({LintKind::DanglingNet, net, driver,
+                          "dangling net " + net_label(net)});
+      }
+    }
+  }
+
+  // Unreachable cells: reverse reachability from outputs and sequential
+  // elements (state is observable through scan).
+  std::vector<char> reachable(netlist.cell_count(), 0);
+  std::deque<CellId> frontier;
+  for (CellId id = 0; id < netlist.cell_count(); ++id) {
+    const CellType type = netlist.cell(id).type;
+    if (type == CellType::Output || cell_is_sequential(type)) {
+      reachable[id] = 1;
+      frontier.push_back(id);
+    }
+  }
+  while (!frontier.empty()) {
+    const CellId id = frontier.front();
+    frontier.pop_front();
+    for (const NetId net : netlist.cell(id).fanin) {
+      const CellId driver = netlist.driver(net);
+      if (driver != kNullCell && !reachable[driver]) {
+        reachable[driver] = 1;
+        frontier.push_back(driver);
+      }
+    }
+  }
+  for (CellId id = 0; id < netlist.cell_count(); ++id) {
+    const CellType type = netlist.cell(id).type;
+    if (!reachable[id] && type != CellType::Input && type != CellType::Const0 &&
+        type != CellType::Const1) {
+      issues.push_back({LintKind::UnreachableCell, netlist.cell(id).out, id,
+                        "unreachable cell " + std::string(cell_type_name(type))});
+    }
+  }
+
+  // Combinational loops.
+  try {
+    (void)netlist.combinational_order();
+  } catch (const Error&) {
+    issues.push_back({LintKind::CombinationalLoop, kNullNet, kNullCell,
+                      "combinational cycle detected"});
+  }
+  return issues;
+}
+
+std::size_t lint_count(const std::vector<LintIssue>& issues, LintKind kind) {
+  std::size_t count = 0;
+  for (const LintIssue& issue : issues) {
+    if (issue.kind == kind) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace retscan

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace retscan {
+
+/// Categories of structural problems the linter reports.
+enum class LintKind {
+  UndrivenNet,       ///< net read by a cell but driven by nothing
+  DanglingNet,       ///< net driven but read by nothing (dead logic)
+  UnreachableCell,   ///< cell whose output cone reaches no output/flop
+  FloatingInput,     ///< primary input with no readers
+  CombinationalLoop, ///< cycle through combinational cells
+};
+
+struct LintIssue {
+  LintKind kind;
+  NetId net = kNullNet;
+  CellId cell = kNullCell;
+  std::string message;
+};
+
+/// Structural sanity checks a synthesis handoff would run. The scan
+/// inserter and monitor generators intentionally leave the original si{c}
+/// port nets dangling (Fig. 2 rewires them into the mode muxes); the
+/// linter reports them and callers may filter by kind.
+std::vector<LintIssue> lint_netlist(const Netlist& netlist);
+
+/// Count issues of one kind.
+std::size_t lint_count(const std::vector<LintIssue>& issues, LintKind kind);
+
+}  // namespace retscan

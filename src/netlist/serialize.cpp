@@ -1,0 +1,147 @@
+#include "netlist/serialize.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+namespace {
+
+const std::unordered_map<std::string, CellType>& type_by_name() {
+  static const std::unordered_map<std::string, CellType> map = [] {
+    std::unordered_map<std::string, CellType> m;
+    for (int t = 0; t <= static_cast<int>(CellType::Output); ++t) {
+      const CellType type = static_cast<CellType>(t);
+      m.emplace(std::string(cell_type_name(type)), type);
+    }
+    return m;
+  }();
+  return map;
+}
+
+bool is_token(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (const char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_netlist(std::ostream& os, const Netlist& netlist) {
+  os << "# retscan netlist v1\n";
+  RETSCAN_CHECK(is_token(netlist.name()), "write_netlist: netlist name must be a token");
+  os << "name " << netlist.name() << "\n";
+  os << "nets " << netlist.net_count() << "\n";
+  for (NetId net = 0; net < netlist.net_count(); ++net) {
+    const std::string& name = netlist.net_name(net);
+    if (!name.empty()) {
+      RETSCAN_CHECK(is_token(name), "write_netlist: net name must be a token");
+      os << "netname " << net << " " << name << "\n";
+    }
+  }
+  for (CellId id = 0; id < netlist.cell_count(); ++id) {
+    const Cell& cell = netlist.cell(id);
+    os << "cell " << cell_type_name(cell.type) << " " << cell.domain << " ";
+    if (cell.name.empty()) {
+      os << "-";
+    } else {
+      RETSCAN_CHECK(is_token(cell.name), "write_netlist: cell name must be a token");
+      os << cell.name;
+    }
+    os << " ";
+    if (cell.out == kNullNet) {
+      os << "-";
+    } else {
+      os << cell.out;
+    }
+    os << " " << cell.fanin.size();
+    for (const NetId net : cell.fanin) {
+      os << " " << net;
+    }
+    os << "\n";
+  }
+}
+
+Netlist read_netlist(std::istream& is) {
+  std::string line;
+  std::string name = "top";
+  std::size_t net_count = 0;
+  bool nets_created = false;
+  Netlist netlist("pending");
+  std::vector<std::pair<NetId, std::string>> net_names;
+
+  // Two-phase: we cannot create the Netlist with the right name until the
+  // header is read, so collect and build.
+  std::vector<std::string> cell_lines;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "name") {
+      fields >> name;
+      RETSCAN_CHECK(is_token(name), "read_netlist: bad name");
+    } else if (keyword == "nets") {
+      fields >> net_count;
+      nets_created = true;
+    } else if (keyword == "netname") {
+      NetId net = 0;
+      std::string net_name;
+      fields >> net >> net_name;
+      net_names.emplace_back(net, net_name);
+    } else if (keyword == "cell") {
+      RETSCAN_CHECK(nets_created, "read_netlist: cell before nets header");
+      cell_lines.push_back(line);
+    } else {
+      RETSCAN_CHECK(false, "read_netlist: unknown keyword " + keyword);
+    }
+  }
+  RETSCAN_CHECK(nets_created, "read_netlist: missing nets header");
+
+  Netlist result(name);
+  for (std::size_t i = 0; i < net_count; ++i) {
+    result.add_net();
+  }
+  for (const auto& [net, net_name] : net_names) {
+    RETSCAN_CHECK(net < net_count, "read_netlist: netname id out of range");
+    result.set_net_name(net, net_name);
+  }
+  for (const std::string& cell_line : cell_lines) {
+    std::istringstream fields(cell_line);
+    std::string keyword, type_name, cell_name, out_token;
+    DomainId domain = 0;
+    std::size_t fanin_count = 0;
+    fields >> keyword >> type_name >> domain >> cell_name >> out_token >> fanin_count;
+    const auto type_it = type_by_name().find(type_name);
+    RETSCAN_CHECK(type_it != type_by_name().end(),
+                  "read_netlist: unknown cell type " + type_name);
+    std::vector<NetId> fanin(fanin_count);
+    for (std::size_t i = 0; i < fanin_count; ++i) {
+      fields >> fanin[i];
+      RETSCAN_CHECK(!fields.fail() && fanin[i] < net_count,
+                    "read_netlist: bad fanin net id");
+    }
+    NetId out = kNullNet;
+    if (out_token != "-") {
+      out = static_cast<NetId>(std::stoul(out_token));
+      RETSCAN_CHECK(out < net_count, "read_netlist: output net id out of range");
+    }
+    const CellId id = result.add_cell_bound(
+        type_it->second, std::move(fanin), out,
+        cell_name == "-" ? std::string{} : cell_name);
+    result.set_domain(id, domain);
+  }
+  return result;
+}
+
+}  // namespace retscan

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "netlist/netlist.hpp"
+
+namespace retscan {
+
+/// Plain-text netlist interchange format, the library's persistence layer
+/// (what a real flow would hand between the scan inserter, the monitor
+/// generator and downstream tools):
+///
+///   # retscan netlist v1
+///   name <identifier>
+///   nets <count>
+///   netname <id> <token>
+///   cell <type> <domain> <name|-> <out-net|-> <fanin-count> <net-ids...>
+///
+/// Cells appear in id order; net ids are preserved exactly, so a
+/// deserialized netlist is bit-identical in structure (verified by the
+/// round-trip tests, including simulation equivalence).
+void write_netlist(std::ostream& os, const Netlist& netlist);
+
+/// Parse; throws retscan::Error on malformed content.
+Netlist read_netlist(std::istream& is);
+
+}  // namespace retscan

@@ -1,0 +1,70 @@
+#include "power/corruption.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+CorruptionModel::CorruptionModel(const CorruptionParameters& params,
+                                 const RushCurrentModel& rush)
+    : params_(params) {
+  RETSCAN_CHECK(params_.margin_sigma_volts > 0, "CorruptionModel: sigma must be positive");
+  RETSCAN_CHECK(params_.vulnerability >= 0 && params_.vulnerability <= 1,
+                "CorruptionModel: vulnerability must be in [0, 1]");
+  RETSCAN_CHECK(params_.cluster_fraction >= 0 && params_.cluster_fraction <= 1,
+                "CorruptionModel: cluster_fraction must be in [0, 1]");
+  const double droop = rush.peak_droop();
+  // Gaussian tail: P(margin < droop) over the process spread of margins.
+  const double z = (params_.noise_margin_volts - droop) / params_.margin_sigma_volts;
+  const double tail = 0.5 * std::erfc(z / std::sqrt(2.0));
+  upset_probability_ = std::clamp(tail * params_.vulnerability, 0.0, 1.0);
+}
+
+double CorruptionModel::expected_upsets(std::size_t flop_count) const {
+  return upset_probability_ * static_cast<double>(flop_count);
+}
+
+std::vector<ErrorLocation> CorruptionModel::sample(std::size_t chain_count,
+                                                   std::size_t chain_length,
+                                                   Rng& rng) const {
+  const std::size_t total = chain_count * chain_length;
+  // Binomial draw via direct Bernoulli count (probabilities here are small;
+  // keep exact semantics rather than a normal approximation).
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (rng.next_bool(upset_probability_)) {
+      ++count;
+    }
+  }
+  std::vector<ErrorLocation> errors;
+  if (count == 0) {
+    return errors;
+  }
+
+  const ErrorLocation centre{rng.next_below(chain_count),
+                             rng.next_below(chain_length)};
+  const std::size_t chain_span = std::min(chain_count, 2 * params_.cluster_spread + 1);
+  const std::size_t pos_span = std::min(chain_length, 2 * params_.cluster_spread + 1);
+  errors.reserve(count);
+  std::size_t guard = 0;
+  while (errors.size() < count && guard < 100 * count + 1000) {
+    ++guard;
+    ErrorLocation loc;
+    if (rng.next_bool(params_.cluster_fraction) &&
+        errors.size() < chain_span * pos_span) {
+      loc.chain = (centre.chain + rng.next_below(chain_span)) % chain_count;
+      loc.position = (centre.position + rng.next_below(pos_span)) % chain_length;
+    } else {
+      loc.chain = rng.next_below(chain_count);
+      loc.position = rng.next_below(chain_length);
+    }
+    if (std::find(errors.begin(), errors.end(), loc) == errors.end()) {
+      errors.push_back(loc);
+    }
+  }
+  return errors;
+}
+
+}  // namespace retscan

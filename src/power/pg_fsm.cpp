@@ -1,0 +1,80 @@
+#include "power/pg_fsm.hpp"
+
+namespace retscan {
+
+std::string_view pg_state_name(PgState state) {
+  switch (state) {
+    case PgState::Active: return "active";
+    case PgState::Encoding: return "encoding";
+    case PgState::SleepEntry: return "sleep-entry";
+    case PgState::Sleep: return "sleep";
+    case PgState::WakeUp: return "wake-up";
+    case PgState::Decoding: return "decoding";
+    case PgState::Correcting: return "correcting";
+    case PgState::ErrorFlagged: return "error-flagged";
+  }
+  return "?";
+}
+
+PgState PgControllerFsm::on_event(PgEvent event) {
+  const bool proposed = flavor_ == Flavor::Proposed;
+  PgState next = state_;
+  switch (state_) {
+    case PgState::Active:
+      if (event == PgEvent::SleepRequest) {
+        next = proposed ? PgState::Encoding : PgState::SleepEntry;
+      }
+      break;
+    case PgState::Encoding:
+      if (event == PgEvent::SequenceDone) {
+        next = PgState::SleepEntry;
+      }
+      break;
+    case PgState::SleepEntry:
+      if (event == PgEvent::SequenceDone) {
+        next = PgState::Sleep;
+      }
+      break;
+    case PgState::Sleep:
+      if (event == PgEvent::WakeRequest) {
+        next = PgState::WakeUp;
+      }
+      break;
+    case PgState::WakeUp:
+      if (event == PgEvent::SequenceDone) {
+        next = proposed ? PgState::Decoding : PgState::Active;
+      }
+      break;
+    case PgState::Decoding:
+      if (event == PgEvent::SequenceDone) {
+        next = PgState::Active;  // clean decode
+      } else if (event == PgEvent::ErrorsDetected) {
+        next = PgState::Correcting;
+      } else if (event == PgEvent::Uncorrectable) {
+        next = PgState::ErrorFlagged;
+      }
+      break;
+    case PgState::Correcting:
+      if (event == PgEvent::Corrected) {
+        next = PgState::Active;
+      } else if (event == PgEvent::Uncorrectable) {
+        next = PgState::ErrorFlagged;
+      }
+      break;
+    case PgState::ErrorFlagged:
+      // Terminal until an explicit reset; upper layers decide recovery.
+      break;
+  }
+  if (next != state_) {
+    state_ = next;
+    history_.push_back(next);
+  }
+  return state_;
+}
+
+void PgControllerFsm::reset() {
+  state_ = PgState::Active;
+  history_.assign(1, PgState::Active);
+}
+
+}  // namespace retscan

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+
+namespace retscan {
+
+/// Parameters of the software state-recovery alternative the paper's
+/// Section V sketches: "if large area overhead is not acceptable then the
+/// approach of CRC error detection with software recovery may be
+/// considered." Instead of always-on Hamming parity memory and inline
+/// correction, the system keeps a checkpoint of the retained state in
+/// always-on SRAM; on a CRC mismatch after wake-up, an interrupt handler
+/// reloads the checkpoint through the scan chains.
+struct SoftwareRecoveryParameters {
+  double clock_period_ns = 10.0;
+  /// Interrupt latency + handler prologue/epilogue, in cycles.
+  std::size_t isr_cycles = 400;
+  /// Checkpoint fetch width from always-on SRAM (bits per cycle).
+  std::size_t mem_bus_bits = 32;
+  /// Always-on SRAM characteristics (dense vs. flip-flop parity memory —
+  /// this is the entire area argument for the software path).
+  double sram_area_um2_per_bit = 2.5;
+  double sram_read_energy_pj_per_bit = 0.08;
+  /// Host core power while executing the handler.
+  double cpu_power_mw = 15.0;
+};
+
+/// Latency / energy / always-on-area of one recovery mechanism.
+struct RecoveryCosts {
+  double detect_latency_ns = 0.0;    ///< decode/check pass
+  double repair_latency_ns = 0.0;    ///< correction or checkpoint reload
+  double total_latency_ns = 0.0;
+  double energy_nj = 0.0;
+  double always_on_area_um2 = 0.0;   ///< storage that must survive sleep
+  double area_overhead_percent = 0.0;
+};
+
+/// Cost analysis comparing hardware correction (Hamming monitors, inline
+/// repair during the decode pass + one recheck pass) against software
+/// recovery (CRC detect, ISR, checkpoint fetch, scan reload, re-verify).
+///
+/// Inputs come from the synthesizer's characterization of the two monitor
+/// flavors; this class adds the system-level latency/energy arithmetic so
+/// the Fig. 4 configuration file can trade them off quantitatively.
+class RecoveryAnalyzer {
+ public:
+  explicit RecoveryAnalyzer(const SoftwareRecoveryParameters& params);
+
+  const SoftwareRecoveryParameters& params() const { return params_; }
+
+  /// Hardware correction: decode pass with inline repair plus a recheck
+  /// pass. `dec_energy_nj`/`monitor_area_um2` from the Hamming CostRow.
+  RecoveryCosts hardware_correction(std::size_t chain_length, double dec_energy_nj,
+                                    double monitor_area_um2, double base_area_um2) const;
+
+  /// Software recovery: CRC check pass, interrupt, checkpoint fetch over
+  /// the memory bus, scan reload of all chains, and a re-verify pass.
+  /// `dec_energy_nj`/`monitor_area_um2` from the CRC CostRow; the
+  /// checkpoint SRAM (flop_count bits) is added to the always-on area.
+  RecoveryCosts software_recovery(std::size_t flop_count, std::size_t chain_length,
+                                  double dec_energy_nj, double monitor_area_um2,
+                                  double base_area_um2) const;
+
+ private:
+  SoftwareRecoveryParameters params_;
+};
+
+}  // namespace retscan

@@ -1,0 +1,115 @@
+#include "scan/scan_io.hpp"
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+BitVec scan_outs(const Simulator& sim, const ScanChains& chains) {
+  BitVec bits(chains.chain_count());
+  for (std::size_t c = 0; c < chains.chain_count(); ++c) {
+    bits.set(c, sim.net_value(chains.so[c]));
+  }
+  return bits;
+}
+
+BitVec scan_shift_cycle(Simulator& sim, const ScanChains& chains, const BitVec& si_bits) {
+  RETSCAN_CHECK(si_bits.size() == chains.chain_count(),
+                "scan_shift_cycle: si width mismatch");
+  sim.set_input(chains.se, true);
+  for (std::size_t c = 0; c < chains.chain_count(); ++c) {
+    sim.set_input(chains.si[c], si_bits.get(c));
+  }
+  sim.eval();
+  const BitVec outs = scan_outs(sim, chains);
+  sim.step();
+  return outs;
+}
+
+void scan_load(Simulator& sim, const ScanChains& chains, const std::vector<BitVec>& data) {
+  RETSCAN_CHECK(data.size() == chains.chain_count(), "scan_load: chain count mismatch");
+  const std::size_t l = chains.length();
+  for (const auto& d : data) {
+    RETSCAN_CHECK(d.size() == l, "scan_load: chain data length mismatch");
+  }
+  // The bit destined for position l-1 must enter first.
+  for (std::size_t t = 0; t < l; ++t) {
+    BitVec si_bits(chains.chain_count());
+    for (std::size_t c = 0; c < chains.chain_count(); ++c) {
+      si_bits.set(c, data[c].get(l - 1 - t));
+    }
+    scan_shift_cycle(sim, chains, si_bits);
+  }
+}
+
+std::vector<BitVec> scan_unload(Simulator& sim, const ScanChains& chains,
+                                const std::vector<BitVec>& refill) {
+  const std::size_t w = chains.chain_count();
+  const std::size_t l = chains.length();
+  if (!refill.empty()) {
+    RETSCAN_CHECK(refill.size() == w, "scan_unload: refill chain count mismatch");
+  }
+  std::vector<BitVec> out(w, BitVec(l));
+  // Position l-1 appears on so first; successive shifts expose lower
+  // positions.
+  for (std::size_t t = 0; t < l; ++t) {
+    BitVec si_bits(w);
+    if (!refill.empty()) {
+      for (std::size_t c = 0; c < w; ++c) {
+        si_bits.set(c, refill[c].get(l - 1 - t));
+      }
+    }
+    const BitVec so_bits = scan_shift_cycle(sim, chains, si_bits);
+    for (std::size_t c = 0; c < w; ++c) {
+      out[c].set(l - 1 - t, so_bits.get(c));
+    }
+  }
+  return out;
+}
+
+std::vector<BitVec> scan_snapshot(const Simulator& sim, const ScanChains& chains) {
+  std::vector<BitVec> out;
+  out.reserve(chains.chain_count());
+  for (const auto& chain : chains.chains) {
+    BitVec bits(chain.size());
+    for (std::size_t p = 0; p < chain.size(); ++p) {
+      bits.set(p, sim.flop_state(chain[p]));
+    }
+    out.push_back(std::move(bits));
+  }
+  return out;
+}
+
+void scan_restore(Simulator& sim, const ScanChains& chains, const std::vector<BitVec>& data) {
+  RETSCAN_CHECK(data.size() == chains.chain_count(), "scan_restore: chain count mismatch");
+  for (std::size_t c = 0; c < chains.chain_count(); ++c) {
+    RETSCAN_CHECK(data[c].size() == chains.chains[c].size(),
+                  "scan_restore: chain data length mismatch");
+    for (std::size_t p = 0; p < data[c].size(); ++p) {
+      sim.set_flop_state(chains.chains[c][p], data[c].get(p));
+    }
+  }
+}
+
+BitVec flatten_chain_data(const std::vector<BitVec>& data) {
+  BitVec flat(0);
+  for (const auto& chain : data) {
+    for (std::size_t p = 0; p < chain.size(); ++p) {
+      flat.push_back(chain.get(p));
+    }
+  }
+  return flat;
+}
+
+std::vector<BitVec> unflatten_chain_data(const BitVec& flat, std::size_t chain_count) {
+  RETSCAN_CHECK(chain_count > 0 && flat.size() % chain_count == 0,
+                "unflatten_chain_data: size not divisible by chain count");
+  const std::size_t l = flat.size() / chain_count;
+  std::vector<BitVec> out;
+  out.reserve(chain_count);
+  for (std::size_t c = 0; c < chain_count; ++c) {
+    out.push_back(flat.slice(c * l, l));
+  }
+  return out;
+}
+
+}  // namespace retscan

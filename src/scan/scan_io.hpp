@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "scan/scan_insert.hpp"
+#include "sim/simulator.hpp"
+#include "util/bitvec.hpp"
+
+namespace retscan {
+
+/// Simulation-level helpers for driving scan chains. These model exactly
+/// what a tester (or the paper's state monitoring block) sees: with se=1,
+/// each clock shifts every chain one position toward its scan-out.
+///
+/// Conventions: chain position 0 is adjacent to si; position l-1 drives so.
+/// During a shift cycle, so presents the value held at position l-1 *before*
+/// the clock edge.
+
+/// Current scan-out values of all chains (one bit per chain).
+BitVec scan_outs(const Simulator& sim, const ScanChains& chains);
+
+/// Apply one shift cycle: assert se, drive si{c} = si_bits[c], clock once.
+/// Returns the so values observed before the edge.
+BitVec scan_shift_cycle(Simulator& sim, const ScanChains& chains, const BitVec& si_bits);
+
+/// Serially load every chain with `data[c]` (data[c][p] = target value of
+/// the flop at position p). Leaves se asserted.
+void scan_load(Simulator& sim, const ScanChains& chains,
+               const std::vector<BitVec>& data);
+
+/// Serially unload every chain, shifting in `refill[c]` behind the data
+/// (zeros if refill is empty). Returns per-chain contents, indexed like
+/// scan_load. Leaves se asserted.
+std::vector<BitVec> scan_unload(Simulator& sim, const ScanChains& chains,
+                                const std::vector<BitVec>& refill = {});
+
+/// Snapshot of chain contents read directly from flop states (no clocks).
+std::vector<BitVec> scan_snapshot(const Simulator& sim, const ScanChains& chains);
+
+/// Write chain contents directly into flop states (no clocks). Used by
+/// tests and by the corruption model.
+void scan_restore(Simulator& sim, const ScanChains& chains,
+                  const std::vector<BitVec>& data);
+
+/// Flatten per-chain data into one BitVec ordered chain-major
+/// (chain 0 pos 0, chain 0 pos 1, ..., chain 1 pos 0, ...).
+BitVec flatten_chain_data(const std::vector<BitVec>& data);
+/// Inverse of flatten_chain_data given uniform chain length.
+std::vector<BitVec> unflatten_chain_data(const BitVec& flat, std::size_t chain_count);
+
+}  // namespace retscan

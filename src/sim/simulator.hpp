@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/techlib.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace retscan {
+
+/// Dynamic-activity summary accumulated by the simulator between calls to
+/// reset_activity(). Energy is computed against a TechLibrary: every output
+/// toggle costs the cell's switching energy, and every clock edge costs each
+/// powered sequential cell a fraction of its switching energy (clock pin and
+/// internal clock buffering), which is what makes scan-shift power dominated
+/// by the chain flops — the effect behind the paper's observation that
+/// Hamming and CRC monitors differ by only 20-40% in power.
+struct ActivityReport {
+  std::uint64_t steps = 0;
+  std::uint64_t output_toggles = 0;
+  double dynamic_energy_pj = 0.0;
+  /// Average power in mW given the number of steps and a clock period (ns).
+  double average_power_mw(double clock_period_ns) const;
+};
+
+/// Two-phase cycle-accurate simulator for a Netlist.
+///
+/// Each step(): (1) combinational cells evaluate in levelized order from the
+/// current sequential states and primary inputs, (2) sequential cells capture
+/// their next state, (3) states commit. Latches (LatchL) update at the step
+/// boundary like enabled flops; this keeps evaluation acyclic and is
+/// documented behaviour for the parity-storage elements.
+///
+/// Power gating semantics (the physical mechanism the paper protects
+/// against):
+///  * power_off(domain): master flip-flop state in that domain is lost —
+///    replaced with garbage from the supplied Rng (or zeros if none). While a
+///    domain is off, outputs of all its cells read 0, modelling isolation
+///    clamps at the domain boundary.
+///  * Rdff retention flip-flops (Fig. 1): the slave balloon latch is
+///    always-on. It samples the master once, on the RETAIN rising edge (the
+///    save event); on the first powered clock edge with RETAIN falling 1->0
+///    the master is restored from the latch. RETAIN may stay asserted for
+///    arbitrarily many cycles in between (sleep + wake settling). Corruption of retention latches by wake-up
+///    rush current is injected by the power model (src/power) via
+///    set_retention_state()/flip_retention().
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist);
+
+  const Netlist& netlist() const { return *netlist_; }
+
+  // --- stimulus -----------------------------------------------------------
+  void set_input(const std::string& port_name, bool value);
+  void set_input(NetId net, bool value);
+  bool input(NetId net) const;
+
+  /// Zero all flip-flops, latches and inputs; powers all domains on.
+  void reset();
+
+  /// Combinational settle only (no clock edge). Mostly for tests.
+  void eval();
+
+  /// One full clock cycle: eval, capture, commit.
+  void step();
+  /// Convenience: `count` clock cycles.
+  void step_n(std::size_t count);
+
+  // --- observation ----------------------------------------------------------
+  bool net_value(NetId net) const;
+  bool output(const std::string& port_name) const;
+
+  bool flop_state(CellId flop) const;
+  void set_flop_state(CellId flop, bool value);
+  /// States of all Dff/Sdff/Rdff cells in netlist.flops() order.
+  BitVec flop_states() const;
+  void set_flop_states(const BitVec& states);
+
+  /// Retention (balloon) latch content of an Rdff.
+  bool retention_state(CellId flop) const;
+  void set_retention_state(CellId flop, bool value);
+  void flip_retention(CellId flop);
+  /// Retention latch contents of all Rdff cells, in netlist.flops() order
+  /// restricted to Rdff entries.
+  BitVec retention_states() const;
+
+  // --- power domains --------------------------------------------------------
+  /// Cut power: master state in `domain` is destroyed (randomized via rng,
+  /// zeroed if rng == nullptr); outputs clamp to 0 until power_on.
+  void power_off(DomainId domain, Rng* rng = nullptr);
+  void power_on(DomainId domain);
+  bool domain_powered(DomainId domain) const;
+
+  // --- activity / power ------------------------------------------------------
+  void reset_activity();
+  /// Report accumulated since the last reset_activity().
+  ActivityReport activity(const TechLibrary& tech) const;
+
+ private:
+  void commit_sequential_outputs();
+  bool eval_cell(const Cell& cell) const;
+
+  const Netlist* netlist_;
+  std::vector<CellId> comb_order_;
+  std::vector<std::uint8_t> net_values_;
+  std::vector<std::uint8_t> flop_state_;       // indexed by CellId (flops/latches)
+  std::vector<std::uint8_t> retention_state_;  // indexed by CellId (Rdff only)
+  std::vector<std::uint8_t> prev_retain_;      // indexed by CellId (Rdff only)
+  std::vector<std::uint8_t> domain_powered_;
+  std::unordered_map<std::string, NetId> input_by_name_;
+
+  // Activity accounting.
+  std::vector<std::uint64_t> toggles_;  // per cell output
+  std::uint64_t steps_ = 0;
+  std::uint64_t clocked_cell_edges_ = 0;
+
+  /// Fraction of a sequential cell's switching energy charged per clock edge
+  /// even when its output does not toggle (clock pin + internal buffers).
+  static constexpr double kClockPinEnergyFraction = 0.4;
+};
+
+}  // namespace retscan

@@ -1,0 +1,69 @@
+#include "sim/vcd.hpp"
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+VcdWriter::VcdWriter(std::ostream& os, const Simulator& sim, double timescale_ns)
+    : os_(&os), sim_(&sim), timescale_ns_(timescale_ns) {
+  RETSCAN_CHECK(timescale_ns_ > 0, "VcdWriter: bad timescale");
+}
+
+std::string VcdWriter::code_for(std::size_t index) {
+  // Printable identifier alphabet per the VCD spec: '!' .. '~'.
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+bool VcdWriter::add_signal(const std::string& net_name) {
+  RETSCAN_CHECK(!header_written_, "VcdWriter: add_signal after header");
+  if (!sim_->netlist().has_net(net_name)) {
+    return false;
+  }
+  add_signal(sim_->netlist().find_net(net_name), net_name);
+  return true;
+}
+
+void VcdWriter::add_signal(NetId net, const std::string& display_name) {
+  RETSCAN_CHECK(!header_written_, "VcdWriter: add_signal after header");
+  Signal signal;
+  signal.net = net;
+  signal.name = display_name;
+  signal.code = code_for(signals_.size());
+  signals_.push_back(std::move(signal));
+}
+
+void VcdWriter::write_header(const std::string& module_name) {
+  RETSCAN_CHECK(!header_written_, "VcdWriter: header already written");
+  *os_ << "$timescale " << static_cast<long long>(timescale_ns_ * 1000.0)
+       << " ps $end\n";
+  *os_ << "$scope module " << module_name << " $end\n";
+  for (const Signal& s : signals_) {
+    *os_ << "$var wire 1 " << s.code << " " << s.name << " $end\n";
+  }
+  *os_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::sample() {
+  RETSCAN_CHECK(header_written_, "VcdWriter: sample before header");
+  bool stamped = false;
+  for (Signal& s : signals_) {
+    const int value = sim_->net_value(s.net) ? 1 : 0;
+    if (value != s.last) {
+      if (!stamped) {
+        *os_ << "#" << time_ << "\n";
+        stamped = true;
+      }
+      *os_ << value << s.code << "\n";
+      s.last = value;
+    }
+  }
+  ++time_;
+}
+
+}  // namespace retscan

@@ -1,0 +1,224 @@
+#include "testbench/harness.hpp"
+
+#include "scan/scan_io.hpp"
+#include "util/error.hpp"
+
+namespace retscan {
+
+namespace {
+std::size_t chain_length_for(const ValidationConfig& config) {
+  const std::size_t flops = config.fifo.flop_count();
+  RETSCAN_CHECK(flops % config.chain_count == 0,
+                "ValidationConfig: flop count not divisible by chain count");
+  return flops / config.chain_count;
+}
+}  // namespace
+
+FastTestbench::FastTestbench(const ValidationConfig& config)
+    : config_(config), chain_length_(chain_length_for(config)), rng_(config.seed) {
+  injector_ = std::make_unique<ErrorInjector>(config_.chain_count, chain_length_,
+                                              config_.seed | 1);
+}
+
+ValidationStats FastTestbench::run(std::size_t count) {
+  ValidationStats stats;
+  const bool use_hamming = config_.kind != CodeKind::CrcDetect;
+  const bool use_crc = config_.kind != CodeKind::HammingCorrect;
+  HammingChainProtector hamming(HammingCode(config_.hamming_r), config_.chain_count,
+                                chain_length_);
+  CrcChainProtector crc(Crc16::ccitt(), config_.chain_count, chain_length_,
+                        config_.chain_count);
+
+  for (std::size_t seq = 0; seq < count; ++seq) {
+    // Stage 1-2: reset + write identical random data to FIFO_A and FIFO_B.
+    std::vector<BitVec> fifo_a;
+    fifo_a.reserve(config_.chain_count);
+    for (std::size_t c = 0; c < config_.chain_count; ++c) {
+      fifo_a.push_back(rng_.next_bits(chain_length_));
+    }
+    const std::vector<BitVec> fifo_b = fifo_a;  // golden reference
+
+    // Stage 3: sleep entry — encode.
+    if (use_hamming) {
+      hamming.encode(fifo_a);
+    }
+    if (use_crc) {
+      crc.encode(fifo_a);
+    }
+
+    // Sleep: inject upsets into the retained state.
+    std::vector<ErrorLocation> errors;
+    switch (config_.mode) {
+      case InjectionMode::None:
+        break;
+      case InjectionMode::SingleRandom:
+        errors.push_back(injector_->random_single());
+        break;
+      case InjectionMode::MultipleBurst:
+        errors = injector_->clustered_burst(config_.burst_size, config_.burst_spread);
+        break;
+      case InjectionMode::RushModel: {
+        const RushCurrentModel rush(config_.rush);
+        const CorruptionModel model(config_.corruption, rush);
+        errors = model.sample(config_.chain_count, chain_length_, rng_);
+        break;
+      }
+    }
+    ErrorInjector::flip_chain_data(fifo_a, errors);
+
+    // Stage 4: wake — decode, correct, recheck.
+    bool detected = false;
+    bool recheck_clean = true;
+    if (use_hamming) {
+      const auto decode = hamming.decode_and_correct(fifo_a);
+      detected = detected || decode.any_error();
+      const auto recheck = hamming.decode_and_correct(fifo_a);
+      recheck_clean = recheck_clean && !recheck.any_error();
+    }
+    if (use_crc) {
+      const auto check = crc.check(fifo_a);
+      detected = detected || check.any_error();
+      const auto recheck = crc.check(fifo_a);
+      recheck_clean = recheck_clean && !recheck.any_error();
+    }
+    if (!use_hamming && detected) {
+      recheck_clean = false;  // detection-only: nothing was repaired
+    }
+
+    // Stage 5: Comparator reads FIFO_A and FIFO_B.
+    const bool matches = fifo_a == fifo_b;
+
+    ++stats.sequences;
+    stats.errors_injected += errors.size();
+    if (!errors.empty()) {
+      ++stats.sequences_with_errors;
+      if (detected) {
+        ++stats.detected;
+      }
+      if (matches && recheck_clean) {
+        ++stats.corrected;
+      }
+      if (detected && !recheck_clean) {
+        ++stats.flagged_uncorrectable;
+      }
+      if (!matches) {
+        ++stats.comparator_mismatches;
+        if (!detected) {
+          ++stats.silent_corruptions;
+        }
+      }
+    } else if (!matches) {
+      ++stats.comparator_mismatches;
+      ++stats.silent_corruptions;
+    }
+  }
+  return stats;
+}
+
+StructuralTestbench::StructuralTestbench(const ValidationConfig& config)
+    : config_(config), rng_(config.seed) {
+  ProtectionConfig protection;
+  protection.kind = config_.kind;
+  protection.hamming_r = config_.hamming_r;
+  protection.chain_count = config_.chain_count;
+  protection.test_width = 4;
+  design_ = std::make_unique<ProtectedDesign>(make_fifo(config_.fifo), protection);
+  session_ = std::make_unique<RetentionSession>(*design_);
+  injector_ = std::make_unique<ErrorInjector>(config_.chain_count,
+                                              design_->chain_length(), config_.seed | 1);
+  if (config_.mode == InjectionMode::RushModel) {
+    const RushCurrentModel rush(config_.rush);
+    corruption_ = std::make_unique<CorruptionModel>(config_.corruption, rush);
+  }
+}
+
+std::vector<ErrorLocation> StructuralTestbench::sample_errors() {
+  switch (config_.mode) {
+    case InjectionMode::None:
+      return {};
+    case InjectionMode::SingleRandom:
+      return {injector_->random_single()};
+    case InjectionMode::MultipleBurst:
+      return injector_->clustered_burst(config_.burst_size, config_.burst_spread);
+    case InjectionMode::RushModel:
+      return corruption_->sample(config_.chain_count, design_->chain_length(), rng_);
+  }
+  return {};
+}
+
+ValidationStats StructuralTestbench::run(std::size_t count) {
+  ValidationStats stats;
+  Simulator& sim = session_->sim();
+  const std::size_t width = config_.fifo.width;
+
+  for (std::size_t seq = 0; seq < count; ++seq) {
+    // Stage 1: reset both FIFOs by restoring a blank state.
+    FifoModel fifo_b(config_.fifo);
+    std::vector<BitVec> blank(config_.chain_count, BitVec(design_->chain_length()));
+    scan_restore(sim, design_->chains(), blank);
+
+    // Stage 2: Stimulus writes the same random words to both.
+    sim.set_input("rd_en", false);
+    const std::size_t words = config_.fifo.depth / 2 + rng_.next_below(config_.fifo.depth / 2);
+    for (std::size_t w = 0; w < words; ++w) {
+      const BitVec word = rng_.next_bits(width);
+      sim.set_input("wr_en", true);
+      for (std::size_t b = 0; b < width; ++b) {
+        sim.set_input("din" + std::to_string(b), word.get(b));
+      }
+      sim.step();
+      fifo_b.step(true, false, word);
+    }
+    sim.set_input("wr_en", false);
+
+    // Stages 3-4: sleep request, wake, decode/correct.
+    const auto errors = sample_errors();
+    const auto outcome = session_->sleep_wake_cycle(errors, &rng_);
+
+    // Stage 5: Comparator reads both FIFOs word by word.
+    bool matches = true;
+    for (std::size_t w = 0; w < words; ++w) {
+      sim.set_input("rd_en", true);
+      sim.eval();
+      BitVec dout(width);
+      for (std::size_t b = 0; b < width; ++b) {
+        dout.set(b, sim.output("dout" + std::to_string(b)));
+      }
+      if (dout != fifo_b.front()) {
+        matches = false;
+      }
+      sim.step();
+      fifo_b.step(false, true, BitVec(width));
+    }
+    sim.set_input("rd_en", false);
+
+    ++stats.sequences;
+    stats.errors_injected += errors.size();
+    if (!errors.empty()) {
+      ++stats.sequences_with_errors;
+      if (outcome.errors_detected) {
+        ++stats.detected;
+      }
+      if (matches && outcome.recheck_clean) {
+        ++stats.corrected;
+      }
+      if (outcome.final_state == PgState::ErrorFlagged) {
+        ++stats.flagged_uncorrectable;
+      }
+      if (!matches) {
+        ++stats.comparator_mismatches;
+        if (!outcome.errors_detected) {
+          ++stats.silent_corruptions;
+        }
+      }
+    } else if (!matches) {
+      ++stats.comparator_mismatches;
+      ++stats.silent_corruptions;
+    }
+    // Fresh sleep episode next sequence.
+    session_->reset_fsm();
+  }
+  return stats;
+}
+
+}  // namespace retscan

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuits/fifo.hpp"
+#include "coding/protectors.hpp"
+#include "core/protected_design.hpp"
+#include "power/corruption.hpp"
+#include "util/rng.hpp"
+
+namespace retscan {
+
+/// How the injector perturbs each test sequence (Fig. 7).
+enum class InjectionMode {
+  None,           ///< control experiments
+  SingleRandom,   ///< one LFSR-selected upset per sequence (experiment 1)
+  MultipleBurst,  ///< clustered multi-bit burst per sequence (experiment 2)
+  RushModel,      ///< upsets sampled from the electrical corruption model
+};
+
+/// Configuration of the validation campaign (Fig. 8 testbench).
+struct ValidationConfig {
+  FifoSpec fifo{32, 32};
+  std::size_t chain_count = 80;
+  CodeKind kind = CodeKind::HammingPlusCrc;
+  unsigned hamming_r = 3;
+  InjectionMode mode = InjectionMode::SingleRandom;
+  std::size_t burst_size = 4;
+  std::size_t burst_spread = 2;
+  std::uint64_t seed = 1;
+  /// Used only with InjectionMode::RushModel.
+  CorruptionParameters corruption{};
+  RushParameters rush{};
+};
+
+/// Counter block of Fig. 8: every observable event of the campaign.
+struct ValidationStats {
+  std::size_t sequences = 0;
+  std::size_t errors_injected = 0;
+  std::size_t sequences_with_errors = 0;
+  std::size_t detected = 0;              ///< monitor raised its error output
+  std::size_t corrected = 0;             ///< recheck clean AND state matches FIFO_B
+  std::size_t flagged_uncorrectable = 0; ///< monitor escalated (ErrorFlagged)
+  std::size_t comparator_mismatches = 0; ///< FIFO_A data != FIFO_B data at readout
+  /// Errors that reached the comparator without the monitor noticing —
+  /// the reliability escape count. The paper reports zero.
+  std::size_t silent_corruptions = 0;
+
+  double detection_rate() const {
+    return sequences_with_errors == 0
+               ? 1.0
+               : static_cast<double>(detected) / static_cast<double>(sequences_with_errors);
+  }
+  double correction_rate() const {
+    return sequences_with_errors == 0
+               ? 1.0
+               : static_cast<double>(corrected) / static_cast<double>(sequences_with_errors);
+  }
+};
+
+/// Behavioral (fast) testbench: runs the full monitoring protocol on chain
+/// data snapshots using the bit-exact behavioral protectors. Equivalent in
+/// outcome to the structural path (proven by the core test suite's
+/// structural-vs-behavioral test) and fast enough for the paper's
+/// million-sequence campaigns.
+class FastTestbench {
+ public:
+  explicit FastTestbench(const ValidationConfig& config);
+
+  const ValidationConfig& config() const { return config_; }
+  std::size_t chain_length() const { return chain_length_; }
+
+  /// Run `count` test sequences and accumulate statistics.
+  ValidationStats run(std::size_t count);
+
+ private:
+  ValidationConfig config_;
+  std::size_t chain_length_;
+  Rng rng_;
+  std::unique_ptr<ErrorInjector> injector_;
+};
+
+/// Structural (cycle-accurate) testbench: FIFO_A is a simulated
+/// ProtectedDesign including error injection; FIFO_B is the behavioral
+/// golden model; Stimulus writes identical random words to both; the
+/// Comparator reads both back after the sleep/wake cycle (the exact 5-stage
+/// sequence of Section IV). Slower — use for thousands of sequences.
+class StructuralTestbench {
+ public:
+  explicit StructuralTestbench(const ValidationConfig& config);
+
+  const ProtectedDesign& design() const { return *design_; }
+
+  ValidationStats run(std::size_t count);
+
+ private:
+  std::vector<ErrorLocation> sample_errors();
+
+  ValidationConfig config_;
+  std::unique_ptr<ProtectedDesign> design_;
+  std::unique_ptr<RetentionSession> session_;
+  Rng rng_;
+  std::unique_ptr<ErrorInjector> injector_;
+  std::unique_ptr<CorruptionModel> corruption_;
+};
+
+}  // namespace retscan

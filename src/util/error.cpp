@@ -1,0 +1,13 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace retscan::detail {
+
+void throw_error(const char* file, int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << message << " (" << file << ":" << line << ")";
+  throw Error(oss.str());
+}
+
+}  // namespace retscan::detail

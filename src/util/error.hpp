@@ -1,0 +1,28 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace retscan {
+
+/// Exception type thrown by all retscan subsystems for precondition and
+/// invariant violations. Carries a plain human-readable message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace retscan
+
+/// Validate a precondition or invariant; throws retscan::Error on failure.
+/// Used instead of assert() so violations are testable and survive NDEBUG.
+#define RETSCAN_CHECK(cond, message)                                    \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::retscan::detail::throw_error(__FILE__, __LINE__, (message));    \
+    }                                                                   \
+  } while (false)

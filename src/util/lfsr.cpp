@@ -1,0 +1,87 @@
+#include "util/lfsr.hpp"
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+Lfsr::Lfsr(unsigned width, std::vector<unsigned> taps, std::uint64_t initial_state)
+    : width_(width), taps_(std::move(taps)) {
+  RETSCAN_CHECK(width >= 2 && width <= 64, "Lfsr: width must be in [2, 64]");
+  mask_ = (width == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  RETSCAN_CHECK(!taps_.empty(), "Lfsr: need at least one tap");
+  for (const unsigned tap : taps_) {
+    RETSCAN_CHECK(tap < width, "Lfsr: tap position out of range");
+  }
+  state_ = initial_state & mask_;
+  RETSCAN_CHECK(state_ != 0, "Lfsr: initial state must be non-zero");
+}
+
+Lfsr Lfsr::maximal(unsigned width, std::uint64_t initial_state) {
+  // Primitive polynomial tap sets (Fibonacci form, positions XORed for
+  // feedback), from standard tables (Xilinx XAPP052).
+  switch (width) {
+    case 2:  return Lfsr(2, {1, 0}, initial_state);
+    case 3:  return Lfsr(3, {2, 1}, initial_state);
+    case 4:  return Lfsr(4, {3, 2}, initial_state);
+    case 5:  return Lfsr(5, {4, 2}, initial_state);
+    case 6:  return Lfsr(6, {5, 4}, initial_state);
+    case 7:  return Lfsr(7, {6, 5}, initial_state);
+    case 8:  return Lfsr(8, {7, 5, 4, 3}, initial_state);
+    case 9:  return Lfsr(9, {8, 4}, initial_state);
+    case 10: return Lfsr(10, {9, 6}, initial_state);
+    case 11: return Lfsr(11, {10, 8}, initial_state);
+    case 12: return Lfsr(12, {11, 5, 3, 0}, initial_state);
+    case 13: return Lfsr(13, {12, 3, 2, 0}, initial_state);
+    case 14: return Lfsr(14, {13, 4, 2, 0}, initial_state);
+    case 15: return Lfsr(15, {14, 13}, initial_state);
+    case 16: return Lfsr(16, {15, 14, 12, 3}, initial_state);
+    case 17: return Lfsr(17, {16, 13}, initial_state);
+    case 18: return Lfsr(18, {17, 10}, initial_state);
+    case 19: return Lfsr(19, {18, 5, 1, 0}, initial_state);
+    case 20: return Lfsr(20, {19, 16}, initial_state);
+    case 24: return Lfsr(24, {23, 22, 21, 16}, initial_state);
+    case 32: return Lfsr(32, {31, 21, 1, 0}, initial_state);
+    default:
+      RETSCAN_CHECK(false, "Lfsr::maximal: no primitive polynomial tabulated for width");
+  }
+  // Unreachable.
+  return Lfsr(2, {1, 0}, 1);
+}
+
+bool Lfsr::step() {
+  const bool out = (state_ >> (width_ - 1)) & 1u;
+  bool feedback = false;
+  for (const unsigned tap : taps_) {
+    feedback ^= (state_ >> tap) & 1u;
+  }
+  state_ = ((state_ << 1) | static_cast<std::uint64_t>(feedback)) & mask_;
+  return out;
+}
+
+std::uint64_t Lfsr::run(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    step();
+  }
+  return state_;
+}
+
+BitVec Lfsr::bits(std::size_t count) {
+  BitVec out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.set(i, step());
+  }
+  return out;
+}
+
+std::size_t Lfsr::period() const {
+  Lfsr copy = *this;
+  const std::uint64_t start = copy.state_;
+  std::size_t count = 0;
+  do {
+    copy.step();
+    ++count;
+  } while (copy.state_ != start);
+  return count;
+}
+
+}  // namespace retscan

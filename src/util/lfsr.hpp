@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace retscan {
+
+/// Bit-accurate model of a Fibonacci linear feedback shift register, the
+/// primitive the paper's error-injection circuit (Fig. 6) uses to generate
+/// random row/column injection positions, and the stimulus generator of the
+/// FPGA testbench (Fig. 8) uses for random FIFO data.
+///
+/// The register shifts toward higher indices each step; the new bit 0 is the
+/// XOR of the tap positions. A maximal-length polynomial cycles through all
+/// 2^n - 1 non-zero states.
+class Lfsr {
+ public:
+  /// `width` in [2, 64]; `taps` are bit positions XORed into the feedback.
+  /// The initial state must be non-zero (all-zero is the LFSR dead state).
+  Lfsr(unsigned width, std::vector<unsigned> taps, std::uint64_t initial_state = 1);
+
+  /// A maximal-length LFSR for the given width (2..32) using a table of
+  /// primitive polynomials.
+  static Lfsr maximal(unsigned width, std::uint64_t initial_state = 1);
+
+  unsigned width() const { return width_; }
+  std::uint64_t state() const { return state_; }
+
+  /// Advance one clock; returns the bit shifted out of the top position.
+  bool step();
+
+  /// Advance `count` clocks and return the full register state afterwards.
+  std::uint64_t run(std::size_t count);
+
+  /// Produce `count` output bits (one per clock) as a BitVec.
+  BitVec bits(std::size_t count);
+
+  /// Period of the sequence from the current state (walks the cycle; intended
+  /// for verification on small widths).
+  std::size_t period() const;
+
+ private:
+  unsigned width_;
+  std::vector<unsigned> taps_;
+  std::uint64_t state_;
+  std::uint64_t mask_;
+};
+
+}  // namespace retscan

@@ -1,0 +1,86 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  RETSCAN_CHECK(bound > 0, "Rng::next_below: bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;
+  for (;;) {
+    const std::uint64_t value = next_u64();
+    if (value >= threshold) {
+      return value % bound;
+    }
+  }
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double probability) {
+  return next_double() < probability;
+}
+
+BitVec Rng::next_bits(std::size_t size) {
+  BitVec bits(size);
+  for (std::size_t i = 0; i < size; i += 64) {
+    const std::size_t count = std::min<std::size_t>(64, size - i);
+    bits.from_uint(i, count, next_u64());
+  }
+  return bits;
+}
+
+std::vector<std::size_t> Rng::sample_distinct(std::size_t population, std::size_t count) {
+  RETSCAN_CHECK(count <= population, "Rng::sample_distinct: count > population");
+  std::vector<std::size_t> chosen;
+  chosen.reserve(count);
+  // Floyd's algorithm: for j in [population-count, population), pick t in
+  // [0, j]; insert t unless already chosen, else insert j.
+  for (std::size_t j = population - count; j < population; ++j) {
+    const std::size_t t = static_cast<std::size_t>(next_below(j + 1));
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace retscan

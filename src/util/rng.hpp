@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace retscan {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// SplitMix64. All stochastic behaviour in the library (stimulus generation,
+/// corruption sampling, power-off state loss) flows through this type so that
+/// every experiment is reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Single Bernoulli(p) trial.
+  bool next_bool(double probability);
+
+  /// Uniformly random bit vector of the given size.
+  BitVec next_bits(std::size_t size);
+
+  /// Sample `count` distinct indices from [0, population) without
+  /// replacement (Floyd's algorithm). count must be <= population.
+  std::vector<std::size_t> sample_distinct(std::size_t population, std::size_t count);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace retscan

@@ -1,0 +1,274 @@
+#include "atpg/atpg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/scan_test.hpp"
+#include "circuits/fifo.hpp"
+#include "circuits/generators.hpp"
+#include "scan/scan_io.hpp"
+#include "util/error.hpp"
+
+namespace retscan {
+namespace {
+
+TEST(Fault, EnumerationSkipsDanglingNets) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.n_not(a);
+  nl.add_output("y", y);
+  nl.add_input("unused");  // no readers -> no faults
+  const auto faults = enumerate_faults(nl);
+  // Nets with faults: a (read by Not), y (read by Output). SA0+SA1 each.
+  EXPECT_EQ(faults.size(), 4u);
+}
+
+TEST(Fault, NamesAreReadable) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.add_output("y", nl.n_buf(a));
+  const auto faults = enumerate_faults(nl);
+  EXPECT_EQ(fault_name(nl, faults[0]), "a/SA0");
+  EXPECT_EQ(fault_name(nl, faults[1]), "a/SA1");
+}
+
+TEST(Fault, CollapseThroughBufAndNot) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.n_buf(a);
+  const NetId c = nl.n_not(b);
+  nl.add_output("y", c);
+  const auto faults = enumerate_faults(nl);   // a, b, c -> 6 faults
+  const auto collapsed = collapse_faults(nl, faults);
+  // b/SAv collapses onto a/SAv; c/SAv collapses onto a/SA(!v):
+  // only a/SA0 and a/SA1 remain.
+  EXPECT_EQ(faults.size(), 6u);
+  ASSERT_EQ(collapsed.size(), 2u);
+  EXPECT_EQ(collapsed[0].net, a);
+  EXPECT_EQ(collapsed[1].net, a);
+  EXPECT_NE(collapsed[0].stuck_at, collapsed[1].stuck_at);
+}
+
+TEST(CombinationalFrame, GoodResponseMatchesSimulatorSemantics) {
+  Netlist nl = make_registered_adder(4);
+  const CombinationalFrame frame(nl);
+  EXPECT_EQ(frame.pi_nets().size(), 9u);   // a0..3, b0..3, cin
+  EXPECT_EQ(frame.flops().size(), 14u);    // 4+4+1 input regs, 4+1 output regs
+  Rng rng(1);
+  // Cross-check one pattern against the cycle simulator.
+  const BitVec pattern = frame.random_pattern(rng);
+  const BitVec response = frame.good_response(pattern);
+  Simulator sim(nl);
+  for (std::size_t i = 0; i < frame.pi_nets().size(); ++i) {
+    sim.set_input(frame.pi_nets()[i], pattern.get(i));
+  }
+  for (std::size_t i = 0; i < frame.flops().size(); ++i) {
+    sim.set_flop_state(frame.flops()[i], pattern.get(frame.pi_nets().size() + i));
+  }
+  sim.eval();
+  for (std::size_t i = 0; i < frame.po_nets().size(); ++i) {
+    EXPECT_EQ(sim.net_value(frame.po_nets()[i]), response.get(i));
+  }
+  sim.step();
+  for (std::size_t i = 0; i < frame.flops().size(); ++i) {
+    EXPECT_EQ(sim.flop_state(frame.flops()[i]),
+              response.get(frame.po_nets().size() + i));
+  }
+}
+
+TEST(FaultSim, SingleFaultDetection) {
+  // y = a AND b; a/SA0 detected by pattern a=1,b=1 only.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.add_output("y", nl.n_and(a, b));
+  const CombinationalFrame frame(nl);
+  std::vector<BitVec> patterns;
+  for (int p = 0; p < 4; ++p) {
+    BitVec pat(2);
+    pat.set(0, p & 1);
+    pat.set(1, (p >> 1) & 1);
+    patterns.push_back(pat);
+  }
+  std::vector<BitVec> good;
+  for (const auto& p : patterns) {
+    good.push_back(frame.good_response(p));
+  }
+  const std::uint64_t mask = frame.detect_mask(Fault{a, false}, patterns, good);
+  EXPECT_EQ(mask, 0b1000u);  // only pattern 3 (a=1, b=1)
+  const std::uint64_t mask_sa1 = frame.detect_mask(Fault{a, true}, patterns, good);
+  EXPECT_EQ(mask_sa1, 0b0100u);  // only pattern 2 (a=0, b=1)
+}
+
+TEST(FaultSim, ExhaustivePatternsDetectAllAdderFaults) {
+  Netlist nl = make_registered_adder(2);
+  const CombinationalFrame frame(nl);
+  const auto faults = collapse_faults(nl, enumerate_faults(nl));
+  Rng rng(2);
+  std::vector<BitVec> patterns;
+  for (int i = 0; i < 256; ++i) {
+    patterns.push_back(frame.random_pattern(rng));
+  }
+  const FaultSimResult result = fault_simulate(frame, faults, patterns);
+  // The adder frame is fully testable; 256 random patterns over a handful
+  // of inputs saturate it.
+  EXPECT_EQ(result.detected, result.total_faults);
+}
+
+TEST(Podem, GeneratesTestsCrossCheckedByFaultSim) {
+  Netlist nl = make_registered_adder(4);
+  const CombinationalFrame frame(nl);
+  const auto faults = collapse_faults(nl, enumerate_faults(nl));
+  Podem podem(frame);
+  Rng rng(3);
+  std::size_t generated = 0;
+  for (const Fault& fault : faults) {
+    const PodemResult result = podem.generate(fault, rng);
+    ASSERT_FALSE(result.aborted) << fault_name(nl, fault);
+    if (result.success) {
+      ++generated;
+      // The generated pattern must actually detect the fault.
+      const std::vector<BitVec> batch{result.pattern};
+      const std::vector<BitVec> good{frame.good_response(result.pattern)};
+      EXPECT_NE(frame.detect_mask(fault, batch, good), 0u)
+          << fault_name(nl, fault);
+    }
+  }
+  EXPECT_EQ(generated, faults.size());  // adder has no redundant faults
+}
+
+TEST(Podem, ProvesRedundantFaultUntestable) {
+  // y = b OR (a AND NOT a): the AND output is constant 0, so its SA0 is
+  // untestable (classic redundancy).
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId and_out = nl.n_and(a, nl.n_not(a));
+  nl.add_output("y", nl.n_or(b, and_out));
+  const CombinationalFrame frame(nl);
+  Podem podem(frame);
+  Rng rng(4);
+  const PodemResult sa0 = podem.generate(Fault{and_out, false}, rng);
+  EXPECT_FALSE(sa0.success);
+  EXPECT_TRUE(sa0.untestable);
+  // SA1 on the same net is testable (set b=0, observe 1 instead of 0).
+  const PodemResult sa1 = podem.generate(Fault{and_out, true}, rng);
+  EXPECT_TRUE(sa1.success);
+}
+
+TEST(Atpg, FullFlowReachesFullCoverageOnAdder) {
+  Netlist nl = make_registered_adder(4);
+  const CombinationalFrame frame(nl);
+  const auto faults = collapse_faults(nl, enumerate_faults(nl));
+  AtpgOptions options;
+  options.random_patterns = 64;
+  const AtpgResult result = run_atpg(frame, faults, options);
+  EXPECT_EQ(result.detected() + result.untestable, result.total_faults);
+  EXPECT_DOUBLE_EQ(result.coverage(), 1.0);
+  EXPECT_GT(result.patterns.size(), 0u);
+  EXPECT_LT(result.patterns.size(), 80u);  // compaction keeps only useful ones
+}
+
+TEST(Atpg, RandomResistantFaultsNeedPodem) {
+  // A wide AND tree's output SA0 needs the all-ones input — random-pattern
+  // resistant at 16 inputs (p = 2^-16 per pattern).
+  Netlist nl;
+  std::vector<NetId> ins;
+  for (int i = 0; i < 16; ++i) {
+    ins.push_back(nl.add_input("i" + std::to_string(i)));
+  }
+  nl.add_output("y", nl.n_and_tree(ins));
+  const CombinationalFrame frame(nl);
+  const auto faults = collapse_faults(nl, enumerate_faults(nl));
+  AtpgOptions options;
+  options.random_patterns = 128;
+  options.seed = 5;
+  const AtpgResult result = run_atpg(frame, faults, options);
+  EXPECT_DOUBLE_EQ(result.coverage(), 1.0);
+  EXPECT_GT(result.detected_podem, 0u);
+}
+
+/// Manufacturing test through real scan chains: ATPG patterns applied
+/// serially to the simulated scanned design must all pass.
+TEST(ScanTest, PatternsPassThroughPlainChains) {
+  Netlist nl = make_counter(12);
+  ScanInsertionOptions options;
+  options.chain_count = 3;
+  const ScanChains chains = insert_scan(nl, options);
+  CombinationalFrame frame(nl);
+  frame.constrain("se", false);
+  frame.constrain("retain", false);
+  const auto faults = collapse_faults(nl, enumerate_faults(nl));
+  AtpgOptions atpg_options;
+  atpg_options.random_patterns = 128;
+  const AtpgResult atpg = run_atpg(frame, faults, atpg_options);
+  EXPECT_GT(atpg.coverage(), 0.95);
+
+  Simulator sim(nl);
+  const ScanTestResult applied = apply_scan_test(sim, chains, frame, atpg.patterns);
+  EXPECT_EQ(applied.patterns_applied, atpg.patterns.size());
+  EXPECT_TRUE(applied.all_passed());
+}
+
+/// Section III end-to-end: the same ATPG pattern set passes when delivered
+/// through the Fig. 5(b) test-mode concatenation of a protected design —
+/// the monitoring architecture does not disturb manufacturing test.
+TEST(ScanTest, PatternsPassThroughTestModeConcatenation) {
+  ProtectionConfig config;
+  config.kind = CodeKind::HammingPlusCrc;
+  config.chain_count = 8;
+  config.test_width = 4;
+  const ProtectedDesign design(make_fifo(FifoSpec{32, 2}), config);
+
+  CombinationalFrame frame(design.netlist());
+  for (const char* name :
+       {"se", "retain", "mon_en", "mon_decode", "mon_clear", "sig_capture",
+        "sig_compare", "test_mode"}) {
+    frame.constrain(name, false);
+  }
+  const auto faults = collapse_faults(design.netlist(), enumerate_faults(design.netlist()));
+  AtpgOptions atpg_options;
+  atpg_options.random_patterns = 128;
+  atpg_options.run_podem = false;  // random phase is enough for delivery check
+  const AtpgResult atpg = run_atpg(frame, faults, atpg_options);
+  EXPECT_GT(atpg.patterns.size(), 0u);
+
+  RetentionSession session(design);
+  const ScanTestResult via_test_ports =
+      apply_test_mode_scan_test(session, design, frame, atpg.patterns);
+  EXPECT_EQ(via_test_ports.patterns_applied, atpg.patterns.size());
+  EXPECT_TRUE(via_test_ports.all_passed());
+
+  // Oracle: delivering the same patterns by writing flop states directly
+  // gives the same verdict — the concatenation plumbing is transparent.
+  // (Per-chain si ports do not exist on a protected design: Fig. 2 rewires
+  // them into the mode muxes, so tsi/tso is the only external scan access.)
+  RetentionSession session2(design);
+  Simulator& sim2 = session2.sim();
+  std::size_t direct_mismatches = 0;
+  for (const BitVec& pattern : atpg.patterns) {
+    const BitVec good = frame.good_response(pattern);
+    for (std::size_t i = 0; i < frame.pi_nets().size(); ++i) {
+      sim2.set_input(frame.pi_nets()[i], pattern.get(i));
+    }
+    for (std::size_t i = 0; i < frame.flops().size(); ++i) {
+      sim2.set_flop_state(frame.flops()[i], pattern.get(frame.pi_nets().size() + i));
+    }
+    sim2.eval();
+    bool ok = true;
+    for (std::size_t i = 0; i < frame.po_nets().size(); ++i) {
+      ok = ok && sim2.net_value(frame.po_nets()[i]) == good.get(i);
+    }
+    sim2.step();
+    for (std::size_t i = 0; i < frame.flops().size(); ++i) {
+      ok = ok &&
+           sim2.flop_state(frame.flops()[i]) == good.get(frame.po_nets().size() + i);
+    }
+    if (!ok) {
+      ++direct_mismatches;
+    }
+  }
+  EXPECT_EQ(direct_mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace retscan

@@ -1,0 +1,221 @@
+#include "circuits/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "circuits/generators.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace retscan {
+namespace {
+
+void drive_fifo(Simulator& sim, const FifoSpec& spec, bool wr, bool rd, const BitVec& din) {
+  sim.set_input("wr_en", wr);
+  sim.set_input("rd_en", rd);
+  for (std::size_t b = 0; b < spec.width; ++b) {
+    sim.set_input("din" + std::to_string(b), din.get(b));
+  }
+}
+
+BitVec read_dout(const Simulator& sim, const FifoSpec& spec) {
+  BitVec out(spec.width);
+  for (std::size_t b = 0; b < spec.width; ++b) {
+    out.set(b, sim.output("dout" + std::to_string(b)));
+  }
+  return out;
+}
+
+TEST(FifoSpec, FlopCountMatchesPaper) {
+  // The paper's 32x32 FIFO: 1040 flops = 80 chains x 13.
+  FifoSpec spec;
+  EXPECT_EQ(spec.flop_count(), 1040u);
+  EXPECT_EQ(spec.pointer_bits(), 5u);
+  EXPECT_EQ(spec.counter_bits(), 6u);
+}
+
+TEST(Fifo, EmptyAndFullFlags) {
+  const FifoSpec spec{4, 3};
+  Netlist nl = make_fifo(spec);
+  Simulator sim(nl);
+  Rng rng(1);
+  EXPECT_TRUE(sim.output("empty"));
+  EXPECT_FALSE(sim.output("full"));
+  for (int i = 0; i < 4; ++i) {
+    drive_fifo(sim, spec, true, false, rng.next_bits(3));
+    sim.step();
+  }
+  EXPECT_TRUE(sim.output("full"));
+  EXPECT_FALSE(sim.output("empty"));
+  // Writing into a full FIFO is ignored.
+  drive_fifo(sim, spec, true, false, rng.next_bits(3));
+  sim.step();
+  EXPECT_TRUE(sim.output("full"));
+  for (int i = 0; i < 4; ++i) {
+    drive_fifo(sim, spec, false, true, BitVec(3));
+    sim.step();
+  }
+  EXPECT_TRUE(sim.output("empty"));
+}
+
+TEST(Fifo, FirstInFirstOut) {
+  const FifoSpec spec{8, 5};
+  Netlist nl = make_fifo(spec);
+  Simulator sim(nl);
+  std::vector<BitVec> written;
+  Rng rng(2);
+  for (int i = 0; i < 6; ++i) {
+    const BitVec word = rng.next_bits(5);
+    written.push_back(word);
+    drive_fifo(sim, spec, true, false, word);
+    sim.step();
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(read_dout(sim, spec), written[i]) << "word " << i;
+    drive_fifo(sim, spec, false, true, BitVec(5));
+    sim.step();
+  }
+  EXPECT_TRUE(sim.output("empty"));
+}
+
+/// Randomized differential test: the gate-level FIFO must agree with the
+/// behavioral FifoModel cycle by cycle under arbitrary stimulus, including
+/// simultaneous read+write, overflow and underflow attempts.
+class FifoDifferential : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(FifoDifferential, MatchesBehavioralModel) {
+  const auto [depth, width] = GetParam();
+  const FifoSpec spec{depth, width};
+  Netlist nl = make_fifo(spec);
+  Simulator sim(nl);
+  FifoModel model(spec);
+  Rng rng(depth * 131 + width);
+  for (int cycle = 0; cycle < 600; ++cycle) {
+    const bool wr = rng.next_bool(0.55);
+    const bool rd = rng.next_bool(0.45);
+    const BitVec din = rng.next_bits(width);
+    // Compare observable state before the clock edge.
+    EXPECT_EQ(sim.output("empty"), model.empty()) << "cycle " << cycle;
+    EXPECT_EQ(sim.output("full"), model.full()) << "cycle " << cycle;
+    if (!model.empty()) {
+      drive_fifo(sim, spec, wr, rd, din);
+      sim.eval();
+      EXPECT_EQ(read_dout(sim, spec), model.front()) << "cycle " << cycle;
+    }
+    drive_fifo(sim, spec, wr, rd, din);
+    sim.step();
+    model.step(wr, rd, din);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FifoDifferential,
+                         ::testing::Values(std::make_pair<std::size_t, std::size_t>(2, 1),
+                                           std::make_pair<std::size_t, std::size_t>(4, 8),
+                                           std::make_pair<std::size_t, std::size_t>(8, 3),
+                                           std::make_pair<std::size_t, std::size_t>(16, 4),
+                                           std::make_pair<std::size_t, std::size_t>(32, 2)));
+
+TEST(Fifo, RejectsBadSpecs) {
+  EXPECT_THROW(make_fifo((FifoSpec{3, 4})), Error);   // not a power of two
+  EXPECT_THROW(make_fifo((FifoSpec{1, 4})), Error);   // too shallow
+  EXPECT_THROW(make_fifo((FifoSpec{4, 0})), Error);   // zero width
+}
+
+TEST(FifoModel, FrontOfEmptyIsZero) {
+  FifoModel model(FifoSpec{4, 4});
+  EXPECT_EQ(model.front(), BitVec(4));
+}
+
+TEST(Counter, CountsWithEnable) {
+  Netlist nl = make_counter(4);
+  Simulator sim(nl);
+  sim.set_input("en", true);
+  for (int expected = 1; expected <= 20; ++expected) {
+    sim.step();
+    std::size_t value = 0;
+    for (int b = 0; b < 4; ++b) {
+      value |= static_cast<std::size_t>(sim.output("q" + std::to_string(b))) << b;
+    }
+    EXPECT_EQ(value, static_cast<std::size_t>(expected % 16));
+  }
+  // Disable freezes the count.
+  sim.set_input("en", false);
+  sim.step_n(5);
+  std::size_t value = 0;
+  for (int b = 0; b < 4; ++b) {
+    value |= static_cast<std::size_t>(sim.output("q" + std::to_string(b))) << b;
+  }
+  EXPECT_EQ(value, 20u % 16);
+}
+
+TEST(ShiftRegister, DelaysByLength) {
+  Netlist nl = make_shift_register(7);
+  Simulator sim(nl);
+  Rng rng(5);
+  const BitVec stream = rng.next_bits(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    sim.set_input("sin", stream.get(i));
+    sim.step();
+    if (i >= 7) {
+      EXPECT_EQ(sim.output("sout"), stream.get(i - 6)) << "cycle " << i;
+    }
+  }
+}
+
+TEST(RegisterFile, WriteThenReadBack) {
+  Netlist nl = make_register_file(8, 4);
+  Simulator sim(nl);
+  Rng rng(9);
+  std::vector<BitVec> contents(8, BitVec(4));
+  for (std::size_t w = 0; w < 8; ++w) {
+    contents[w] = rng.next_bits(4);
+    sim.set_input("we", true);
+    for (int b = 0; b < 3; ++b) {
+      sim.set_input("waddr" + std::to_string(b), (w >> b) & 1);
+    }
+    for (int b = 0; b < 4; ++b) {
+      sim.set_input("wdata" + std::to_string(b), contents[w].get(b));
+    }
+    sim.step();
+  }
+  sim.set_input("we", false);
+  for (std::size_t w = 0; w < 8; ++w) {
+    for (int b = 0; b < 3; ++b) {
+      sim.set_input("raddr" + std::to_string(b), (w >> b) & 1);
+    }
+    sim.eval();
+    BitVec read(4);
+    for (int b = 0; b < 4; ++b) {
+      read.set(b, sim.output("rdata" + std::to_string(b)));
+    }
+    EXPECT_EQ(read, contents[w]) << "word " << w;
+  }
+}
+
+TEST(RegisteredAdder, AddsExhaustively4Bit) {
+  Netlist nl = make_registered_adder(4);
+  Simulator sim(nl);
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; b += 3) {
+      for (unsigned cin = 0; cin <= 1; ++cin) {
+        for (int bit = 0; bit < 4; ++bit) {
+          sim.set_input("a" + std::to_string(bit), (a >> bit) & 1);
+          sim.set_input("b" + std::to_string(bit), (b >> bit) & 1);
+        }
+        sim.set_input("cin", cin != 0);
+        sim.step();  // register inputs
+        sim.step();  // register outputs
+        unsigned sum = 0;
+        for (int bit = 0; bit < 4; ++bit) {
+          sum |= static_cast<unsigned>(sim.output("sum" + std::to_string(bit))) << bit;
+        }
+        sum |= static_cast<unsigned>(sim.output("cout")) << 4;
+        EXPECT_EQ(sum, a + b + cin) << a << "+" << b << "+" << cin;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace retscan

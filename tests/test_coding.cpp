@@ -1,0 +1,332 @@
+#include "coding/hamming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coding/crc.hpp"
+#include "coding/protectors.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace retscan {
+namespace {
+
+TEST(Hamming, CodeParameters) {
+  EXPECT_EQ(HammingCode::h7_4().n(), 7u);
+  EXPECT_EQ(HammingCode::h7_4().k(), 4u);
+  EXPECT_EQ(HammingCode::h15_11().k(), 11u);
+  EXPECT_EQ(HammingCode::h31_26().k(), 26u);
+  EXPECT_EQ(HammingCode::h63_57().k(), 57u);
+  EXPECT_NEAR(HammingCode::h7_4().redundancy(), 0.75, 1e-9);
+  // Table III "cap(%)" values: 14.3%, 6.67%, 3.23%, 1.59% (as fractions
+  // of r/n... the paper uses (n-k)/k relative strengths; check ordering).
+  EXPECT_GT(HammingCode::h7_4().redundancy(), HammingCode::h15_11().redundancy());
+  EXPECT_GT(HammingCode::h15_11().redundancy(), HammingCode::h31_26().redundancy());
+  EXPECT_GT(HammingCode::h31_26().redundancy(), HammingCode::h63_57().redundancy());
+  EXPECT_THROW(HammingCode(1), Error);
+  EXPECT_THROW(HammingCode(17), Error);
+}
+
+TEST(Hamming, DataPositionsSkipPowersOfTwo) {
+  const HammingCode code = HammingCode::h7_4();
+  EXPECT_EQ(code.data_position(0), 3u);
+  EXPECT_EQ(code.data_position(1), 5u);
+  EXPECT_EQ(code.data_position(2), 6u);
+  EXPECT_EQ(code.data_position(3), 7u);
+  EXPECT_THROW(code.data_position(4), Error);
+}
+
+TEST(Hamming, CleanWordDecodesClean) {
+  const HammingCode code = HammingCode::h7_4();
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitVec data = rng.next_bits(4);
+    const BitVec parity = code.encode(data);
+    const BitVec original = data;
+    const auto result = code.decode(data, parity);
+    EXPECT_EQ(result.outcome, HammingOutcome::Clean);
+    EXPECT_EQ(data, original);
+  }
+}
+
+/// Exhaustive single-error correction across all four paper codes and all
+/// data-bit positions: the property the paper validates with 100M FPGA
+/// sequences ("all single errors corrected").
+class HammingSingleError : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HammingSingleError, EverySingleDataErrorIsCorrected) {
+  const HammingCode code(GetParam());
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVec original = rng.next_bits(code.k());
+    const BitVec parity = code.encode(original);
+    for (std::size_t bit = 0; bit < code.k(); ++bit) {
+      BitVec corrupted = original;
+      corrupted.flip(bit);
+      const auto result = code.decode(corrupted, parity);
+      EXPECT_EQ(result.outcome, HammingOutcome::Corrected);
+      EXPECT_EQ(result.corrected_data_bit, bit);
+      EXPECT_EQ(corrupted, original);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperCodes, HammingSingleError, ::testing::Values(3u, 4u, 5u, 6u));
+
+TEST(Hamming, DoubleErrorMiscorrectsOrAliases) {
+  const HammingCode code = HammingCode::h7_4();
+  Rng rng(2);
+  int miscorrections = 0, parity_aliases = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const BitVec original = rng.next_bits(4);
+    const BitVec parity = code.encode(original);
+    BitVec corrupted = original;
+    const auto picks = rng.sample_distinct(4, 2);
+    corrupted.flip(picks[0]);
+    corrupted.flip(picks[1]);
+    const auto result = code.decode(corrupted, parity);
+    // A double error is never reported clean, and never actually repaired.
+    EXPECT_NE(result.outcome, HammingOutcome::Clean);
+    EXPECT_NE(corrupted, original);
+    if (result.outcome == HammingOutcome::Corrected) {
+      ++miscorrections;
+      EXPECT_EQ(corrupted.hamming_distance(original), 3u);  // made it worse
+    } else {
+      ++parity_aliases;
+    }
+  }
+  EXPECT_GT(miscorrections, 0);
+  EXPECT_GT(parity_aliases, 0);
+}
+
+TEST(Hamming, SyndromeOfParityCorruptionNamesParityPosition) {
+  const HammingCode code = HammingCode::h7_4();
+  Rng rng(3);
+  const BitVec data = rng.next_bits(4);
+  BitVec parity = code.encode(data);
+  parity.flip(1);  // parity bit at codeword position 2
+  BitVec received = data;
+  const auto result = code.decode(received, parity);
+  EXPECT_EQ(result.outcome, HammingOutcome::ParityPosition);
+  EXPECT_EQ(result.syndrome, 2u);
+  EXPECT_EQ(received, data);  // data untouched
+}
+
+TEST(Crc16, KnownCcittVector) {
+  // CRC-16/CCITT (init 0) of ASCII "123456789", MSB-first per byte: 0x31C3.
+  const Crc16 crc = Crc16::ccitt();
+  BitVec bits(72);
+  const std::string msg = "123456789";
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      bits.set(i * 8 + b, (msg[i] >> (7 - b)) & 1);
+    }
+  }
+  EXPECT_EQ(crc.compute(bits), 0x31C3u);
+}
+
+TEST(Crc16, StreamingMatchesOneShot) {
+  const Crc16 reference = Crc16::ccitt();
+  Rng rng(4);
+  const BitVec bits = rng.next_bits(300);
+  Crc16 streaming = Crc16::ccitt();
+  streaming.reset();
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    streaming.shift_bit(bits.get(i));
+  }
+  EXPECT_EQ(streaming.value(), reference.compute(bits));
+}
+
+TEST(Crc16, DetectsEverySingleBitError) {
+  const Crc16 crc = Crc16::ccitt();
+  Rng rng(5);
+  const BitVec original = rng.next_bits(128);
+  const std::uint16_t signature = crc.compute(original);
+  for (std::size_t bit = 0; bit < 128; ++bit) {
+    BitVec corrupted = original;
+    corrupted.flip(bit);
+    EXPECT_NE(crc.compute(corrupted), signature) << "bit " << bit;
+  }
+}
+
+TEST(Crc16, DetectsAllBurstsUpTo16Bits) {
+  const Crc16 crc = Crc16::ccitt();
+  Rng rng(6);
+  const BitVec original = rng.next_bits(256);
+  const std::uint16_t signature = crc.compute(original);
+  for (std::size_t burst_len = 1; burst_len <= 16; ++burst_len) {
+    for (int trial = 0; trial < 20; ++trial) {
+      BitVec corrupted = original;
+      const std::size_t start = rng.next_below(256 - burst_len);
+      // A burst has its endpoints flipped; interior bits random.
+      corrupted.flip(start);
+      if (burst_len > 1) {
+        corrupted.flip(start + burst_len - 1);
+      }
+      for (std::size_t i = 1; i + 1 < burst_len; ++i) {
+        if (rng.next_bool(0.5)) {
+          corrupted.flip(start + i);
+        }
+      }
+      EXPECT_NE(crc.compute(corrupted), signature)
+          << "burst length " << burst_len;
+    }
+  }
+}
+
+TEST(Crc16, PolynomialsDiffer) {
+  const Crc16 a = Crc16::ccitt();
+  const Crc16 b = Crc16::ibm();
+  Rng rng(7);
+  const BitVec bits = rng.next_bits(64);
+  EXPECT_NE(a.compute(bits), b.compute(bits));
+}
+
+TEST(HammingChainProtector, GeometryAndStorage) {
+  const HammingChainProtector prot(HammingCode::h7_4(), 8, 13);
+  EXPECT_EQ(prot.group_count(), 2u);
+  // 2 groups * 13 cycles * 3 parity bits.
+  EXPECT_EQ(prot.parity_storage_bits(), 78u);
+  EXPECT_THROW(HammingChainProtector(HammingCode::h7_4(), 6, 13), Error);
+}
+
+TEST(HammingChainProtector, CleanRoundTrip) {
+  HammingChainProtector prot(HammingCode::h7_4(), 8, 13);
+  Rng rng(8);
+  std::vector<BitVec> chains;
+  for (int c = 0; c < 8; ++c) {
+    chains.push_back(rng.next_bits(13));
+  }
+  prot.encode(chains);
+  const auto original = chains;
+  const auto stats = prot.decode_and_correct(chains);
+  EXPECT_EQ(stats.words_checked, 26u);
+  EXPECT_FALSE(stats.any_error());
+  EXPECT_EQ(chains, original);
+}
+
+TEST(HammingChainProtector, CorrectsAnySingleError) {
+  HammingChainProtector prot(HammingCode::h7_4(), 8, 13);
+  Rng rng(9);
+  std::vector<BitVec> original;
+  for (int c = 0; c < 8; ++c) {
+    original.push_back(rng.next_bits(13));
+  }
+  prot.encode(original);
+  for (std::size_t chain = 0; chain < 8; ++chain) {
+    for (std::size_t pos = 0; pos < 13; ++pos) {
+      auto corrupted = original;
+      corrupted[chain].flip(pos);
+      const auto stats = prot.decode_and_correct(corrupted);
+      EXPECT_TRUE(stats.any_error());
+      EXPECT_EQ(stats.bits_corrected, 1u);
+      EXPECT_EQ(corrupted, original) << "chain " << chain << " pos " << pos;
+    }
+  }
+}
+
+TEST(HammingChainProtector, ErrorsInDifferentWordsAllCorrected) {
+  HammingChainProtector prot(HammingCode::h7_4(), 8, 13);
+  Rng rng(10);
+  std::vector<BitVec> original;
+  for (int c = 0; c < 8; ++c) {
+    original.push_back(rng.next_bits(13));
+  }
+  prot.encode(original);
+  auto corrupted = original;
+  // Three errors in three distinct (group, cycle) words.
+  corrupted[0].flip(2);   // group 0, cycle 2
+  corrupted[5].flip(7);   // group 1, cycle 7
+  corrupted[3].flip(11);  // group 0, cycle 11
+  const auto stats = prot.decode_and_correct(corrupted);
+  EXPECT_EQ(stats.bits_corrected, 3u);
+  EXPECT_EQ(corrupted, original);
+}
+
+TEST(HammingChainProtector, SameWordDoubleErrorNotRepaired) {
+  HammingChainProtector prot(HammingCode::h7_4(), 4, 13);
+  Rng rng(11);
+  std::vector<BitVec> original;
+  for (int c = 0; c < 4; ++c) {
+    original.push_back(rng.next_bits(13));
+  }
+  prot.encode(original);
+  auto corrupted = original;
+  corrupted[0].flip(5);
+  corrupted[2].flip(5);  // same cycle, same group word
+  const auto stats = prot.decode_and_correct(corrupted);
+  EXPECT_TRUE(stats.any_error());
+  EXPECT_NE(corrupted, original);
+}
+
+TEST(CrcChainProtector, DetectsSingleAndBurst) {
+  CrcChainProtector prot(Crc16::ccitt(), 8, 13, 4);
+  EXPECT_EQ(prot.group_count(), 2u);
+  EXPECT_EQ(prot.signature_storage_bits(), 32u);
+  Rng rng(12);
+  std::vector<BitVec> original;
+  for (int c = 0; c < 8; ++c) {
+    original.push_back(rng.next_bits(13));
+  }
+  prot.encode(original);
+  EXPECT_FALSE(prot.check(original).any_error());
+  // Every single-bit flip is caught.
+  for (std::size_t chain = 0; chain < 8; ++chain) {
+    for (std::size_t pos = 0; pos < 13; ++pos) {
+      auto corrupted = original;
+      corrupted[chain].flip(pos);
+      EXPECT_TRUE(prot.check(corrupted).any_error());
+    }
+  }
+  // Clustered multi-bit burst is caught (the paper's experiment 2).
+  auto corrupted = original;
+  corrupted[2].flip(5);
+  corrupted[3].flip(5);
+  corrupted[2].flip(6);
+  corrupted[3].flip(6);
+  EXPECT_TRUE(prot.check(corrupted).any_error());
+}
+
+TEST(CrcChainProtector, MismatchIsLocalizedToGroup) {
+  CrcChainProtector prot(Crc16::ccitt(), 8, 13, 4);
+  Rng rng(13);
+  std::vector<BitVec> original;
+  for (int c = 0; c < 8; ++c) {
+    original.push_back(rng.next_bits(13));
+  }
+  prot.encode(original);
+  auto corrupted = original;
+  corrupted[6].flip(0);  // group 1
+  const auto stats = prot.check(corrupted);
+  EXPECT_EQ(stats.groups_mismatched, 1u);
+}
+
+TEST(BlockHammingCodec, RepairSingleErrorsIn1000Bits) {
+  const BlockHammingCodec codec(HammingCode::h7_4(), 1000);
+  EXPECT_EQ(codec.word_count(), 250u);
+  Rng rng(14);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVec reference = rng.next_bits(1000);
+    const auto parity = codec.encode(reference);
+    BitVec state = reference;
+    state.flip(rng.next_below(1000));
+    const auto stats = codec.repair(state, parity, reference);
+    EXPECT_TRUE(stats.fully_corrected);
+    EXPECT_EQ(stats.bits_corrected, 1u);
+  }
+}
+
+TEST(BlockHammingCodec, PaddedTailWordHandled) {
+  // 1000 bits with k=57 gives 18 words, the last one padded.
+  const BlockHammingCodec codec(HammingCode::h63_57(), 1000);
+  EXPECT_EQ(codec.word_count(), 18u);
+  Rng rng(15);
+  const BitVec reference = rng.next_bits(1000);
+  const auto parity = codec.encode(reference);
+  BitVec state = reference;
+  state.flip(999);  // inside the padded word
+  const auto stats = codec.repair(state, parity, reference);
+  EXPECT_TRUE(stats.fully_corrected);
+}
+
+}  // namespace
+}  // namespace retscan

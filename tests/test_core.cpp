@@ -1,0 +1,284 @@
+#include "core/protected_design.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/fifo.hpp"
+#include "coding/protectors.hpp"
+#include "netlist/techlib.hpp"
+#include "scan/scan_io.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace retscan {
+namespace {
+
+/// Small FIFO with 80 flops (32 words x 2 bits + 2x5 pointer + 6 counter):
+/// divisible into 8 chains of 10 — Hamming(7,4) groups of 4 chains and
+/// CRC groups of 4 chains both fit, as does a test width of 4.
+ProtectedDesign make_design(CodeKind kind) {
+  ProtectionConfig config;
+  config.kind = kind;
+  config.chain_count = 8;
+  config.test_width = 4;
+  return ProtectedDesign(make_fifo(FifoSpec{32, 2}), config);
+}
+
+/// Fill the FIFO with random words so its state is interesting.
+void randomize_state(RetentionSession& session, Rng& rng) {
+  Simulator& sim = session.sim();
+  sim.set_input("rd_en", false);
+  for (int i = 0; i < 20; ++i) {
+    sim.set_input("wr_en", true);
+    sim.set_input("din0", rng.next_bool(0.5));
+    sim.set_input("din1", rng.next_bool(0.5));
+    sim.step();
+  }
+  sim.set_input("wr_en", false);
+  sim.eval();
+}
+
+TEST(ProtectedDesign, ConstructionGeometry) {
+  const ProtectedDesign design = make_design(CodeKind::HammingCorrect);
+  EXPECT_EQ(design.chains().chain_count(), 8u);
+  EXPECT_EQ(design.chain_length(), 10u);
+  EXPECT_EQ(design.flop_count(), 80u);
+  // All monitor cells are always-on; all base flops are gated.
+  const Netlist& nl = design.netlist();
+  for (const CellId flop : nl.flops()) {
+    if (nl.cell(flop).type == CellType::Rdff) {
+      EXPECT_EQ(nl.domain(flop), 1);
+    } else {
+      EXPECT_EQ(nl.domain(flop), kAlwaysOnDomain);  // parity/crc storage
+    }
+  }
+}
+
+TEST(ProtectedDesign, AreaAccountingSplitsBaseAndMonitor) {
+  const TechLibrary tech = TechLibrary::st120();
+  const ProtectedDesign hamming = make_design(CodeKind::HammingCorrect);
+  const ProtectedDesign crc = make_design(CodeKind::CrcDetect);
+  EXPECT_GT(hamming.base_area(tech).total_um2, 0.0);
+  EXPECT_GT(hamming.monitor_area(tech).total_um2, 0.0);
+  EXPECT_GT(hamming.overhead_percent(tech), 0.0);
+  // Hamming monitors (parity memory!) cost more than the single wide CRC
+  // block — the contrast of Tables I vs II. (At this toy scale, l = 10,
+  // the gap is small; the bench over the real 32x32 FIFO shows ~10x.)
+  EXPECT_GT(hamming.overhead_percent(tech), crc.overhead_percent(tech));
+  // Base area is identical across code kinds.
+  EXPECT_DOUBLE_EQ(hamming.base_area(tech).total_um2, crc.base_area(tech).total_um2);
+}
+
+TEST(ProtectedDesign, EncodePreservesState) {
+  const ProtectedDesign design = make_design(CodeKind::HammingPlusCrc);
+  RetentionSession session(design);
+  Rng rng(1);
+  randomize_state(session, rng);
+  const auto before = scan_snapshot(session.sim(), design.chains());
+  session.encode();
+  EXPECT_EQ(scan_snapshot(session.sim(), design.chains()), before);
+}
+
+TEST(ProtectedDesign, CleanSleepWakeCyclePreservesState) {
+  const ProtectedDesign design = make_design(CodeKind::HammingPlusCrc);
+  RetentionSession session(design);
+  Rng rng(2);
+  randomize_state(session, rng);
+  const auto before = scan_snapshot(session.sim(), design.chains());
+  const auto outcome = session.sleep_wake_cycle({}, &rng);
+  EXPECT_FALSE(outcome.errors_detected);
+  EXPECT_TRUE(outcome.recheck_clean);
+  EXPECT_EQ(outcome.final_state, PgState::Active);
+  EXPECT_EQ(outcome.decode_passes, 1u);
+  EXPECT_EQ(scan_snapshot(session.sim(), design.chains()), before);
+}
+
+TEST(ProtectedDesign, SingleUpsetDetectedAndCorrected) {
+  const ProtectedDesign design = make_design(CodeKind::HammingPlusCrc);
+  RetentionSession session(design);
+  Rng rng(3);
+  randomize_state(session, rng);
+  const auto before = scan_snapshot(session.sim(), design.chains());
+  const auto outcome = session.sleep_wake_cycle({ErrorLocation{3, 7}}, &rng);
+  EXPECT_TRUE(outcome.errors_detected);
+  EXPECT_TRUE(outcome.recheck_clean);
+  EXPECT_EQ(outcome.final_state, PgState::Active);
+  EXPECT_EQ(outcome.decode_passes, 2u);
+  EXPECT_EQ(scan_snapshot(session.sim(), design.chains()), before);
+}
+
+/// The paper's experiment 1 at integration scale: every possible single
+/// retention upset in the design is corrected.
+TEST(ProtectedDesign, EverySingleUpsetLocationCorrected) {
+  const ProtectedDesign design = make_design(CodeKind::HammingCorrect);
+  RetentionSession session(design);
+  Rng rng(4);
+  randomize_state(session, rng);
+  const auto before = scan_snapshot(session.sim(), design.chains());
+  for (std::size_t chain = 0; chain < 8; ++chain) {
+    for (std::size_t pos = 0; pos < 10; ++pos) {
+      const auto outcome =
+          session.sleep_wake_cycle({ErrorLocation{chain, pos}}, nullptr);
+      ASSERT_TRUE(outcome.errors_detected) << chain << "," << pos;
+      ASSERT_TRUE(outcome.recheck_clean) << chain << "," << pos;
+      ASSERT_EQ(scan_snapshot(session.sim(), design.chains()), before)
+          << chain << "," << pos;
+    }
+  }
+}
+
+TEST(ProtectedDesign, ScatteredUpsetsInDistinctWordsCorrected) {
+  const ProtectedDesign design = make_design(CodeKind::HammingPlusCrc);
+  RetentionSession session(design);
+  Rng rng(5);
+  randomize_state(session, rng);
+  const auto before = scan_snapshot(session.sim(), design.chains());
+  // Three upsets in three distinct (group, position) words.
+  const std::vector<ErrorLocation> upsets = {
+      {0, 2}, {5, 7}, {2, 9}};
+  const auto outcome = session.sleep_wake_cycle(upsets, &rng);
+  EXPECT_TRUE(outcome.errors_detected);
+  EXPECT_TRUE(outcome.recheck_clean);
+  EXPECT_EQ(outcome.final_state, PgState::Active);
+  EXPECT_EQ(scan_snapshot(session.sim(), design.chains()), before);
+}
+
+/// The paper's experiment 2: clustered burst errors land in the same
+/// codeword; Hamming cannot repair them but the CRC arm flags the state as
+/// uncorrectable instead of silently accepting a miscorrection.
+TEST(ProtectedDesign, ClusteredBurstFlaggedUncorrectable) {
+  const ProtectedDesign design = make_design(CodeKind::HammingPlusCrc);
+  RetentionSession session(design);
+  Rng rng(6);
+  randomize_state(session, rng);
+  const auto before = scan_snapshot(session.sim(), design.chains());
+  // Two upsets in the same Hamming word (chains 0 and 2 are in group 0;
+  // same position -> same codeword).
+  const std::vector<ErrorLocation> burst = {{0, 4}, {2, 4}};
+  const auto outcome = session.sleep_wake_cycle(burst, &rng);
+  EXPECT_TRUE(outcome.errors_detected);
+  EXPECT_FALSE(outcome.recheck_clean);
+  EXPECT_EQ(outcome.final_state, PgState::ErrorFlagged);
+  EXPECT_NE(scan_snapshot(session.sim(), design.chains()), before);
+}
+
+TEST(ProtectedDesign, CrcOnlyDetectsButNeverCorrects) {
+  const ProtectedDesign design = make_design(CodeKind::CrcDetect);
+  RetentionSession session(design);
+  Rng rng(7);
+  randomize_state(session, rng);
+  const auto outcome = session.sleep_wake_cycle({ErrorLocation{1, 1}}, &rng);
+  EXPECT_TRUE(outcome.errors_detected);
+  EXPECT_FALSE(outcome.recheck_clean);
+  EXPECT_EQ(outcome.final_state, PgState::ErrorFlagged);
+  EXPECT_EQ(outcome.decode_passes, 1u);
+}
+
+TEST(ProtectedDesign, FsmHistoryMatchesFigure3b) {
+  const ProtectedDesign design = make_design(CodeKind::HammingCorrect);
+  RetentionSession session(design);
+  Rng rng(8);
+  randomize_state(session, rng);
+  session.sleep_wake_cycle({ErrorLocation{0, 0}}, &rng);
+  const auto& history = session.fsm().history();
+  const std::vector<PgState> expected = {
+      PgState::Active,    PgState::Encoding,  PgState::SleepEntry,
+      PgState::Sleep,     PgState::WakeUp,    PgState::Decoding,
+      PgState::Correcting, PgState::Active};
+  EXPECT_EQ(history, expected);
+}
+
+/// Structural decode must agree bit-for-bit with the behavioral
+/// HammingChainProtector — including miscorrections on multi-error words.
+TEST(ProtectedDesign, StructuralMatchesBehavioralProtector) {
+  const ProtectedDesign design = make_design(CodeKind::HammingCorrect);
+  RetentionSession session(design);
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    randomize_state(session, rng);
+    const auto reference = scan_snapshot(session.sim(), design.chains());
+
+    // Behavioral model.
+    HammingChainProtector protector(HammingCode::h7_4(), 8, 10);
+    protector.encode(reference);
+    auto behavioral = reference;
+    const std::size_t error_count = 1 + rng.next_below(4);
+    std::vector<ErrorLocation> upsets;
+    for (std::size_t i = 0; i < error_count; ++i) {
+      ErrorLocation loc{rng.next_below(8), rng.next_below(10)};
+      if (std::find(upsets.begin(), upsets.end(), loc) == upsets.end()) {
+        upsets.push_back(loc);
+      }
+    }
+    ErrorInjector::flip_chain_data(behavioral, upsets);
+    protector.decode_and_correct(behavioral);
+
+    // Structural model.
+    session.sleep_wake_cycle(upsets, nullptr);
+    EXPECT_EQ(scan_snapshot(session.sim(), design.chains()), behavioral)
+        << "trial " << trial;
+    // Re-sync the design state for the next trial.
+    scan_restore(session.sim(), design.chains(), reference);
+  }
+}
+
+/// Manufacturing test through the Fig. 5(b) concatenation: with test_mode
+/// high, the 8 chains behave as 4 chains of length 20; a pattern shifted in
+/// through tsi comes back out of tso intact after a full traversal.
+TEST(ProtectedDesign, TestModeConcatenationShiftsThrough) {
+  const ProtectedDesign design = make_design(CodeKind::HammingPlusCrc);
+  RetentionSession session(design);
+  Simulator& sim = session.sim();
+  const std::size_t concat_len =
+      design.test_config().concatenated_length(design.chain_length());
+  ASSERT_EQ(concat_len, 20u);
+
+  Rng rng(10);
+  std::vector<BitVec> streams;
+  for (int g = 0; g < 4; ++g) {
+    streams.push_back(rng.next_bits(concat_len));
+  }
+  sim.set_input(design.chains().se, true);
+  sim.set_input("test_mode", true);
+  sim.set_input("retain", false);
+  // Load the full concatenated length.
+  for (std::size_t t = 0; t < concat_len; ++t) {
+    for (int g = 0; g < 4; ++g) {
+      sim.set_input("tsi" + std::to_string(g), streams[g].get(t));
+    }
+    sim.step();
+  }
+  // Unload while shifting zeros behind; first-in bit emerges first.
+  for (std::size_t t = 0; t < concat_len; ++t) {
+    for (int g = 0; g < 4; ++g) {
+      sim.set_input("tsi" + std::to_string(g), false);
+      EXPECT_EQ(sim.output("tso" + std::to_string(g)), streams[g].get(t))
+          << "group " << g << " cycle " << t;
+    }
+    sim.step();
+  }
+}
+
+TEST(ProtectedDesign, ActivityMeasurementProducesSaneNumbers) {
+  const TechLibrary tech = TechLibrary::st120();
+  const ProtectedDesign design = make_design(CodeKind::HammingCorrect);
+  RetentionSession session(design);
+  Rng rng(11);
+  randomize_state(session, rng);
+  const ActivityReport enc = session.measure_encode(tech);
+  EXPECT_EQ(enc.steps, design.chain_length() + 1);  // + clear strobe
+  EXPECT_GT(enc.dynamic_energy_pj, 0.0);
+  const double power_mw = enc.average_power_mw(10.0);  // 100 MHz
+  EXPECT_GT(power_mw, 0.1);
+  EXPECT_LT(power_mw, 100.0);
+}
+
+TEST(ProtectedDesign, RejectsGeometryMismatches) {
+  ProtectionConfig config;
+  config.kind = CodeKind::HammingCorrect;
+  config.chain_count = 10;  // not a multiple of k=4
+  config.test_width = 5;
+  EXPECT_THROW(ProtectedDesign(make_fifo(FifoSpec{32, 2}), config), Error);
+}
+
+}  // namespace
+}  // namespace retscan

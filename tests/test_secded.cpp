@@ -1,0 +1,205 @@
+#include "coding/secded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/fifo.hpp"
+#include "coding/protectors.hpp"
+#include "core/protected_design.hpp"
+#include "scan/scan_io.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace retscan {
+namespace {
+
+TEST(SecDed, Parameters) {
+  const SecDedCode code = SecDedCode::s8_4();
+  EXPECT_EQ(code.k(), 4u);
+  EXPECT_EQ(code.check_bits(), 4u);  // 3 Hamming + 1 overall
+  EXPECT_EQ(code.name(), "SEC-DED(8,4)");
+}
+
+class SecDedCodes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SecDedCodes, CleanAndSingleErrors) {
+  const SecDedCode code(GetParam());
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVec original = rng.next_bits(code.k());
+    const BitVec check = code.encode(original);
+    {
+      BitVec received = original;
+      EXPECT_EQ(code.decode(received, check).outcome, SecDedOutcome::Clean);
+      EXPECT_EQ(received, original);
+    }
+    for (std::size_t bit = 0; bit < code.k(); ++bit) {
+      BitVec received = original;
+      received.flip(bit);
+      const auto result = code.decode(received, check);
+      EXPECT_EQ(result.outcome, SecDedOutcome::Corrected);
+      EXPECT_EQ(result.corrected_data_bit, bit);
+      EXPECT_EQ(received, original);
+    }
+  }
+}
+
+TEST_P(SecDedCodes, EveryDoubleErrorDetectedNeverMiscorrected) {
+  const SecDedCode code(GetParam());
+  Rng rng(100 + GetParam());
+  const BitVec original = rng.next_bits(code.k());
+  const BitVec check = code.encode(original);
+  for (std::size_t i = 0; i < code.k(); ++i) {
+    for (std::size_t j = i + 1; j < code.k(); ++j) {
+      BitVec received = original;
+      received.flip(i);
+      received.flip(j);
+      const BitVec as_received = received;
+      const auto result = code.decode(received, check);
+      EXPECT_EQ(result.outcome, SecDedOutcome::DoubleError) << i << "," << j;
+      // Crucially: the word is untouched — no third error introduced.
+      EXPECT_EQ(received, as_received);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, SecDedCodes, ::testing::Values(3u, 4u, 5u, 6u));
+
+TEST(SecDed, TripleErrorsAreFlaggedOrMiscorrected) {
+  // SEC-DED guarantees stop at double errors; triples (odd weight) either
+  // miscorrect or land on MultiError — but are never reported Clean.
+  const SecDedCode code = SecDedCode::s8_4();
+  Rng rng(7);
+  const BitVec original = rng.next_bits(4);
+  const BitVec check = code.encode(original);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      for (std::size_t c = b + 1; c < 4; ++c) {
+        BitVec received = original;
+        received.flip(a);
+        received.flip(b);
+        received.flip(c);
+        const auto result = code.decode(received, check);
+        EXPECT_NE(result.outcome, SecDedOutcome::Clean);
+        EXPECT_NE(result.outcome, SecDedOutcome::DoubleError);
+      }
+    }
+  }
+}
+
+TEST(SecDedProtector, StorageCostsOneExtraBitPerWord) {
+  const HammingChainProtector plain(HammingCode::h7_4(), 8, 13, false);
+  const HammingChainProtector extended(HammingCode::h7_4(), 8, 13, true);
+  EXPECT_EQ(plain.parity_storage_bits(), 78u);
+  EXPECT_EQ(extended.parity_storage_bits(), 104u);  // 2 groups * 13 * 4
+  EXPECT_TRUE(extended.extended());
+}
+
+TEST(SecDedProtector, DoublesFlaggedNotWorsened) {
+  HammingChainProtector protector(HammingCode::h7_4(), 4, 13, true);
+  Rng rng(9);
+  std::vector<BitVec> original;
+  for (int c = 0; c < 4; ++c) {
+    original.push_back(rng.next_bits(13));
+  }
+  protector.encode(original);
+  auto corrupted = original;
+  corrupted[0].flip(5);
+  corrupted[2].flip(5);  // same word
+  const auto with_errors = corrupted;
+  const auto stats = protector.decode_and_correct(corrupted);
+  EXPECT_EQ(stats.double_errors, 1u);
+  EXPECT_EQ(stats.bits_corrected, 0u);
+  EXPECT_EQ(corrupted, with_errors);  // untouched, unlike plain SEC
+}
+
+TEST(SecDedProtector, SinglesStillFullyCorrected) {
+  HammingChainProtector protector(HammingCode::h7_4(), 8, 13, true);
+  Rng rng(10);
+  std::vector<BitVec> original;
+  for (int c = 0; c < 8; ++c) {
+    original.push_back(rng.next_bits(13));
+  }
+  protector.encode(original);
+  for (std::size_t chain = 0; chain < 8; ++chain) {
+    auto corrupted = original;
+    corrupted[chain].flip(chain % 13);
+    const auto stats = protector.decode_and_correct(corrupted);
+    EXPECT_EQ(stats.bits_corrected, 1u);
+    EXPECT_EQ(corrupted, original);
+  }
+}
+
+/// Structural SEC-DED end to end on the protected FIFO slice.
+class StructuralSecDed : public ::testing::Test {
+ protected:
+  StructuralSecDed() {
+    ProtectionConfig config;
+    config.kind = CodeKind::HammingCorrect;
+    config.secded = true;
+    config.chain_count = 8;
+    config.test_width = 4;
+    design_ = std::make_unique<ProtectedDesign>(make_fifo(FifoSpec{32, 2}), config);
+    session_ = std::make_unique<RetentionSession>(*design_);
+    Rng rng(4);
+    std::vector<BitVec> state;
+    for (int c = 0; c < 8; ++c) {
+      state.push_back(rng.next_bits(10));
+    }
+    scan_restore(session_->sim(), design_->chains(), state);
+    before_ = state;
+  }
+
+  std::unique_ptr<ProtectedDesign> design_;
+  std::unique_ptr<RetentionSession> session_;
+  std::vector<BitVec> before_;
+};
+
+TEST_F(StructuralSecDed, SingleUpsetCorrected) {
+  const auto outcome = session_->sleep_wake_cycle({ErrorLocation{3, 7}}, nullptr);
+  EXPECT_TRUE(outcome.errors_detected);
+  EXPECT_TRUE(outcome.recheck_clean);
+  EXPECT_EQ(scan_snapshot(session_->sim(), design_->chains()), before_);
+}
+
+TEST_F(StructuralSecDed, DoubleUpsetFlaggedWithoutMiscorrection) {
+  // Chains 0 and 2 are in the same Hamming group; same position = same word.
+  const auto outcome =
+      session_->sleep_wake_cycle({ErrorLocation{0, 4}, ErrorLocation{2, 4}}, nullptr);
+  EXPECT_TRUE(outcome.errors_detected);
+  EXPECT_FALSE(outcome.recheck_clean);
+  EXPECT_EQ(outcome.final_state, PgState::ErrorFlagged);
+  // The state still differs in exactly the two injected bits — SEC-DED did
+  // not add a third error the way plain SEC would.
+  auto expected = before_;
+  expected[0].flip(4);
+  expected[2].flip(4);
+  EXPECT_EQ(scan_snapshot(session_->sim(), design_->chains()), expected);
+}
+
+TEST_F(StructuralSecDed, MatchesBehavioralProtector) {
+  HammingChainProtector protector(HammingCode::h7_4(), 8, 10, true);
+  protector.encode(before_);
+  Rng rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<ErrorLocation> upsets;
+    const std::size_t count = 1 + rng.next_below(3);
+    for (std::size_t i = 0; i < count; ++i) {
+      ErrorLocation loc{rng.next_below(8), rng.next_below(10)};
+      if (std::find(upsets.begin(), upsets.end(), loc) == upsets.end()) {
+        upsets.push_back(loc);
+      }
+    }
+    auto behavioral = before_;
+    ErrorInjector::flip_chain_data(behavioral, upsets);
+    protector.decode_and_correct(behavioral);
+
+    session_->sleep_wake_cycle(upsets, nullptr);
+    EXPECT_EQ(scan_snapshot(session_->sim(), design_->chains()), behavioral)
+        << "trial " << trial;
+    scan_restore(session_->sim(), design_->chains(), before_);
+    session_->reset_fsm();
+  }
+}
+
+}  // namespace
+}  // namespace retscan

@@ -1,0 +1,132 @@
+#include "netlist/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/fifo.hpp"
+#include "circuits/generators.hpp"
+#include "core/protected_design.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace retscan {
+namespace {
+
+void expect_structurally_equal(const Netlist& a, const Netlist& b) {
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  ASSERT_EQ(a.net_count(), b.net_count());
+  ASSERT_EQ(a.name(), b.name());
+  for (CellId id = 0; id < a.cell_count(); ++id) {
+    const Cell& ca = a.cell(id);
+    const Cell& cb = b.cell(id);
+    ASSERT_EQ(ca.type, cb.type) << "cell " << id;
+    ASSERT_EQ(ca.fanin, cb.fanin) << "cell " << id;
+    ASSERT_EQ(ca.out, cb.out) << "cell " << id;
+    ASSERT_EQ(ca.domain, cb.domain) << "cell " << id;
+    ASSERT_EQ(ca.name, cb.name) << "cell " << id;
+  }
+  for (NetId net = 0; net < a.net_count(); ++net) {
+    ASSERT_EQ(a.net_name(net), b.net_name(net)) << "net " << net;
+  }
+  ASSERT_EQ(a.inputs(), b.inputs());
+  ASSERT_EQ(a.outputs(), b.outputs());
+}
+
+TEST(Serialize, RoundTripCounter) {
+  const Netlist original = make_counter(8);
+  std::stringstream ss;
+  write_netlist(ss, original);
+  const Netlist loaded = read_netlist(ss);
+  expect_structurally_equal(original, loaded);
+}
+
+TEST(Serialize, RoundTripFifoSimulatesIdentically) {
+  const FifoSpec spec{8, 4};
+  const Netlist original = make_fifo(spec);
+  std::stringstream ss;
+  write_netlist(ss, original);
+  const Netlist loaded = read_netlist(ss);
+  expect_structurally_equal(original, loaded);
+
+  Simulator sim_a(original);
+  Simulator sim_b(loaded);
+  Rng rng(3);
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    const bool wr = rng.next_bool(0.5);
+    const bool rd = rng.next_bool(0.5);
+    const BitVec din = rng.next_bits(4);
+    for (Simulator* sim : {&sim_a, &sim_b}) {
+      sim->set_input("wr_en", wr);
+      sim->set_input("rd_en", rd);
+      for (int b = 0; b < 4; ++b) {
+        sim->set_input("din" + std::to_string(b), din.get(b));
+      }
+      sim->step();
+    }
+    ASSERT_EQ(sim_a.output("full"), sim_b.output("full")) << cycle;
+    ASSERT_EQ(sim_a.output("empty"), sim_b.output("empty")) << cycle;
+    for (int b = 0; b < 4; ++b) {
+      ASSERT_EQ(sim_a.output("dout" + std::to_string(b)),
+                sim_b.output("dout" + std::to_string(b)))
+          << cycle;
+    }
+  }
+}
+
+TEST(Serialize, RoundTripProtectedDesignWithDomains) {
+  ProtectionConfig config;
+  config.kind = CodeKind::HammingPlusCrc;
+  config.chain_count = 8;
+  config.test_width = 4;
+  const ProtectedDesign design(make_fifo(FifoSpec{32, 2}), config);
+  std::stringstream ss;
+  write_netlist(ss, design.netlist());
+  const Netlist loaded = read_netlist(ss);
+  expect_structurally_equal(design.netlist(), loaded);
+  // Power-domain annotations survive.
+  std::size_t gated = 0;
+  for (CellId id = 0; id < loaded.cell_count(); ++id) {
+    if (loaded.domain(id) == 1) {
+      ++gated;
+    }
+  }
+  EXPECT_GT(gated, 500u);  // the whole FIFO slice + its scan flops
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  {
+    std::stringstream ss("cell and2 0 - 5 2 0 1\n");
+    EXPECT_THROW(read_netlist(ss), Error);  // cell before nets
+  }
+  {
+    std::stringstream ss("nets 2\ncell bogus 0 - 1 1 0\n");
+    EXPECT_THROW(read_netlist(ss), Error);  // unknown type
+  }
+  {
+    std::stringstream ss("nets 2\ncell and2 0 - 1 2 0 7\n");
+    EXPECT_THROW(read_netlist(ss), Error);  // fanin out of range
+  }
+  {
+    std::stringstream ss("frobnicate\n");
+    EXPECT_THROW(read_netlist(ss), Error);  // unknown keyword
+  }
+}
+
+TEST(Serialize, AddCellBoundEnforcesInvariants) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId fresh = nl.add_net();
+  // Binding to an already driven net must fail.
+  EXPECT_THROW(nl.add_cell_bound(CellType::Not, {a}, a), Error);
+  // Output cells must not claim a net.
+  EXPECT_THROW(nl.add_cell_bound(CellType::Output, {a}, fresh, "y"), Error);
+  // Correct usage works and preserves the net id.
+  const CellId inverter = nl.add_cell_bound(CellType::Not, {a}, fresh);
+  EXPECT_EQ(nl.output_of(inverter), fresh);
+  EXPECT_EQ(nl.driver(fresh), inverter);
+}
+
+}  // namespace
+}  // namespace retscan

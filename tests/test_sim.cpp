@@ -1,0 +1,308 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "netlist/techlib.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace retscan {
+namespace {
+
+/// Truth-table check for every 2-input gate type plus Not/Buf/Mux.
+struct GateCase {
+  CellType type;
+  // expected output for input patterns 00, 01, 10, 11 (a=LSB)
+  bool expected[4];
+};
+
+class GateTruth : public ::testing::TestWithParam<GateCase> {};
+
+TEST_P(GateTruth, MatchesTable) {
+  const GateCase& gc = GetParam();
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const CellId cell = nl.add_cell(gc.type, {a, b});
+  nl.add_output("y", nl.output_of(cell));
+  Simulator sim(nl);
+  for (int pattern = 0; pattern < 4; ++pattern) {
+    sim.set_input("a", pattern & 1);
+    sim.set_input("b", (pattern >> 1) & 1);
+    sim.eval();
+    EXPECT_EQ(sim.output("y"), gc.expected[pattern])
+        << cell_type_name(gc.type) << " pattern " << pattern;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, GateTruth,
+    ::testing::Values(GateCase{CellType::And2, {false, false, false, true}},
+                      GateCase{CellType::Or2, {false, true, true, true}},
+                      GateCase{CellType::Xor2, {false, true, true, false}},
+                      GateCase{CellType::Nand2, {true, true, true, false}},
+                      GateCase{CellType::Nor2, {true, false, false, false}},
+                      GateCase{CellType::Xnor2, {true, false, false, true}}));
+
+TEST(Simulator, NotBufConst) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.add_output("n", nl.n_not(a));
+  nl.add_output("b", nl.n_buf(a));
+  nl.add_output("c1", nl.n_const(true));
+  nl.add_output("c0", nl.n_const(false));
+  Simulator sim(nl);
+  sim.set_input("a", true);
+  sim.eval();
+  EXPECT_FALSE(sim.output("n"));
+  EXPECT_TRUE(sim.output("b"));
+  EXPECT_TRUE(sim.output("c1"));
+  EXPECT_FALSE(sim.output("c0"));
+}
+
+TEST(Simulator, MuxSelects) {
+  Netlist nl;
+  const NetId s = nl.add_input("s");
+  const NetId lo = nl.add_input("lo");
+  const NetId hi = nl.add_input("hi");
+  nl.add_output("y", nl.n_mux(s, lo, hi));
+  Simulator sim(nl);
+  sim.set_input("lo", true);
+  sim.set_input("hi", false);
+  sim.set_input("s", false);
+  sim.eval();
+  EXPECT_TRUE(sim.output("y"));
+  sim.set_input("s", true);
+  sim.eval();
+  EXPECT_FALSE(sim.output("y"));
+}
+
+TEST(Simulator, DffCapturesOnStep) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  nl.add_output("q", nl.n_dff(d));
+  Simulator sim(nl);
+  sim.set_input("d", true);
+  sim.eval();
+  EXPECT_FALSE(sim.output("q"));  // not yet clocked
+  sim.step();
+  EXPECT_TRUE(sim.output("q"));
+  sim.set_input("d", false);
+  sim.step();
+  EXPECT_FALSE(sim.output("q"));
+}
+
+TEST(Simulator, SdffScanPathSelects) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId si = nl.add_input("si");
+  const NetId se = nl.add_input("se");
+  const NetId q0 = nl.n_dff(d);
+  const CellId flop = nl.driver(q0);
+  nl.convert_flop(flop, CellType::Sdff, {si, se});
+  nl.add_output("q", q0);
+  Simulator sim(nl);
+  sim.set_input("d", true);
+  sim.set_input("si", false);
+  sim.set_input("se", false);
+  sim.step();
+  EXPECT_TRUE(sim.output("q"));  // functional path
+  sim.set_input("se", true);
+  sim.step();
+  EXPECT_FALSE(sim.output("q"));  // scan path
+}
+
+class RdffFixture : public ::testing::Test {
+ protected:
+  RdffFixture() {
+    d_ = nl_.add_input("d");
+    si_ = nl_.add_input("si");
+    se_ = nl_.add_input("se");
+    retain_ = nl_.add_input("retain");
+    const NetId q = nl_.n_dff(d_);
+    flop_ = nl_.driver(q);
+    nl_.convert_flop(flop_, CellType::Rdff, {si_, se_, retain_});
+    nl_.set_domain(flop_, 1);
+    nl_.add_output("q", q);
+    sim_ = std::make_unique<Simulator>(nl_);
+    sim_->set_input("se", false);
+    sim_->set_input("si", false);
+    sim_->set_input("retain", false);
+  }
+
+  Netlist nl_;
+  NetId d_, si_, se_, retain_;
+  CellId flop_;
+  std::unique_ptr<Simulator> sim_;
+};
+
+TEST_F(RdffFixture, RetainSaveAndRestore) {
+  sim_->set_input("d", true);
+  sim_->step();
+  EXPECT_TRUE(sim_->output("q"));
+
+  // Save: RETAIN=1 edge copies master into the balloon latch.
+  sim_->set_input("retain", true);
+  sim_->step();
+  EXPECT_TRUE(sim_->retention_state(flop_));
+
+  // Power off: master garbage (zeros with null rng), output clamps.
+  sim_->power_off(1);
+  EXPECT_FALSE(sim_->output("q"));
+  EXPECT_TRUE(sim_->retention_state(flop_));  // balloon survives
+
+  // Wake and restore on RETAIN falling edge.
+  sim_->power_on(1);
+  sim_->set_input("retain", false);
+  sim_->set_input("d", false);
+  sim_->step();
+  EXPECT_TRUE(sim_->output("q"));  // restored, not d
+  // Next cycle behaves functionally again.
+  sim_->step();
+  EXPECT_FALSE(sim_->output("q"));
+}
+
+TEST_F(RdffFixture, MasterHoldsWhileRetainHigh) {
+  sim_->set_input("d", true);
+  sim_->step();
+  sim_->set_input("retain", true);
+  sim_->set_input("d", false);
+  sim_->step();
+  sim_->step();
+  EXPECT_TRUE(sim_->output("q"));  // clock-gated during retain
+}
+
+TEST_F(RdffFixture, CorruptedBalloonRestoresWrongValue) {
+  sim_->set_input("d", true);
+  sim_->step();
+  sim_->set_input("retain", true);
+  sim_->step();
+  sim_->power_off(1);
+  // Rush-current upset model: flip the balloon latch while asleep.
+  sim_->flip_retention(flop_);
+  sim_->power_on(1);
+  sim_->set_input("retain", false);
+  sim_->step();
+  EXPECT_FALSE(sim_->output("q"));  // restored the corrupted value
+}
+
+TEST(Simulator, PowerOffClampsAndRandomizesMasters) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  std::vector<CellId> flops;
+  for (int i = 0; i < 64; ++i) {
+    const NetId q = nl.n_dff(i == 0 ? d : nl.output_of(flops.back()));
+    flops.push_back(nl.driver(q));
+    nl.set_domain(flops.back(), 1);
+  }
+  nl.add_output("q", nl.output_of(flops.back()));
+  Simulator sim(nl);
+  sim.set_input("d", true);
+  for (int i = 0; i < 64; ++i) {
+    sim.step();
+  }
+  EXPECT_TRUE(sim.output("q"));
+  Rng rng(11);
+  sim.power_off(1, &rng);
+  EXPECT_FALSE(sim.output("q"));  // isolation clamp
+  sim.power_on(1);
+  // Garbage: with 64 flops, all-ones survival is ~5e-20.
+  std::size_t ones = 0;
+  for (const CellId f : flops) {
+    ones += sim.flop_state(f) ? 1 : 0;
+  }
+  EXPECT_LT(ones, 64u);
+  EXPECT_GT(ones, 0u);
+}
+
+TEST(Simulator, CannotPowerOffAlwaysOn) {
+  Netlist nl;
+  nl.add_output("y", nl.n_dff(nl.add_input("d")));
+  Simulator sim(nl);
+  EXPECT_THROW(sim.power_off(kAlwaysOnDomain), Error);
+}
+
+TEST(Simulator, FlopStatesRoundTrip) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  NetId q = d;
+  for (int i = 0; i < 10; ++i) {
+    q = nl.n_dff(q);
+  }
+  nl.add_output("q", q);
+  Simulator sim(nl);
+  Rng rng(3);
+  const BitVec states = rng.next_bits(10);
+  sim.set_flop_states(states);
+  EXPECT_EQ(sim.flop_states(), states);
+}
+
+TEST(Simulator, LatchHoldsWithoutEnable) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId en = nl.add_input("en");
+  const CellId latch = nl.add_cell(CellType::LatchL, {d, en});
+  nl.add_output("q", nl.output_of(latch));
+  Simulator sim(nl);
+  sim.set_input("d", true);
+  sim.set_input("en", true);
+  sim.step();
+  EXPECT_TRUE(sim.output("q"));
+  sim.set_input("en", false);
+  sim.set_input("d", false);
+  sim.step();
+  EXPECT_TRUE(sim.output("q"));  // held
+  sim.set_input("en", true);
+  sim.step();
+  EXPECT_FALSE(sim.output("q"));
+}
+
+TEST(Simulator, ActivityCountsTogglesAndEnergy) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  nl.add_output("q", nl.n_dff(nl.n_not(d)));
+  Simulator sim(nl);
+  const TechLibrary tech = TechLibrary::st120();
+  sim.reset_activity();
+  for (int i = 0; i < 10; ++i) {
+    sim.set_input("d", i % 2 == 0);
+    sim.step();
+  }
+  const ActivityReport report = sim.activity(tech);
+  EXPECT_EQ(report.steps, 10u);
+  EXPECT_GT(report.output_toggles, 10u);  // NOT + flop both toggle
+  EXPECT_GT(report.dynamic_energy_pj, 0.0);
+  EXPECT_GT(report.average_power_mw(10.0), 0.0);
+
+  sim.reset_activity();
+  const ActivityReport cleared = sim.activity(tech);
+  EXPECT_EQ(cleared.steps, 0u);
+  EXPECT_EQ(cleared.output_toggles, 0u);
+}
+
+TEST(Simulator, IdleCircuitBurnsOnlyClockEnergy) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  nl.add_output("q", nl.n_dff(d));
+  Simulator sim(nl);
+  const TechLibrary tech = TechLibrary::st120();
+  sim.reset_activity();
+  sim.step_n(100);  // d stays 0, no data toggles
+  const ActivityReport report = sim.activity(tech);
+  EXPECT_EQ(report.output_toggles, 0u);
+  EXPECT_GT(report.dynamic_energy_pj, 0.0);  // clock pin energy remains
+}
+
+TEST(Simulator, SetInputRejectsNonInputs) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.n_not(a);
+  nl.add_output("y", y);
+  Simulator sim(nl);
+  EXPECT_THROW(sim.set_input(y, true), Error);
+  EXPECT_THROW(sim.set_input("nope", true), Error);
+}
+
+}  // namespace
+}  // namespace retscan

@@ -1,0 +1,131 @@
+#include "core/synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/fifo.hpp"
+#include "circuits/generators.hpp"
+#include "scan/scan_insert.hpp"
+#include "util/error.hpp"
+
+namespace retscan {
+namespace {
+
+ReliabilitySynthesizer make_synth() {
+  return ReliabilitySynthesizer([] { return make_fifo(FifoSpec{32, 2}); },
+                                TechLibrary::st120(), 10.0);
+}
+
+ProtectionConfig config_for(CodeKind kind, std::size_t chains) {
+  ProtectionConfig config;
+  config.kind = kind;
+  config.chain_count = chains;
+  config.test_width = 4;
+  return config;
+}
+
+TEST(Synthesizer, CharacterizeProducesConsistentRow) {
+  const auto synth = make_synth();
+  const CostRow row = synth.characterize(config_for(CodeKind::HammingCorrect, 8));
+  EXPECT_EQ(row.code_name, "Hamming(7,4)");
+  EXPECT_EQ(row.chain_count, 8u);
+  EXPECT_EQ(row.chain_length, 10u);
+  EXPECT_GT(row.base_area_um2, 0.0);
+  EXPECT_GT(row.total_area_um2, row.base_area_um2);
+  EXPECT_NEAR(row.overhead_percent,
+              100.0 * (row.total_area_um2 - row.base_area_um2) / row.base_area_um2, 1e-9);
+  EXPECT_DOUBLE_EQ(row.latency_ns, 100.0);  // l = 10 at 10 ns
+  EXPECT_GT(row.enc_power_mw, 0.0);
+  EXPECT_GT(row.dec_power_mw, 0.0);
+  // E = P * t.
+  EXPECT_NEAR(row.enc_energy_nj, row.enc_power_mw * row.latency_ns * 1e-3, 1e-12);
+  EXPECT_NEAR(row.capability_percent, 75.0, 1e-9);
+}
+
+/// The headline trends of Tables I/II: more chains -> shorter chains ->
+/// lower latency and energy, at higher area overhead.
+TEST(Synthesizer, SweepReproducesTableTrends) {
+  const auto synth = make_synth();
+  std::vector<ProtectionConfig> configs;
+  for (const std::size_t w : {4u, 8u, 16u}) {
+    configs.push_back(config_for(CodeKind::CrcDetect, w));
+  }
+  const auto rows = synth.sweep(configs);
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i].latency_ns, rows[i - 1].latency_ns);
+    EXPECT_LT(rows[i].dec_energy_nj, rows[i - 1].dec_energy_nj);
+    EXPECT_GT(rows[i].overhead_percent, rows[i - 1].overhead_percent);
+  }
+}
+
+TEST(Synthesizer, HammingCostsMoreThanCrc) {
+  const auto synth = make_synth();
+  const CostRow crc = synth.characterize(config_for(CodeKind::CrcDetect, 8));
+  const CostRow hamming = synth.characterize(config_for(CodeKind::HammingCorrect, 8));
+  EXPECT_GT(hamming.overhead_percent, crc.overhead_percent);
+  // Latency is identical — set by chain length only (Fig. 9(b) observation).
+  EXPECT_DOUBLE_EQ(hamming.latency_ns, crc.latency_ns);
+}
+
+TEST(Synthesizer, ParetoFrontFiltersDominatedRows) {
+  std::vector<CostRow> rows(3);
+  rows[0].overhead_percent = 5.0;
+  rows[0].dec_energy_nj = 10.0;
+  rows[1].overhead_percent = 6.0;
+  rows[1].dec_energy_nj = 12.0;  // dominated by row 0
+  rows[2].overhead_percent = 9.0;
+  rows[2].dec_energy_nj = 1.0;
+  const auto front = ReliabilitySynthesizer::pareto_front(rows);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front[0], 0u);
+  EXPECT_EQ(front[1], 2u);
+}
+
+TEST(Synthesizer, PickRespectsConstraints) {
+  std::vector<CostRow> rows(2);
+  rows[0].overhead_percent = 5.0;
+  rows[0].dec_energy_nj = 10.0;
+  rows[0].latency_ns = 2600.0;
+  rows[0].capability_percent = 75.0;
+  rows[1].overhead_percent = 9.0;
+  rows[1].dec_energy_nj = 1.0;
+  rows[1].latency_ns = 130.0;
+  rows[1].capability_percent = 75.0;
+  QualityConstraints constraints;
+  constraints.max_area_overhead_percent = 6.0;
+  EXPECT_DOUBLE_EQ(ReliabilitySynthesizer::pick(rows, constraints).dec_energy_nj, 10.0);
+  constraints.max_area_overhead_percent = 100.0;
+  EXPECT_DOUBLE_EQ(ReliabilitySynthesizer::pick(rows, constraints).dec_energy_nj, 1.0);
+  constraints.max_latency_ns = 50.0;
+  EXPECT_THROW(ReliabilitySynthesizer::pick(rows, constraints), Error);
+}
+
+TEST(Synthesizer, PrintTableContainsColumns) {
+  std::vector<CostRow> rows(1);
+  rows[0].code_name = "CRC-16";
+  rows[0].chain_count = 4;
+  rows[0].chain_length = 260;
+  rows[0].total_area_um2 = 73658;
+  std::ostringstream oss;
+  print_cost_table(oss, "Table I", rows);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("Table I"), std::string::npos);
+  EXPECT_NE(out.find("CRC-16"), std::string::npos);
+  EXPECT_NE(out.find("ovh %"), std::string::npos);
+}
+
+TEST(PaddingFlops, RoundsFlopCountForAwkwardChainCounts) {
+  Netlist nl = make_fifo(FifoSpec{32, 32});
+  EXPECT_EQ(nl.flops().size(), 1040u);
+  append_padding_flops(nl, 24);  // -> 1064 = 56 * 19, Table III's W=56
+  EXPECT_EQ(nl.flops().size(), 1064u);
+  ScanInsertionOptions options;
+  options.chain_count = 56;
+  const ScanChains chains = insert_scan(nl, options);
+  EXPECT_EQ(chains.length(), 19u);
+}
+
+}  // namespace
+}  // namespace retscan

@@ -1,0 +1,125 @@
+#include "testbench/harness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retscan {
+namespace {
+
+/// Small configuration usable by both tiers: 80-flop FIFO, 8 chains of 10.
+ValidationConfig small_config(InjectionMode mode) {
+  ValidationConfig config;
+  config.fifo = FifoSpec{32, 2};
+  config.chain_count = 8;
+  config.mode = mode;
+  config.seed = 99;
+  return config;
+}
+
+TEST(FastTestbench, NoInjectionMeansNoEvents) {
+  FastTestbench tb(small_config(InjectionMode::None));
+  const ValidationStats stats = tb.run(500);
+  EXPECT_EQ(stats.sequences, 500u);
+  EXPECT_EQ(stats.errors_injected, 0u);
+  EXPECT_EQ(stats.detected, 0u);
+  EXPECT_EQ(stats.comparator_mismatches, 0u);
+  EXPECT_EQ(stats.silent_corruptions, 0u);
+}
+
+/// Experiment 1 (Section IV): every single injected error is detected and
+/// corrected; the comparator never sees a difference after correction.
+TEST(FastTestbench, AllSingleErrorsCorrected) {
+  FastTestbench tb(small_config(InjectionMode::SingleRandom));
+  const ValidationStats stats = tb.run(5000);
+  EXPECT_EQ(stats.sequences_with_errors, 5000u);
+  EXPECT_EQ(stats.detected, 5000u);
+  EXPECT_EQ(stats.corrected, 5000u);
+  EXPECT_EQ(stats.silent_corruptions, 0u);
+  EXPECT_DOUBLE_EQ(stats.detection_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.correction_rate(), 1.0);
+}
+
+/// Experiment 2: clustered bursts are always detected but essentially never
+/// fully corrected by the Hamming arm.
+TEST(FastTestbench, BurstsDetectedNotCorrected) {
+  ValidationConfig config = small_config(InjectionMode::MultipleBurst);
+  config.burst_size = 4;
+  config.burst_spread = 1;
+  FastTestbench tb(config);
+  const ValidationStats stats = tb.run(2000);
+  EXPECT_EQ(stats.sequences_with_errors, 2000u);
+  EXPECT_DOUBLE_EQ(stats.detection_rate(), 1.0);
+  EXPECT_EQ(stats.silent_corruptions, 0u);
+  // Tight bursts overwhelm SEC words; correction rate collapses.
+  EXPECT_LT(stats.correction_rate(), 0.5);
+  EXPECT_GT(stats.flagged_uncorrectable, 0u);
+}
+
+TEST(FastTestbench, PaperScaleGeometryRuns) {
+  ValidationConfig config;
+  config.fifo = FifoSpec{32, 32};  // the real 1040-flop case study
+  config.chain_count = 80;
+  config.mode = InjectionMode::SingleRandom;
+  config.seed = 7;
+  FastTestbench tb(config);
+  EXPECT_EQ(tb.chain_length(), 13u);
+  const ValidationStats stats = tb.run(2000);
+  EXPECT_DOUBLE_EQ(stats.detection_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.correction_rate(), 1.0);
+  EXPECT_EQ(stats.silent_corruptions, 0u);
+}
+
+TEST(FastTestbench, RushModelProducesPlausibleCampaign) {
+  ValidationConfig config = small_config(InjectionMode::RushModel);
+  config.rush.resistance_ohm = 0.05;  // ringing wake-up
+  config.corruption.vulnerability = 0.02;
+  FastTestbench tb(config);
+  const ValidationStats stats = tb.run(2000);
+  EXPECT_GT(stats.errors_injected, 0u);
+  EXPECT_EQ(stats.silent_corruptions, 0u);  // monitoring never misses
+  // Some sequences have single upsets (corrected), some have bursts.
+  EXPECT_GT(stats.corrected, 0u);
+}
+
+TEST(FastTestbench, CrcOnlyDetectsEverythingCorrectsNothing) {
+  ValidationConfig config = small_config(InjectionMode::SingleRandom);
+  config.kind = CodeKind::CrcDetect;
+  FastTestbench tb(config);
+  const ValidationStats stats = tb.run(2000);
+  EXPECT_DOUBLE_EQ(stats.detection_rate(), 1.0);
+  EXPECT_EQ(stats.corrected, 0u);
+  EXPECT_EQ(stats.comparator_mismatches, 2000u);  // nothing was repaired
+  EXPECT_EQ(stats.silent_corruptions, 0u);        // but everything was flagged
+}
+
+/// The structural testbench (gate-level FIFO_A + behavioral FIFO_B) agrees
+/// with the fast tier on the headline result.
+TEST(StructuralTestbench, SingleErrorsAllCorrectedAtGateLevel) {
+  StructuralTestbench tb(small_config(InjectionMode::SingleRandom));
+  const ValidationStats stats = tb.run(25);
+  EXPECT_EQ(stats.sequences_with_errors, 25u);
+  EXPECT_EQ(stats.detected, 25u);
+  EXPECT_EQ(stats.corrected, 25u);
+  EXPECT_EQ(stats.comparator_mismatches, 0u);
+  EXPECT_EQ(stats.silent_corruptions, 0u);
+}
+
+TEST(StructuralTestbench, BurstsFlaggedAtGateLevel) {
+  ValidationConfig config = small_config(InjectionMode::MultipleBurst);
+  config.burst_size = 4;
+  config.burst_spread = 1;
+  StructuralTestbench tb(config);
+  const ValidationStats stats = tb.run(15);
+  EXPECT_EQ(stats.detected, 15u);
+  EXPECT_EQ(stats.silent_corruptions, 0u);
+  EXPECT_LT(stats.correction_rate(), 0.75);
+}
+
+TEST(StructuralTestbench, CleanCyclesNeverMismatch) {
+  StructuralTestbench tb(small_config(InjectionMode::None));
+  const ValidationStats stats = tb.run(10);
+  EXPECT_EQ(stats.comparator_mismatches, 0u);
+  EXPECT_EQ(stats.detected, 0u);
+}
+
+}  // namespace
+}  // namespace retscan
