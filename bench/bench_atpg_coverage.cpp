@@ -3,7 +3,12 @@
 // applies the pattern set through the Fig. 5(b) test-mode concatenation on
 // the live gate-level design; every pattern must pass, at full random+PODEM
 // coverage of testable faults.
+//
+// Also the fault-sim/delivery throughput bench: the 64-way bit-parallel
+// paths are timed against scalar baselines (one pattern per pass / one
+// pattern per scan load) and both throughputs land in BENCH_atpg.json.
 
+#include <algorithm>
 #include <iostream>
 
 #include "atpg/atpg.hpp"
@@ -13,8 +18,40 @@
 
 using namespace retscan;
 
+namespace {
+
+/// Full fault-dictionary workload (no fault dropping): every fault is
+/// simulated against every pattern, so the measured cost is pure
+/// pattern-evaluation throughput. `batch_size` 64 is the bit-parallel path;
+/// 1 is the scalar baseline (one pattern per pass, as the seed's
+/// one-fault-at-a-time flow cost it).
+std::size_t fault_dictionary_detects(const CombinationalFrame& frame,
+                                     const std::vector<Fault>& faults,
+                                     const std::vector<BitVec>& patterns,
+                                     std::size_t batch_size) {
+  std::size_t detected = 0;
+  std::vector<std::uint64_t> masks(faults.size(), 0);
+  for (std::size_t base = 0; base < patterns.size(); base += batch_size) {
+    const std::size_t count = std::min(batch_size, patterns.size() - base);
+    const std::vector<BitVec> batch(patterns.begin() + base,
+                                    patterns.begin() + base + count);
+    const CombinationalFrame::LoadedPatternBatch loaded = frame.load_batch(batch);
+    const std::vector<std::uint64_t> good = frame.good_response_words(loaded);
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      masks[fi] |= frame.detect_mask(faults[fi], loaded, good);
+    }
+  }
+  for (const std::uint64_t mask : masks) {
+    detected += mask != 0 ? 1 : 0;
+  }
+  return detected;
+}
+
+}  // namespace
+
 int main() {
   bench::header("ATPG + test-mode delivery on the protected FIFO");
+  bench::JsonReport json("atpg");
 
   ProtectionConfig config;
   config.kind = CodeKind::HammingPlusCrc;
@@ -41,14 +78,66 @@ int main() {
             << atpg.aborted << " aborted\n"
             << "coverage " << 100.0 * atpg.coverage() << "% with "
             << atpg.patterns.size() << " patterns\n";
+  json.set("coverage", atpg.coverage());
+  json.set("patterns", static_cast<double>(atpg.patterns.size()));
+  json.set("collapsed_faults", static_cast<double>(faults.size()));
 
+  // --- fault-simulation throughput: packed (64 patterns/pass) vs scalar ---
+  // Timed on the full fault-dictionary workload (no dropping) so both sides
+  // evaluate every fault against every pattern.
+  bench::header("Fault-simulation throughput (word-parallel vs scalar baseline)");
+  const double nominal_evals =
+      static_cast<double>(faults.size()) * static_cast<double>(atpg.patterns.size());
+  bench::Stopwatch timer;
+  constexpr int kPackedRepeats = 5;
+  std::size_t packed_detects = 0;
+  for (int r = 0; r < kPackedRepeats; ++r) {
+    packed_detects = fault_dictionary_detects(frame, faults, atpg.patterns, 64);
+  }
+  const double packed_fs_time = timer.seconds() / kPackedRepeats;
+  timer.restart();
+  const std::size_t scalar_detects =
+      fault_dictionary_detects(frame, faults, atpg.patterns, 1);
+  const double scalar_fs_time = timer.seconds();
+  const double packed_fs_rate = nominal_evals / packed_fs_time;
+  const double scalar_fs_rate = nominal_evals / scalar_fs_time;
+  const double faultsim_speedup = packed_fs_rate / scalar_fs_rate;
+  std::cout << "packed:  " << packed_fs_rate << " fault-evals/sec\n"
+            << "scalar:  " << scalar_fs_rate << " fault-evals/sec\n"
+            << "speedup: " << faultsim_speedup << "x\n";
+  json.set("packed_fault_evals_per_sec", packed_fs_rate);
+  json.set("scalar_fault_evals_per_sec", scalar_fs_rate);
+  json.set("faultsim_speedup", faultsim_speedup);
+
+  // --- test-mode delivery throughput: one lane per pattern vs one load ----
+  bench::header("Test-mode delivery throughput (64-lane vs scalar tester)");
+  timer.restart();
+  const ScanTestResult packed_applied =
+      apply_test_mode_scan_test_packed(design, frame, atpg.patterns);
+  const double packed_apply_time = timer.seconds();
   RetentionSession session(design);
-  const ScanTestResult applied =
+  timer.restart();
+  const ScanTestResult scalar_applied =
       apply_test_mode_scan_test(session, design, frame, atpg.patterns);
-  std::cout << "test-mode delivery: " << applied.patterns_applied << " patterns, "
-            << applied.mismatches << " mismatches\n";
+  const double scalar_apply_time = timer.seconds();
+  const double packed_rate = packed_applied.patterns_applied / packed_apply_time;
+  const double scalar_rate = scalar_applied.patterns_applied / scalar_apply_time;
+  const double delivery_speedup = packed_rate / scalar_rate;
+  std::cout << "test-mode delivery: " << scalar_applied.patterns_applied
+            << " patterns, " << scalar_applied.mismatches << " mismatches (scalar), "
+            << packed_applied.mismatches << " (packed)\n"
+            << "packed:  " << packed_rate << " patterns/sec\n"
+            << "scalar:  " << scalar_rate << " patterns/sec\n"
+            << "speedup: " << delivery_speedup << "x\n";
+  json.set("packed_patterns_per_sec", packed_rate);
+  json.set("scalar_patterns_per_sec", scalar_rate);
+  json.set("delivery_speedup", delivery_speedup);
 
-  const bool ok = atpg.coverage() > 0.90 && applied.all_passed();
+  const bool ok = atpg.coverage() > 0.90 && scalar_applied.all_passed() &&
+                  packed_applied.all_passed() && packed_detects == scalar_detects &&
+                  faultsim_speedup >= 10.0 && delivery_speedup >= 10.0;
+  json.set("pass", ok ? 1.0 : 0.0);
+  json.write();
   std::cout << (ok ? "\n[atpg] PASS\n" : "\n[atpg] FAIL\n");
   return ok ? 0 : 1;
 }

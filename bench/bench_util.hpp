@@ -1,9 +1,13 @@
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace retscan::bench {
 
@@ -31,5 +35,47 @@ inline void compare(const std::string& label, double ours, double paper,
             << std::setw(10) << std::setprecision(4) << ours << " " << unit
             << "   paper " << std::setw(10) << paper << " " << unit << "\n";
 }
+
+/// Wall-clock timer for throughput metrics.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable bench report: write() emits BENCH_<name>.json in the
+/// working directory so the perf trajectory (sequences/sec, fault-evals/sec,
+/// speedups) can be tracked across PRs alongside the human-readable lines.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  void write() const {
+    std::ofstream os("BENCH_" + name_ + ".json");
+    os << "{\n  \"bench\": \"" << name_ << "\"";
+    os << std::setprecision(12);
+    for (const auto& [key, value] : metrics_) {
+      os << ",\n  \"" << key << "\": " << value;
+    }
+    os << "\n}\n";
+    std::cout << "[json] BENCH_" << name_ << ".json written (" << metrics_.size()
+              << " metrics)\n";
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace retscan::bench

@@ -21,17 +21,14 @@ AtpgResult run_atpg(const CombinationalFrame& frame, const std::vector<Fault>& f
     for (std::size_t i = 0; i < count; ++i) {
       batch.push_back(frame.random_pattern(rng));
     }
-    std::vector<BitVec> good;
-    good.reserve(count);
-    for (const BitVec& p : batch) {
-      good.push_back(frame.good_response(p));
-    }
+    const CombinationalFrame::LoadedPatternBatch loaded = frame.load_batch(batch);
+    const std::vector<std::uint64_t> good = frame.good_response_words(loaded);
     std::uint64_t useful = 0;  // patterns that detected something new
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
       if (detected[fi]) {
         continue;
       }
-      const std::uint64_t mask = frame.detect_mask(faults[fi], batch, good);
+      const std::uint64_t mask = frame.detect_mask(faults[fi], loaded, good);
       if (mask != 0) {
         detected[fi] = true;
         ++result.detected_random;

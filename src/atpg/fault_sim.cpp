@@ -1,7 +1,9 @@
 #include "atpg/fault_sim.hpp"
 
+#include <bit>
 #include <limits>
 
+#include "sim/eval_kernel.hpp"
 #include "util/error.hpp"
 
 namespace retscan {
@@ -72,69 +74,86 @@ void CombinationalFrame::load(std::vector<std::uint64_t>& values,
 
 void CombinationalFrame::evaluate(std::vector<std::uint64_t>& values, NetId fault_net,
                                   std::uint64_t fault_value) const {
-  auto force = [&](NetId net) {
-    if (net == fault_net) {
-      values[net] = fault_value;
-    }
-  };
   // PIs and flop outputs may themselves be the fault site.
   if (fault_net != kNullNet) {
-    force(fault_net);
+    values[fault_net] = fault_value;
   }
   for (const CellId id : order_) {
     const Cell& c = netlist_->cell(id);
     if (c.type == CellType::Output) {
       continue;
     }
-    std::uint64_t value = 0;
-    const auto& f = c.fanin;
-    switch (c.type) {
-      case CellType::Buf: value = values[f[0]]; break;
-      case CellType::Not: value = ~values[f[0]]; break;
-      case CellType::And2: value = values[f[0]] & values[f[1]]; break;
-      case CellType::Or2: value = values[f[0]] | values[f[1]]; break;
-      case CellType::Xor2: value = values[f[0]] ^ values[f[1]]; break;
-      case CellType::Nand2: value = ~(values[f[0]] & values[f[1]]); break;
-      case CellType::Nor2: value = ~(values[f[0]] | values[f[1]]); break;
-      case CellType::Xnor2: value = ~(values[f[0]] ^ values[f[1]]); break;
-      case CellType::Mux2:
-        value = (values[f[0]] & values[f[2]]) | (~values[f[0]] & values[f[1]]);
-        break;
-      case CellType::Const0: value = 0; break;
-      case CellType::Const1: value = ~std::uint64_t{0}; break;
-      default:
-        continue;  // sequential outputs already loaded
-    }
-    values[c.out] = value;
+    values[c.out] = eval_comb_word(c, values);
     if (c.out == fault_net) {
       values[c.out] = fault_value;
     }
   }
 }
 
-void CombinationalFrame::extract(const std::vector<std::uint64_t>& values, std::size_t count,
-                                 std::vector<BitVec>& responses) const {
-  responses.assign(count, BitVec(response_width()));
-  for (std::size_t p = 0; p < count; ++p) {
-    const std::uint64_t bit = std::uint64_t{1} << p;
-    for (std::size_t i = 0; i < po_nets_.size(); ++i) {
-      responses[p].set(i, (values[po_nets_[i]] & bit) != 0);
-    }
-    for (std::size_t i = 0; i < flops_.size(); ++i) {
-      // PPO = functional D pin (capture path, se = 0).
-      const NetId d = netlist_->cell(flops_[i]).fanin[0];
-      responses[p].set(po_nets_.size() + i, (values[d] & bit) != 0);
-    }
+std::vector<std::uint64_t> CombinationalFrame::response_words(
+    const std::vector<std::uint64_t>& values) const {
+  std::vector<std::uint64_t> words;
+  words.reserve(response_width());
+  for (const NetId po : po_nets_) {
+    words.push_back(values[po]);
   }
+  for (const CellId flop : flops_) {
+    // PPO = functional D pin (capture path, se = 0).
+    words.push_back(values[netlist_->cell(flop).fanin[0]]);
+  }
+  return words;
+}
+
+CombinationalFrame::LoadedPatternBatch CombinationalFrame::load_batch(
+    const std::vector<BitVec>& patterns) const {
+  LoadedPatternBatch batch;
+  batch.values.resize(netlist_->net_count());
+  batch.count = patterns.size();
+  load(batch.values, patterns);
+  return batch;
 }
 
 BitVec CombinationalFrame::good_response(const BitVec& pattern) const {
-  std::vector<std::uint64_t> values(netlist_->net_count(), 0);
-  load(values, {pattern});
-  evaluate(values, kNullNet, 0);
-  std::vector<BitVec> responses;
-  extract(values, 1, responses);
-  return responses[0];
+  return unpack_lanes(good_response_words({pattern}), 1)[0];
+}
+
+std::vector<std::uint64_t> CombinationalFrame::good_response_words(
+    const LoadedPatternBatch& batch) const {
+  scratch_ = batch.values;
+  evaluate(scratch_, kNullNet, 0);
+  return response_words(scratch_);
+}
+
+std::vector<std::uint64_t> CombinationalFrame::good_response_words(
+    const std::vector<BitVec>& patterns) const {
+  return good_response_words(load_batch(patterns));
+}
+
+std::uint64_t CombinationalFrame::detect_mask(
+    const Fault& fault, const LoadedPatternBatch& batch,
+    const std::vector<std::uint64_t>& good_words) const {
+  RETSCAN_CHECK(good_words.size() == response_width(),
+                "CombinationalFrame::detect_mask: good responses missing");
+  scratch_ = batch.values;
+  const std::uint64_t fault_value = fault.stuck_at ? ~std::uint64_t{0} : 0;
+  evaluate(scratch_, fault.net, fault_value);
+  // Word-wide good/faulty XOR over every observable: bit p of the result is
+  // set iff pattern p sees a difference somewhere.
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < po_nets_.size(); ++i) {
+    mask |= scratch_[po_nets_[i]] ^ good_words[i];
+  }
+  for (std::size_t i = 0; i < flops_.size(); ++i) {
+    const NetId d = netlist_->cell(flops_[i]).fanin[0];
+    mask |= scratch_[d] ^ good_words[po_nets_.size() + i];
+  }
+  return mask & lane_mask(batch.count);
+}
+
+std::uint64_t CombinationalFrame::detect_mask(
+    const Fault& fault, const std::vector<BitVec>& patterns,
+    const std::vector<std::uint64_t>& good_words) const {
+  return detect_mask(fault, load_batch(patterns), good_words);
 }
 
 std::uint64_t CombinationalFrame::detect_mask(const Fault& fault,
@@ -142,19 +161,10 @@ std::uint64_t CombinationalFrame::detect_mask(const Fault& fault,
                                               const std::vector<BitVec>& good) const {
   RETSCAN_CHECK(patterns.size() == good.size(),
                 "CombinationalFrame::detect_mask: good responses missing");
-  std::vector<std::uint64_t> values(netlist_->net_count(), 0);
-  load(values, patterns);
-  const std::uint64_t fault_value = fault.stuck_at ? ~std::uint64_t{0} : 0;
-  evaluate(values, fault.net, fault_value);
-  std::vector<BitVec> faulty;
-  extract(values, patterns.size(), faulty);
-  std::uint64_t mask = 0;
-  for (std::size_t p = 0; p < patterns.size(); ++p) {
-    if (faulty[p] != good[p]) {
-      mask |= std::uint64_t{1} << p;
-    }
+  if (patterns.empty()) {
+    return 0;
   }
-  return mask;
+  return detect_mask(fault, patterns, pack_lanes(good));
 }
 
 FaultSimResult fault_simulate(const CombinationalFrame& frame,
@@ -165,26 +175,21 @@ FaultSimResult fault_simulate(const CombinationalFrame& frame,
   result.total_faults = faults.size();
   result.detected_by.assign(faults.size(), npos);
 
-  // Precompute good responses batch by batch.
+  // One load + one good-machine evaluation per 64-pattern batch, then a
+  // word-wide XOR detection per live fault.
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
-    std::vector<BitVec> batch(patterns.begin() + base, patterns.begin() + base + count);
-    std::vector<BitVec> good;
-    good.reserve(count);
-    for (const BitVec& p : batch) {
-      good.push_back(frame.good_response(p));
-    }
+    const std::vector<BitVec> batch(patterns.begin() + base,
+                                    patterns.begin() + base + count);
+    const CombinationalFrame::LoadedPatternBatch loaded = frame.load_batch(batch);
+    const std::vector<std::uint64_t> good = frame.good_response_words(loaded);
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
       if (result.detected_by[fi] != npos) {
         continue;  // fault dropping
       }
-      const std::uint64_t mask = frame.detect_mask(faults[fi], batch, good);
+      const std::uint64_t mask = frame.detect_mask(faults[fi], loaded, good);
       if (mask != 0) {
-        std::size_t first = 0;
-        while (((mask >> first) & 1u) == 0) {
-          ++first;
-        }
-        result.detected_by[fi] = base + first;
+        result.detected_by[fi] = base + static_cast<std::size_t>(std::countr_zero(mask));
         ++result.detected;
       }
     }

@@ -44,21 +44,44 @@ class CombinationalFrame {
   /// Good-machine response of a single pattern.
   BitVec good_response(const BitVec& pattern) const;
 
+  /// Up to 64 patterns loaded into lane-word net values: inputs, pseudo
+  /// inputs, constraints and constants set, everything else zero. Loading is
+  /// the per-batch cost; each fault evaluation then starts from a plain word
+  /// copy of this, so simulating F faults costs one load + F evaluations.
+  struct LoadedPatternBatch {
+    std::vector<std::uint64_t> values;  // indexed by NetId
+    std::size_t count = 0;              // patterns in the batch
+  };
+  LoadedPatternBatch load_batch(const std::vector<BitVec>& patterns) const;
+
+  /// Good-machine responses of up to 64 patterns in lane-word form: one word
+  /// per observable (POs first, then flop D captures), lane p = pattern p.
+  /// This is the fast currency of the fault simulator — detection is a
+  /// word-wide XOR against these, with no per-pattern unpacking.
+  std::vector<std::uint64_t> good_response_words(const LoadedPatternBatch& batch) const;
+  std::vector<std::uint64_t> good_response_words(const std::vector<BitVec>& patterns) const;
+
   /// 64-way parallel-pattern single-fault propagation: returns the set of
-  /// pattern indices (bitmask) in `patterns` that detect `fault`, given the
+  /// pattern indices (bitmask) in the batch that detect `fault`, given the
   /// precomputed good responses. Patterns beyond 64 must be batched by the
   /// caller.
+  std::uint64_t detect_mask(const Fault& fault, const LoadedPatternBatch& batch,
+                            const std::vector<std::uint64_t>& good_words) const;
+  std::uint64_t detect_mask(const Fault& fault, const std::vector<BitVec>& patterns,
+                            const std::vector<std::uint64_t>& good_words) const;
+  /// Convenience overload taking per-pattern good responses.
   std::uint64_t detect_mask(const Fault& fault, const std::vector<BitVec>& patterns,
                             const std::vector<BitVec>& good) const;
 
  private:
-  /// Word-parallel evaluation of up to 64 patterns; values[net] holds one
-  /// bit per pattern. If fault_net != kNullNet its value is forced.
+  /// Word-parallel evaluation of up to 64 patterns through the shared gate
+  /// kernel (sim/eval_kernel.hpp); values[net] holds one bit per pattern.
+  /// If fault_net != kNullNet its value is forced.
   void evaluate(std::vector<std::uint64_t>& values, NetId fault_net,
                 std::uint64_t fault_value) const;
   void load(std::vector<std::uint64_t>& values, const std::vector<BitVec>& patterns) const;
-  void extract(const std::vector<std::uint64_t>& values, std::size_t count,
-               std::vector<BitVec>& responses) const;
+  /// Observable values (response_width() words) from settled net values.
+  std::vector<std::uint64_t> response_words(const std::vector<std::uint64_t>& values) const;
 
   const Netlist* netlist_;
   std::vector<CellId> order_;
@@ -67,6 +90,7 @@ class CombinationalFrame {
   std::vector<NetId> po_nets_;
   std::vector<std::pair<std::size_t, bool>> constraints_;
   std::vector<NetId> const1_nets_;
+  mutable std::vector<std::uint64_t> scratch_;  // evaluation workspace
 };
 
 /// Fault-simulate a pattern set over a fault list with fault dropping.

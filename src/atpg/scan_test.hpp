@@ -6,6 +6,7 @@
 #include "atpg/fault_sim.hpp"
 #include "core/protected_design.hpp"
 #include "scan/scan_insert.hpp"
+#include "sim/packed_sim.hpp"
 #include "sim/simulator.hpp"
 #include "util/bitvec.hpp"
 
@@ -30,6 +31,13 @@ ScanTestResult apply_scan_test(Simulator& sim, const ScanChains& chains,
                                const CombinationalFrame& frame,
                                const std::vector<BitVec>& patterns);
 
+/// 64-way parallel-pattern variant: each PackedSim lane shifts, captures and
+/// checks a different pattern, so a whole 64-pattern batch costs one scan
+/// load plus one capture cycle. This is the coverage-run workhorse.
+ScanTestResult apply_scan_test(PackedSim& sim, const ScanChains& chains,
+                               const CombinationalFrame& frame,
+                               const std::vector<BitVec>& patterns);
+
 /// Apply patterns to a ProtectedDesign through the narrow manufacturing
 /// test ports tsi/tso with test_mode asserted, exercising the Fig. 5(b)
 /// concatenation muxes. Shift depth is (W/T) * l per load/unload.
@@ -37,5 +45,11 @@ ScanTestResult apply_test_mode_scan_test(RetentionSession& session,
                                          const ProtectedDesign& design,
                                          const CombinationalFrame& frame,
                                          const std::vector<BitVec>& patterns);
+
+/// 64-way parallel-pattern test-mode delivery: one lane per pattern through
+/// the same tsi/tso concatenation. Builds its own PackedSim over the design.
+ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
+                                                const CombinationalFrame& frame,
+                                                const std::vector<BitVec>& patterns);
 
 }  // namespace retscan

@@ -126,6 +126,47 @@ double ProtectedDesign::overhead_percent(const TechLibrary& tech) const {
   return base > 0 ? 100.0 * monitor / base : 0.0;
 }
 
+namespace {
+
+// The Fig. 3(b) control sequences, shared by the scalar and packed session
+// facades so the protocol exists in exactly one place. `drive` sets one
+// control input to a boolean (broadcast across lanes on the packed facade).
+
+template <typename Drive>
+void seq_set_controls(const ProtectedDesign& design, const Drive& drive,
+                      bool se, bool mon_en, bool mon_decode, bool test_mode) {
+  drive(design.chains().se, se);
+  drive(design.controls().mon_en, mon_en);
+  drive(design.controls().mon_decode, mon_decode);
+  drive(design.netlist().find_net("test_mode"), test_mode);
+}
+
+template <typename Sim, typename Drive>
+void seq_pulse(Sim& sim, const Drive& drive, NetId net) {
+  drive(net, true);
+  sim.step();
+  drive(net, false);
+}
+
+/// Encode: clear, circulate l cycles storing parity, capture CRC
+/// signatures. Decode is the same circulation with mon_decode asserted and
+/// a signature compare at the end.
+template <typename Sim, typename Drive>
+void seq_monitor_pass(Sim& sim, const ProtectedDesign& design, const Drive& drive,
+                      bool decode) {
+  seq_set_controls(design, drive, false, false, false, false);
+  seq_pulse(sim, drive, design.controls().mon_clear);
+  seq_set_controls(design, drive, true, true, decode, false);
+  sim.step_n(design.chain_length());
+  seq_set_controls(design, drive, false, false, false, false);
+  if (design.config().kind != CodeKind::HammingCorrect) {
+    seq_pulse(sim, drive,
+              decode ? design.controls().sig_compare : design.controls().sig_capture);
+  }
+}
+
+}  // namespace
+
 RetentionSession::RetentionSession(const ProtectedDesign& design)
     : design_(&design),
       sim_(design.netlist()),
@@ -142,29 +183,14 @@ RetentionSession::RetentionSession(const ProtectedDesign& design)
 }
 
 void RetentionSession::set_controls(bool se, bool mon_en, bool mon_decode, bool test_mode) {
-  sim_.set_input(design_->chains().se, se);
-  sim_.set_input(design_->controls().mon_en, mon_en);
-  sim_.set_input(design_->controls().mon_decode, mon_decode);
-  sim_.set_input(design_->netlist().find_net("test_mode"), test_mode);
-}
-
-void RetentionSession::pulse(NetId net) {
-  sim_.set_input(net, true);
-  sim_.step();
-  sim_.set_input(net, false);
+  seq_set_controls(*design_, [this](NetId n, bool v) { sim_.set_input(n, v); },
+                   se, mon_en, mon_decode, test_mode);
 }
 
 void RetentionSession::encode() {
   fsm_.on_event(PgEvent::SleepRequest);
-  set_controls(false, false, false, false);
-  pulse(design_->controls().mon_clear);
-  set_controls(true, true, false, false);
-  sim_.step_n(design_->chain_length());
-  set_controls(false, false, false, false);
-  const bool has_crc = design_->config().kind != CodeKind::HammingCorrect;
-  if (has_crc) {
-    pulse(design_->controls().sig_capture);
-  }
+  seq_monitor_pass(sim_, *design_, [this](NetId n, bool v) { sim_.set_input(n, v); },
+                   /*decode=*/false);
   fsm_.on_event(PgEvent::SequenceDone);  // Encoding -> SleepEntry
 }
 
@@ -191,15 +217,8 @@ void RetentionSession::wake() {
 }
 
 bool RetentionSession::decode() {
-  set_controls(false, false, false, false);
-  pulse(design_->controls().mon_clear);
-  set_controls(true, true, true, false);
-  sim_.step_n(design_->chain_length());
-  set_controls(false, false, false, false);
-  const bool has_crc = design_->config().kind != CodeKind::HammingCorrect;
-  if (has_crc) {
-    pulse(design_->controls().sig_compare);
-  }
+  seq_monitor_pass(sim_, *design_, [this](NetId n, bool v) { sim_.set_input(n, v); },
+                   /*decode=*/true);
   return error_flag();
 }
 
@@ -249,6 +268,85 @@ ActivityReport RetentionSession::measure_decode(const TechLibrary& tech) {
   const bool had_errors = decode();
   (void)had_errors;
   return sim_.activity(tech);
+}
+
+PackedRetentionSession::PackedRetentionSession(const ProtectedDesign& design)
+    : design_(&design), sim_(design.netlist()) {
+  RETSCAN_CHECK(!design.config().hardware_controller,
+                "PackedRetentionSession: design has a hardware controller; use "
+                "HardwareRetentionSession");
+  set_controls(false, false, false, false);
+  sim_.set_input_all(design_->controls().mon_clear, false);
+  sim_.set_input_all(design_->controls().sig_capture, false);
+  sim_.set_input_all(design_->controls().sig_compare, false);
+  sim_.set_input_all(design_->chains().retain, false);
+  sim_.eval();
+}
+
+void PackedRetentionSession::set_controls(bool se, bool mon_en, bool mon_decode,
+                                          bool test_mode) {
+  seq_set_controls(*design_, [this](NetId n, bool v) { sim_.set_input_all(n, v); },
+                   se, mon_en, mon_decode, test_mode);
+}
+
+void PackedRetentionSession::encode() {
+  seq_monitor_pass(sim_, *design_, [this](NetId n, bool v) { sim_.set_input_all(n, v); },
+                   /*decode=*/false);
+}
+
+void PackedRetentionSession::enter_sleep(Rng* garbage_rng) {
+  set_controls(false, false, false, false);
+  sim_.set_input_all(design_->chains().retain, true);
+  sim_.step();  // save edge: balloon latches sample the masters
+  sim_.power_off(design_->config().gated_domain, garbage_rng);
+}
+
+void PackedRetentionSession::corrupt(
+    const std::vector<std::vector<ErrorLocation>>& per_lane) {
+  RETSCAN_CHECK(!sim_.domain_powered(design_->config().gated_domain),
+                "PackedRetentionSession::corrupt: domain must be asleep");
+  ErrorInjector::flip_retention(sim_, design_->chains(), per_lane);
+}
+
+void PackedRetentionSession::wake() {
+  sim_.power_on(design_->config().gated_domain);
+  sim_.set_input_all(design_->chains().retain, false);
+  sim_.step();  // restore edge: masters reload from the balloon latches
+}
+
+LaneWord PackedRetentionSession::decode() {
+  seq_monitor_pass(sim_, *design_, [this](NetId n, bool v) { sim_.set_input_all(n, v); },
+                   /*decode=*/true);
+  return error_flags();
+}
+
+LaneWord PackedRetentionSession::error_flags() const {
+  return sim_.net_lanes(design_->error_flag_net_);
+}
+
+PackedRetentionSession::CycleOutcome PackedRetentionSession::sleep_wake_cycle(
+    const std::vector<std::vector<ErrorLocation>>& per_lane, Rng* garbage_rng) {
+  CycleOutcome outcome;
+  encode();
+  enter_sleep(garbage_rng);
+  corrupt(per_lane);
+  wake();
+  outcome.errors_detected = decode();
+  outcome.decode_passes = 1;
+  const bool can_correct = design_->config().kind != CodeKind::CrcDetect;
+  if (can_correct && outcome.errors_detected != 0) {
+    // Re-check pass for every lane: the first decode already spliced
+    // corrections into the stream, and a second pass over an already-clean
+    // lane is clean by construction, so lanes that detected nothing are
+    // unaffected while dirty lanes prove (or disprove) their repair.
+    const LaneWord still_dirty = decode();
+    ++outcome.decode_passes;
+    outcome.recheck_clean = ~still_dirty;
+  } else {
+    // No repair happened: clean lanes pass, detected lanes stay dirty.
+    outcome.recheck_clean = ~outcome.errors_detected;
+  }
+  return outcome;
 }
 
 HardwareRetentionSession::HardwareRetentionSession(const ProtectedDesign& design,

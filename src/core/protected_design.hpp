@@ -13,6 +13,7 @@
 #include "netlist/techlib.hpp"
 #include "power/pg_fsm.hpp"
 #include "scan/scan_insert.hpp"
+#include "sim/packed_sim.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -103,6 +104,7 @@ class ProtectedDesign {
 
   friend class RetentionSession;
   friend class HardwareRetentionSession;
+  friend class PackedRetentionSession;
 };
 
 /// Drives a simulated ProtectedDesign through the proposed power-gating
@@ -161,11 +163,58 @@ class RetentionSession {
 
  private:
   void set_controls(bool se, bool mon_en, bool mon_decode, bool test_mode);
-  void pulse(NetId net);
 
   const ProtectedDesign* design_;
   Simulator sim_;
   PgControllerFsm fsm_;
+};
+
+/// 64-lane batch variant of RetentionSession: drives one PackedSim through
+/// the same Fig. 3(b) control sequence, with every lane carrying an
+/// independent corruption trial. Control inputs are broadcast (the
+/// controller sequence does not depend on the injected errors); corruption,
+/// power-off garbage and the monitor error flags are per lane, so one
+/// sleep/wake episode evaluates 64 injection campaigns at once.
+class PackedRetentionSession {
+ public:
+  explicit PackedRetentionSession(const ProtectedDesign& design);
+
+  PackedSim& sim() { return sim_; }
+  const PackedSim& sim() const { return sim_; }
+
+  /// Encode sequence: clear, circulate l cycles storing parity, capture
+  /// CRC signatures (all lanes in lockstep).
+  void encode();
+  /// Sleep entry: assert RETAIN, one save edge, switches off. Master
+  /// garbage is independent per lane.
+  void enter_sleep(Rng* garbage_rng = nullptr);
+  /// Flip retention latches while asleep; per_lane[b] applies to lane b.
+  void corrupt(const std::vector<std::vector<ErrorLocation>>& per_lane);
+  /// Wake: switches on, RETAIN released, state restored from latches.
+  void wake();
+  /// Decode sequence; returns the per-lane sticky error flags.
+  LaneWord decode();
+
+  LaneWord error_flags() const;
+
+  /// Per-lane outcome of a full sleep/wake cycle. recheck_clean mirrors the
+  /// scalar FSM: lanes with a clean first decode are clean; for correctable
+  /// configurations a re-check pass decides the rest; detection-only
+  /// configurations never repair, so detected lanes stay dirty. A lane is
+  /// ErrorFlagged (uncorrectable) iff detected and not recheck-clean.
+  struct CycleOutcome {
+    LaneWord errors_detected = 0;
+    LaneWord recheck_clean = 0;
+    std::size_t decode_passes = 0;
+  };
+  CycleOutcome sleep_wake_cycle(const std::vector<std::vector<ErrorLocation>>& per_lane,
+                                Rng* garbage_rng = nullptr);
+
+ private:
+  void set_controls(bool se, bool mon_en, bool mon_decode, bool test_mode);
+
+  const ProtectedDesign* design_;
+  PackedSim sim_;
 };
 
 /// Drives a ProtectedDesign built with `hardware_controller = true`: the

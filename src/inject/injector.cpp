@@ -88,6 +88,19 @@ void ErrorInjector::flip_retention(Simulator& sim, const ScanChains& chains,
   }
 }
 
+void ErrorInjector::flip_retention(
+    PackedSim& sim, const ScanChains& chains,
+    const std::vector<std::vector<ErrorLocation>>& per_lane) {
+  RETSCAN_CHECK(per_lane.size() <= PackedSim::lane_count(),
+                "ErrorInjector: more lanes than the packed simulator has");
+  for (std::size_t lane = 0; lane < per_lane.size(); ++lane) {
+    const LaneWord mask = LaneWord{1} << lane;
+    for (const ErrorLocation& loc : per_lane[lane]) {
+      sim.flip_retention(chains.at(loc.chain, loc.position), mask);
+    }
+  }
+}
+
 void ErrorInjector::flip_flops(Simulator& sim, const ScanChains& chains,
                                const std::vector<ErrorLocation>& errors) {
   for (const ErrorLocation& loc : errors) {

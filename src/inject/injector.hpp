@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "scan/scan_insert.hpp"
+#include "sim/packed_sim.hpp"
 #include "sim/simulator.hpp"
 #include "util/bitvec.hpp"
 #include "util/lfsr.hpp"
@@ -49,6 +50,11 @@ class ErrorInjector {
   /// physical effect of wake-up rush current on the balloon latches).
   static void flip_retention(Simulator& sim, const ScanChains& chains,
                              const std::vector<ErrorLocation>& errors);
+
+  /// Batch form: per_lane[b] is the upset set applied to lane b of a
+  /// PackedSim — 64 independent corruption trials in one simulated design.
+  static void flip_retention(PackedSim& sim, const ScanChains& chains,
+                             const std::vector<std::vector<ErrorLocation>>& per_lane);
 
   /// Flip the selected master flip-flop states directly.
   static void flip_flops(Simulator& sim, const ScanChains& chains,

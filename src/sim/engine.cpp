@@ -1,0 +1,230 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+SimEngine::SimEngine(const Netlist& netlist, LaneWord activity_lanes)
+    : netlist_(&netlist),
+      activity_lanes_(activity_lanes),
+      net_values_(netlist.net_count(), 0),
+      flop_state_(netlist.cell_count(), 0),
+      retention_state_(netlist.cell_count(), 0),
+      prev_retain_(netlist.cell_count(), 0),
+      toggles_(netlist.cell_count(), 0) {
+  for (const CellId id : netlist.combinational_order()) {
+    if (netlist.cell(id).type != CellType::Output) {
+      comb_cells_.push_back(id);
+    }
+  }
+  DomainId max_domain = 0;
+  for (CellId id = 0; id < netlist.cell_count(); ++id) {
+    const Cell& c = netlist.cell(id);
+    max_domain = std::max(max_domain, c.domain);
+    if (c.type == CellType::Const1) {
+      const1_cells_.push_back(id);
+    }
+    if (cell_is_flop(c.type)) {
+      flop_cells_.push_back(id);
+    }
+    if (c.type == CellType::Rdff) {
+      rdff_cells_.push_back(id);
+    }
+    if (!cell_is_sequential(c.type)) {
+      continue;
+    }
+    SeqCell s;
+    s.id = id;
+    s.type = c.type;
+    s.out = c.out;
+    s.domain = c.domain;
+    switch (c.type) {
+      case CellType::Dff:
+        s.d = c.fanin[0];
+        break;
+      case CellType::Sdff:
+        s.d = c.fanin[0];
+        s.si = c.fanin[1];
+        s.se = c.fanin[2];
+        break;
+      case CellType::Rdff:
+        s.d = c.fanin[0];
+        s.si = c.fanin[1];
+        s.se = c.fanin[2];
+        s.retain = c.fanin[3];
+        break;
+      case CellType::LatchL:
+        s.d = c.fanin[0];
+        s.retain = c.fanin[1];  // EN pin
+        break;
+      default:
+        break;
+    }
+    seq_cells_.push_back(s);
+  }
+  for (const CellId input : netlist.inputs()) {
+    input_by_name_.emplace(netlist.cell(input).name, netlist.cell(input).out);
+  }
+  domain_powered_.assign(static_cast<std::size_t>(max_domain) + 1, kAllLanes);
+  domain_seq_cells_.resize(domain_powered_.size());
+  for (const SeqCell& s : seq_cells_) {
+    domain_seq_cells_[s.domain].push_back(s.id);
+  }
+  next_state_.resize(seq_cells_.size(), 0);
+  write_mask_.resize(seq_cells_.size(), 0);
+  reset();
+}
+
+NetId SimEngine::input_net(const std::string& port_name) const {
+  const auto it = input_by_name_.find(port_name);
+  RETSCAN_CHECK(it != input_by_name_.end(), "SimEngine: no input port " + port_name);
+  return it->second;
+}
+
+void SimEngine::check_input_net(NetId net) const {
+  RETSCAN_CHECK(net < net_values_.size(), "SimEngine::set_input: bad net");
+  const CellId drv = netlist_->driver(net);
+  RETSCAN_CHECK(drv != kNullCell && netlist_->cell(drv).type == CellType::Input,
+                "SimEngine::set_input: net is not a primary input");
+}
+
+void SimEngine::reset() {
+  std::fill(flop_state_.begin(), flop_state_.end(), LaneWord{0});
+  std::fill(retention_state_.begin(), retention_state_.end(), LaneWord{0});
+  std::fill(prev_retain_.begin(), prev_retain_.end(), LaneWord{0});
+  std::fill(domain_powered_.begin(), domain_powered_.end(), kAllLanes);
+  std::fill(net_values_.begin(), net_values_.end(), LaneWord{0});
+  commit_sequential_outputs();
+  eval();
+}
+
+void SimEngine::drive_net(NetId net, CellId cell, LaneWord value) {
+  const LaneWord old = net_values_[net];
+  if (old != value) {
+    net_values_[net] = value;
+    toggles_[cell] += static_cast<std::uint64_t>(std::popcount((old ^ value) & activity_lanes_));
+  }
+}
+
+void SimEngine::eval() {
+  for (const CellId id : comb_cells_) {
+    const Cell& c = netlist_->cell(id);
+    const LaneWord value = domain_powered_[c.domain] & eval_comb_word(c, net_values_);
+    drive_net(c.out, id, value);
+  }
+}
+
+void SimEngine::commit_sequential_outputs() {
+  for (const SeqCell& s : seq_cells_) {
+    drive_net(s.out, s.id, flop_state_[s.id] & domain_powered_[s.domain]);
+  }
+  for (const CellId id : const1_cells_) {
+    drive_net(netlist_->cell(id).out, id, kAllLanes);
+  }
+}
+
+void SimEngine::step() {
+  eval();
+  // Capture phase: next states from settled nets, with per-lane write masks.
+  for (std::size_t i = 0; i < seq_cells_.size(); ++i) {
+    const SeqCell& s = seq_cells_[i];
+    const LaneWord powered = domain_powered_[s.domain];
+    LaneWord next = 0;
+    LaneWord write = 0;
+    switch (s.type) {
+      case CellType::Dff: {
+        next = net_values_[s.d];
+        write = powered;
+        break;
+      }
+      case CellType::Sdff: {
+        next = lane_mux(net_values_[s.se], net_values_[s.d], net_values_[s.si]);
+        write = powered;
+        break;
+      }
+      case CellType::Rdff: {
+        const LaneWord retain = net_values_[s.retain];
+        const LaneWord prev = prev_retain_[s.id];
+        // Save: the balloon latch samples the master exactly once, on the
+        // RETAIN rising edge, and only while the domain is powered. It must
+        // NOT re-sample while RETAIN stays high through sleep/wake — the
+        // master holds garbage then and the latch is the only good copy.
+        const LaneWord save = retain & ~prev & powered;
+        retention_state_[s.id] =
+            (retention_state_[s.id] & ~save) | (flop_state_[s.id] & save);
+        // Restore on the first powered RETAIN falling edge; functional/scan
+        // capture when RETAIN has been low; hold (clock gated) while high.
+        const LaneWord restore = prev & ~retain & powered;
+        const LaneWord functional = ~prev & ~retain & powered;
+        const LaneWord d = lane_mux(net_values_[s.se], net_values_[s.d], net_values_[s.si]);
+        next = (restore & retention_state_[s.id]) | (functional & d);
+        write = restore | functional;
+        prev_retain_[s.id] = retain;
+        break;
+      }
+      case CellType::LatchL: {
+        next = net_values_[s.d];
+        write = powered & net_values_[s.retain];  // EN
+        break;
+      }
+      default:
+        break;
+    }
+    next_state_[i] = next;
+    write_mask_[i] = write;
+    clocked_cell_edges_ +=
+        static_cast<std::uint64_t>(std::popcount(powered & activity_lanes_));
+  }
+  for (std::size_t i = 0; i < seq_cells_.size(); ++i) {
+    const CellId id = seq_cells_[i].id;
+    flop_state_[id] = (flop_state_[id] & ~write_mask_[i]) | (next_state_[i] & write_mask_[i]);
+  }
+  ++steps_;
+  commit_sequential_outputs();
+  eval();
+}
+
+void SimEngine::set_flop(CellId id, LaneWord value) {
+  flop_state_[id] = value;
+  commit_sequential_outputs();
+}
+
+void SimEngine::power_off(DomainId domain, Rng* rng, bool per_lane_garbage) {
+  RETSCAN_CHECK(domain < domain_powered_.size(), "SimEngine::power_off: bad domain");
+  RETSCAN_CHECK(domain != kAlwaysOnDomain, "SimEngine: cannot power off the always-on domain");
+  domain_powered_[domain] = 0;
+  for (const CellId id : domain_seq_cells_[domain]) {
+    // Master state is physically lost. Retention latches are always-on by
+    // construction and keep their contents.
+    LaneWord garbage = 0;
+    if (rng != nullptr) {
+      garbage = per_lane_garbage ? rng->next_u64() : lane_broadcast(rng->next_bool(0.5));
+    }
+    flop_state_[id] = garbage;
+  }
+  commit_sequential_outputs();
+  eval();
+}
+
+void SimEngine::power_on(DomainId domain) {
+  RETSCAN_CHECK(domain < domain_powered_.size(), "SimEngine::power_on: bad domain");
+  domain_powered_[domain] = kAllLanes;
+  commit_sequential_outputs();
+  eval();
+}
+
+bool SimEngine::domain_powered(DomainId domain) const {
+  RETSCAN_CHECK(domain < domain_powered_.size(), "SimEngine::domain_powered: bad domain");
+  return domain_powered_[domain] != 0;
+}
+
+void SimEngine::reset_activity() {
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  steps_ = 0;
+  clocked_cell_edges_ = 0;
+}
+
+}  // namespace retscan

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/eval_kernel.hpp"
+#include "util/rng.hpp"
+
+namespace retscan {
+
+/// 64-lane bit-parallel two-phase simulation engine.
+///
+/// This is the one implementation of the library's cycle semantics —
+/// combinational settling, flop/latch capture, power-domain clamping, Rdff
+/// balloon-latch save/restore on RETAIN edges. Two facades instantiate it:
+///
+///  * Simulator — the scalar API. Values are lane-replicated (0 or ~0) so
+///    every lane computes the same circuit; activity is accounted on lane 0
+///    only, preserving the original scalar toggle/energy numbers bit-exactly.
+///  * PackedSim — the batch API. Each lane is an independent pattern/seed
+///    slot, giving 64 simulations per gate operation for fault-simulation
+///    and injection campaigns.
+///
+/// Power-gating semantics (shared verbatim by both facades):
+///  * power_off(domain): master flip-flop state in the domain is lost
+///    (garbage from the Rng, zeros if null); outputs of all cells in the
+///    domain read 0 while off, modelling isolation clamps.
+///  * Rdff retention flops: the always-on balloon latch samples the master
+///    once, on the RETAIN rising edge; on the first powered clock with
+///    RETAIN falling 1->0 the master restores from the latch; while RETAIN
+///    is high the master holds (clock gated). RETAIN may stay asserted for
+///    arbitrarily many cycles — including across multiple power cycles —
+///    without re-sampling.
+class SimEngine {
+ public:
+  /// `activity_lanes` selects which lanes contribute to toggle counts and
+  /// clocked-edge accounting (the scalar facade passes lane 0 only so that
+  /// replicated lanes are not multiply counted).
+  SimEngine(const Netlist& netlist, LaneWord activity_lanes);
+
+  const Netlist& netlist() const { return *netlist_; }
+
+  /// Zero all state and inputs, power every domain on, settle.
+  void reset();
+  /// Combinational settle only (no clock edge).
+  void eval();
+  /// One full clock cycle: eval, capture, commit, settle.
+  void step();
+
+  // --- lane-word state access --------------------------------------------
+  LaneWord net(NetId net) const { return net_values_[net]; }
+  void set_net(NetId net, LaneWord value) { net_values_[net] = value; }
+  std::size_t net_count() const { return net_values_.size(); }
+
+  /// Primary-input net by port name; throws if absent.
+  NetId input_net(const std::string& port_name) const;
+  /// Throws unless `net` exists and is driven by an Input cell.
+  void check_input_net(NetId net) const;
+
+  LaneWord flop(CellId id) const { return flop_state_[id]; }
+  /// Write a flop's master state and re-drive sequential outputs (the
+  /// scalar set_flop_state contract).
+  void set_flop(CellId id, LaneWord value);
+  /// Write without recommitting outputs; callers batch-loading many flops
+  /// must call commit_sequential_outputs() themselves.
+  void set_flop_raw(CellId id, LaneWord value) { flop_state_[id] = value; }
+
+  LaneWord retention(CellId id) const { return retention_state_[id]; }
+  void set_retention(CellId id, LaneWord value) { retention_state_[id] = value; }
+  void xor_retention(CellId id, LaneWord mask) { retention_state_[id] ^= mask; }
+
+  /// Re-drive every sequential (and constant) output net from its committed
+  /// state, applying domain clamps.
+  void commit_sequential_outputs();
+
+  // --- power domains ------------------------------------------------------
+  /// Cut power in all lanes. Master state of sequential cells in the domain
+  /// becomes garbage: per-lane random bits when `per_lane_garbage`, else one
+  /// Bernoulli draw per cell replicated across lanes (the scalar contract,
+  /// preserving the facade's Rng call sequence). Zeros when rng is null.
+  void power_off(DomainId domain, Rng* rng, bool per_lane_garbage);
+  void power_on(DomainId domain);
+  bool domain_powered(DomainId domain) const;
+  std::size_t domain_count() const { return domain_powered_.size(); }
+
+  // --- precomputed structure ---------------------------------------------
+  /// Flop cells (Dff/Sdff/Rdff) in netlist order, cached at construction.
+  const std::vector<CellId>& flop_cells() const { return flop_cells_; }
+  /// Rdff cells in netlist order, cached at construction.
+  const std::vector<CellId>& rdff_cells() const { return rdff_cells_; }
+
+  // --- activity accounting -------------------------------------------------
+  void reset_activity();
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t clocked_cell_edges() const { return clocked_cell_edges_; }
+  const std::vector<std::uint64_t>& toggles() const { return toggles_; }
+
+ private:
+  struct SeqCell {
+    CellId id;
+    CellType type;
+    NetId out;
+    DomainId domain;
+    // Pin nets (kNullNet where the type has fewer pins).
+    NetId d = kNullNet;
+    NetId si = kNullNet;
+    NetId se = kNullNet;
+    NetId retain = kNullNet;  // Rdff RETAIN or LatchL EN
+  };
+
+  void drive_net(NetId net, CellId cell, LaneWord value);
+
+  const Netlist* netlist_;
+  LaneWord activity_lanes_;
+
+  // Structure precomputed once at construction: the per-cycle loops never
+  // re-scan cell_count() or re-branch on non-sequential cells.
+  std::vector<CellId> comb_cells_;  // topological order, Output cells removed
+  std::vector<SeqCell> seq_cells_;  // flops + latches in id order
+  std::vector<CellId> const1_cells_;
+  std::vector<CellId> flop_cells_;
+  std::vector<CellId> rdff_cells_;
+  std::vector<std::vector<CellId>> domain_seq_cells_;  // seq cells per domain
+
+  std::vector<LaneWord> net_values_;       // indexed by NetId
+  std::vector<LaneWord> flop_state_;       // indexed by CellId
+  std::vector<LaneWord> retention_state_;  // indexed by CellId (Rdff only)
+  std::vector<LaneWord> prev_retain_;      // indexed by CellId (Rdff only)
+  std::vector<LaneWord> domain_powered_;   // 0 or ~0 per domain
+  std::vector<LaneWord> next_state_;       // capture scratch, per seq cell
+  std::vector<LaneWord> write_mask_;       // capture scratch, per seq cell
+  std::unordered_map<std::string, NetId> input_by_name_;
+
+  std::vector<std::uint64_t> toggles_;  // per cell output, masked lanes only
+  std::uint64_t steps_ = 0;
+  std::uint64_t clocked_cell_edges_ = 0;
+};
+
+}  // namespace retscan

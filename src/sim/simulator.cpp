@@ -14,176 +14,24 @@ double ActivityReport::average_power_mw(double clock_period_ns) const {
 }
 
 Simulator::Simulator(const Netlist& netlist)
-    : netlist_(&netlist),
-      comb_order_(netlist.combinational_order()),
-      net_values_(netlist.net_count(), 0),
-      flop_state_(netlist.cell_count(), 0),
-      retention_state_(netlist.cell_count(), 0),
-      prev_retain_(netlist.cell_count(), 0),
-      toggles_(netlist.cell_count(), 0) {
-  DomainId max_domain = 0;
-  for (CellId id = 0; id < netlist.cell_count(); ++id) {
-    max_domain = std::max(max_domain, netlist.cell(id).domain);
-  }
-  domain_powered_.assign(static_cast<std::size_t>(max_domain) + 1, 1);
-  for (const CellId input : netlist.inputs()) {
-    input_by_name_.emplace(netlist.cell(input).name, netlist.cell(input).out);
-  }
-  reset();
-}
+    : engine_(netlist, LaneWord{1}) {}  // activity accounted on lane 0 only
 
 void Simulator::set_input(const std::string& port_name, bool value) {
-  const auto it = input_by_name_.find(port_name);
-  RETSCAN_CHECK(it != input_by_name_.end(), "Simulator: no input port " + port_name);
-  set_input(it->second, value);
+  set_input(engine_.input_net(port_name), value);
 }
 
 void Simulator::set_input(NetId net, bool value) {
-  RETSCAN_CHECK(net < net_values_.size(), "Simulator::set_input: bad net");
-  const CellId drv = netlist_->driver(net);
-  RETSCAN_CHECK(drv != kNullCell && netlist_->cell(drv).type == CellType::Input,
-                "Simulator::set_input: net is not a primary input");
-  net_values_[net] = value ? 1 : 0;
+  engine_.check_input_net(net);
+  engine_.set_net(net, lane_broadcast(value));
 }
 
 bool Simulator::input(NetId net) const { return net_value(net); }
 
-void Simulator::reset() {
-  std::fill(flop_state_.begin(), flop_state_.end(), 0);
-  std::fill(retention_state_.begin(), retention_state_.end(), 0);
-  std::fill(prev_retain_.begin(), prev_retain_.end(), 0);
-  std::fill(domain_powered_.begin(), domain_powered_.end(), 1);
-  for (auto& v : net_values_) {
-    v = 0;
-  }
-  commit_sequential_outputs();
-  eval();
-}
+void Simulator::reset() { engine_.reset(); }
 
-bool Simulator::eval_cell(const Cell& cell) const {
-  auto in = [&](std::size_t pin) { return net_values_[cell.fanin[pin]] != 0; };
-  switch (cell.type) {
-    case CellType::Buf: return in(0);
-    case CellType::Not: return !in(0);
-    case CellType::And2: return in(0) && in(1);
-    case CellType::Or2: return in(0) || in(1);
-    case CellType::Xor2: return in(0) != in(1);
-    case CellType::Nand2: return !(in(0) && in(1));
-    case CellType::Nor2: return !(in(0) || in(1));
-    case CellType::Xnor2: return in(0) == in(1);
-    case CellType::Mux2: return in(0) ? in(2) : in(1);
-    default:
-      RETSCAN_CHECK(false, "Simulator::eval_cell: not a combinational cell");
-      return false;
-  }
-}
+void Simulator::eval() { engine_.eval(); }
 
-void Simulator::eval() {
-  for (const CellId id : comb_order_) {
-    const Cell& c = netlist_->cell(id);
-    if (c.type == CellType::Output) {
-      continue;  // port sink, no logic
-    }
-    const bool powered = domain_powered_[c.domain] != 0;
-    const std::uint8_t value = (powered && eval_cell(c)) ? 1 : 0;
-    if (net_values_[c.out] != value) {
-      net_values_[c.out] = value;
-      ++toggles_[id];
-    }
-  }
-}
-
-void Simulator::commit_sequential_outputs() {
-  for (CellId id = 0; id < netlist_->cell_count(); ++id) {
-    const Cell& c = netlist_->cell(id);
-    if (!cell_is_sequential(c.type)) {
-      if (c.type == CellType::Const1 && net_values_[c.out] == 0) {
-        net_values_[c.out] = 1;
-        ++toggles_[id];
-      }
-      continue;
-    }
-    const bool powered = domain_powered_[c.domain] != 0;
-    const std::uint8_t value = powered ? flop_state_[id] : 0;
-    if (net_values_[c.out] != value) {
-      net_values_[c.out] = value;
-      ++toggles_[id];
-    }
-  }
-}
-
-void Simulator::step() {
-  eval();
-  // Capture phase: compute next states from settled nets.
-  std::vector<std::pair<CellId, std::uint8_t>> next;
-  next.reserve(64);
-  for (CellId id = 0; id < netlist_->cell_count(); ++id) {
-    const Cell& c = netlist_->cell(id);
-    if (!cell_is_sequential(c.type)) {
-      continue;
-    }
-    const bool powered = domain_powered_[c.domain] != 0;
-    auto in = [&](std::size_t pin) { return net_values_[c.fanin[pin]] != 0; };
-    switch (c.type) {
-      case CellType::Dff: {
-        if (powered) {
-          next.emplace_back(id, in(0) ? 1 : 0);
-          ++clocked_cell_edges_;
-        }
-        break;
-      }
-      case CellType::Sdff: {
-        if (powered) {
-          const bool d = in(2) ? in(1) : in(0);  // SE ? SI : D
-          next.emplace_back(id, d ? 1 : 0);
-          ++clocked_cell_edges_;
-        }
-        break;
-      }
-      case CellType::Rdff: {
-        const bool retain = in(3);
-        // Slave balloon latch is always-on and samples the master exactly
-        // once, on the RETAIN rising edge (the save event). It must NOT
-        // re-sample while RETAIN stays high through wake-up — at that point
-        // the master holds garbage and the latch is the only good copy.
-        if (retain && prev_retain_[id] == 0 && powered) {
-          retention_state_[id] = flop_state_[id];
-        }
-        if (powered) {
-          if (prev_retain_[id] != 0 && !retain) {
-            // Restore edge: master reloads from the balloon latch.
-            next.emplace_back(id, retention_state_[id]);
-          } else if (!retain) {
-            const bool d = in(2) ? in(1) : in(0);  // SE ? SI : D
-            next.emplace_back(id, d ? 1 : 0);
-          }
-          // While RETAIN=1 the master holds (clock gated during save).
-          ++clocked_cell_edges_;
-        }
-        prev_retain_[id] = retain ? 1 : 0;
-        break;
-      }
-      case CellType::LatchL: {
-        if (powered) {
-          const bool en = in(1);
-          if (en) {
-            next.emplace_back(id, in(0) ? 1 : 0);
-          }
-          ++clocked_cell_edges_;
-        }
-        break;
-      }
-      default:
-        break;
-    }
-  }
-  for (const auto& [id, value] : next) {
-    flop_state_[id] = value;
-  }
-  ++steps_;
-  commit_sequential_outputs();
-  eval();
-}
+void Simulator::step() { engine_.step(); }
 
 void Simulator::step_n(std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
@@ -192,56 +40,55 @@ void Simulator::step_n(std::size_t count) {
 }
 
 bool Simulator::net_value(NetId net) const {
-  RETSCAN_CHECK(net < net_values_.size(), "Simulator::net_value: bad net");
-  return net_values_[net] != 0;
+  RETSCAN_CHECK(net < engine_.net_count(), "Simulator::net_value: bad net");
+  return (engine_.net(net) & 1u) != 0;
 }
 
 bool Simulator::output(const std::string& port_name) const {
-  return net_value(netlist_->output_net(port_name));
+  return net_value(netlist().output_net(port_name));
 }
 
 bool Simulator::flop_state(CellId flop) const {
-  RETSCAN_CHECK(flop < flop_state_.size() && cell_is_flop(netlist_->cell(flop).type),
+  RETSCAN_CHECK(flop < netlist().cell_count() && cell_is_flop(netlist().cell(flop).type),
                 "Simulator::flop_state: not a flop");
-  return flop_state_[flop] != 0;
+  return (engine_.flop(flop) & 1u) != 0;
 }
 
 void Simulator::set_flop_state(CellId flop, bool value) {
-  RETSCAN_CHECK(flop < flop_state_.size() && cell_is_flop(netlist_->cell(flop).type),
+  RETSCAN_CHECK(flop < netlist().cell_count() && cell_is_flop(netlist().cell(flop).type),
                 "Simulator::set_flop_state: not a flop");
-  flop_state_[flop] = value ? 1 : 0;
-  commit_sequential_outputs();
+  engine_.set_flop(flop, lane_broadcast(value));
 }
 
 BitVec Simulator::flop_states() const {
-  const auto flops = netlist_->flops();
+  const auto& flops = engine_.flop_cells();
   BitVec states(flops.size());
   for (std::size_t i = 0; i < flops.size(); ++i) {
-    states.set(i, flop_state_[flops[i]] != 0);
+    states.set(i, (engine_.flop(flops[i]) & 1u) != 0);
   }
   return states;
 }
 
 void Simulator::set_flop_states(const BitVec& states) {
-  const auto flops = netlist_->flops();
+  const auto& flops = engine_.flop_cells();
   RETSCAN_CHECK(states.size() == flops.size(), "Simulator::set_flop_states: size mismatch");
   for (std::size_t i = 0; i < flops.size(); ++i) {
-    flop_state_[flops[i]] = states.get(i) ? 1 : 0;
+    engine_.set_flop_raw(flops[i], lane_broadcast(states.get(i)));
   }
-  commit_sequential_outputs();
-  eval();
+  engine_.commit_sequential_outputs();
+  engine_.eval();
 }
 
 bool Simulator::retention_state(CellId flop) const {
-  RETSCAN_CHECK(flop < retention_state_.size() && netlist_->cell(flop).type == CellType::Rdff,
+  RETSCAN_CHECK(flop < netlist().cell_count() && netlist().cell(flop).type == CellType::Rdff,
                 "Simulator::retention_state: not an Rdff");
-  return retention_state_[flop] != 0;
+  return (engine_.retention(flop) & 1u) != 0;
 }
 
 void Simulator::set_retention_state(CellId flop, bool value) {
-  RETSCAN_CHECK(flop < retention_state_.size() && netlist_->cell(flop).type == CellType::Rdff,
+  RETSCAN_CHECK(flop < netlist().cell_count() && netlist().cell(flop).type == CellType::Rdff,
                 "Simulator::set_retention_state: not an Rdff");
-  retention_state_[flop] = value ? 1 : 0;
+  engine_.set_retention(flop, lane_broadcast(value));
 }
 
 void Simulator::flip_retention(CellId flop) {
@@ -249,67 +96,45 @@ void Simulator::flip_retention(CellId flop) {
 }
 
 BitVec Simulator::retention_states() const {
-  BitVec states(0);
-  for (const CellId flop : netlist_->flops()) {
-    if (netlist_->cell(flop).type == CellType::Rdff) {
-      states.push_back(retention_state_[flop] != 0);
-    }
+  const auto& rdffs = engine_.rdff_cells();
+  BitVec states(rdffs.size());
+  for (std::size_t i = 0; i < rdffs.size(); ++i) {
+    states.set(i, (engine_.retention(rdffs[i]) & 1u) != 0);
   }
   return states;
 }
 
 void Simulator::power_off(DomainId domain, Rng* rng) {
-  RETSCAN_CHECK(domain < domain_powered_.size(), "Simulator::power_off: bad domain");
-  RETSCAN_CHECK(domain != kAlwaysOnDomain, "Simulator: cannot power off the always-on domain");
-  domain_powered_[domain] = 0;
-  for (CellId id = 0; id < netlist_->cell_count(); ++id) {
-    const Cell& c = netlist_->cell(id);
-    if (c.domain == domain && cell_is_sequential(c.type)) {
-      // Master state is physically lost. Retention latches are always-on by
-      // construction and keep their contents.
-      flop_state_[id] = (rng != nullptr && rng->next_bool(0.5)) ? 1 : 0;
-    }
-  }
-  commit_sequential_outputs();
-  eval();
+  engine_.power_off(domain, rng, /*per_lane_garbage=*/false);
 }
 
-void Simulator::power_on(DomainId domain) {
-  RETSCAN_CHECK(domain < domain_powered_.size(), "Simulator::power_on: bad domain");
-  domain_powered_[domain] = 1;
-  commit_sequential_outputs();
-  eval();
-}
+void Simulator::power_on(DomainId domain) { engine_.power_on(domain); }
 
 bool Simulator::domain_powered(DomainId domain) const {
-  RETSCAN_CHECK(domain < domain_powered_.size(), "Simulator::domain_powered: bad domain");
-  return domain_powered_[domain] != 0;
+  return engine_.domain_powered(domain);
 }
 
-void Simulator::reset_activity() {
-  std::fill(toggles_.begin(), toggles_.end(), 0);
-  steps_ = 0;
-  clocked_cell_edges_ = 0;
-}
+void Simulator::reset_activity() { engine_.reset_activity(); }
 
 ActivityReport Simulator::activity(const TechLibrary& tech) const {
   ActivityReport report;
-  report.steps = steps_;
+  report.steps = engine_.steps();
+  const auto& toggles = engine_.toggles();
   double energy = 0.0;
-  for (CellId id = 0; id < netlist_->cell_count(); ++id) {
-    report.output_toggles += toggles_[id];
-    energy += static_cast<double>(toggles_[id]) *
-              tech.physics(netlist_->cell(id).type).switch_energy_pj;
+  for (CellId id = 0; id < netlist().cell_count(); ++id) {
+    report.output_toggles += toggles[id];
+    energy += static_cast<double>(toggles[id]) *
+              tech.physics(netlist().cell(id).type).switch_energy_pj;
   }
   // Clock-tree/pin energy: every powered sequential cell pays a fraction of
   // its switching energy on each clock edge it receives.
   double clock_energy = 0.0;
-  if (clocked_cell_edges_ > 0) {
+  if (engine_.clocked_cell_edges() > 0) {
     // Average sequential switch energy weighted by actual edges delivered.
     // For simplicity each edge is charged at the Sdff rate; the netlists in
     // this library are dominated by scan flops, for which this is exact.
-    clock_energy = static_cast<double>(clocked_cell_edges_) * kClockPinEnergyFraction *
-                   tech.physics(CellType::Sdff).switch_energy_pj;
+    clock_energy = static_cast<double>(engine_.clocked_cell_edges()) *
+                   kClockPinEnergyFraction * tech.physics(CellType::Sdff).switch_energy_pj;
   }
   report.dynamic_energy_pj = energy + clock_energy;
   return report;

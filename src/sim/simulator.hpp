@@ -2,11 +2,11 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "netlist/netlist.hpp"
 #include "netlist/techlib.hpp"
+#include "sim/engine.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
 
@@ -24,10 +24,16 @@ struct ActivityReport {
   std::uint64_t output_toggles = 0;
   double dynamic_energy_pj = 0.0;
   /// Average power in mW given the number of steps and a clock period (ns).
+  /// Returns 0 for an empty report or a non-positive clock period.
   double average_power_mw(double clock_period_ns) const;
 };
 
-/// Two-phase cycle-accurate simulator for a Netlist.
+/// Two-phase cycle-accurate simulator for a Netlist — the scalar facade of
+/// the bit-parallel SimEngine (see sim/engine.hpp, where the cycle and
+/// power-gating semantics are implemented once and shared with PackedSim).
+/// Values are lane-replicated so every engine lane computes the same
+/// circuit; activity is accounted on lane 0 only, keeping toggle and energy
+/// numbers identical to a one-value-per-net simulator.
 ///
 /// Each step(): (1) combinational cells evaluate in levelized order from the
 /// current sequential states and primary inputs, (2) sequential cells capture
@@ -52,7 +58,7 @@ class Simulator {
  public:
   explicit Simulator(const Netlist& netlist);
 
-  const Netlist& netlist() const { return *netlist_; }
+  const Netlist& netlist() const { return engine_.netlist(); }
 
   // --- stimulus -----------------------------------------------------------
   void set_input(const std::string& port_name, bool value);
@@ -101,22 +107,7 @@ class Simulator {
   ActivityReport activity(const TechLibrary& tech) const;
 
  private:
-  void commit_sequential_outputs();
-  bool eval_cell(const Cell& cell) const;
-
-  const Netlist* netlist_;
-  std::vector<CellId> comb_order_;
-  std::vector<std::uint8_t> net_values_;
-  std::vector<std::uint8_t> flop_state_;       // indexed by CellId (flops/latches)
-  std::vector<std::uint8_t> retention_state_;  // indexed by CellId (Rdff only)
-  std::vector<std::uint8_t> prev_retain_;      // indexed by CellId (Rdff only)
-  std::vector<std::uint8_t> domain_powered_;
-  std::unordered_map<std::string, NetId> input_by_name_;
-
-  // Activity accounting.
-  std::vector<std::uint64_t> toggles_;  // per cell output
-  std::uint64_t steps_ = 0;
-  std::uint64_t clocked_cell_edges_ = 0;
+  SimEngine engine_;
 
   /// Fraction of a sequential cell's switching energy charged per clock edge
   /// even when its output does not toggle (clock pin + internal buffers).

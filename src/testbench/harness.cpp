@@ -1,5 +1,7 @@
 #include "testbench/harness.hpp"
 
+#include <algorithm>
+
 #include "scan/scan_io.hpp"
 #include "util/error.hpp"
 
@@ -144,6 +146,103 @@ std::vector<ErrorLocation> StructuralTestbench::sample_errors() {
       return corruption_->sample(config_.chain_count, design_->chain_length(), rng_);
   }
   return {};
+}
+
+ValidationStats StructuralTestbench::run_packed(std::size_t count) {
+  ValidationStats stats;
+  if (!packed_session_) {
+    packed_session_ = std::make_unique<PackedRetentionSession>(*design_);
+  }
+  PackedSim& sim = packed_session_->sim();
+  const Netlist& nl = design_->netlist();
+  const std::size_t width = config_.fifo.width;
+  const NetId wr_en = nl.input_net("wr_en");
+  const NetId rd_en = nl.input_net("rd_en");
+  std::vector<NetId> din(width), dout(width);
+  for (std::size_t b = 0; b < width; ++b) {
+    din[b] = nl.input_net("din" + std::to_string(b));
+    dout[b] = nl.output_net("dout" + std::to_string(b));
+  }
+
+  for (std::size_t base = 0; base < count; base += PackedSim::lane_count()) {
+    const std::size_t lanes = std::min(PackedSim::lane_count(), count - base);
+
+    // Stage 1: reset both FIFOs by blanking the retained state (all lanes).
+    FifoModel fifo_b(config_.fifo);
+    for (const auto& chain : design_->chains().chains) {
+      for (const CellId flop : chain) {
+        sim.set_flop_lanes(flop, 0);
+      }
+    }
+    sim.refresh();
+
+    // Stage 2: Stimulus writes the same random words to every lane and to
+    // the golden model.
+    sim.set_input_all(rd_en, false);
+    const std::size_t words =
+        config_.fifo.depth / 2 + rng_.next_below(config_.fifo.depth / 2);
+    for (std::size_t w = 0; w < words; ++w) {
+      const BitVec word = rng_.next_bits(width);
+      sim.set_input_all(wr_en, true);
+      for (std::size_t b = 0; b < width; ++b) {
+        sim.set_input_all(din[b], word.get(b));
+      }
+      sim.step();
+      fifo_b.step(true, false, word);
+    }
+    sim.set_input_all(wr_en, false);
+
+    // Stages 3-4: one sleep/wake protocol run, 64 corruption trials.
+    std::vector<std::vector<ErrorLocation>> upsets(lanes);
+    for (auto& lane_upsets : upsets) {
+      lane_upsets = sample_errors();
+    }
+    const auto outcome = packed_session_->sleep_wake_cycle(upsets, &rng_);
+
+    // Stage 5: Comparator reads every lane's FIFO against the golden model.
+    LaneWord mismatch = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      sim.set_input_all(rd_en, true);
+      sim.eval();
+      const BitVec golden = fifo_b.front();
+      for (std::size_t b = 0; b < width; ++b) {
+        mismatch |= sim.net_lanes(dout[b]) ^ lane_broadcast(golden.get(b));
+      }
+      sim.step();
+      fifo_b.step(false, true, BitVec(width));
+    }
+    sim.set_input_all(rd_en, false);
+
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const bool detected = (outcome.errors_detected >> lane & 1u) != 0;
+      const bool recheck_clean = (outcome.recheck_clean >> lane & 1u) != 0;
+      const bool matches = (mismatch >> lane & 1u) == 0;
+      ++stats.sequences;
+      stats.errors_injected += upsets[lane].size();
+      if (!upsets[lane].empty()) {
+        ++stats.sequences_with_errors;
+        if (detected) {
+          ++stats.detected;
+        }
+        if (matches && recheck_clean) {
+          ++stats.corrected;
+        }
+        if (detected && !recheck_clean) {
+          ++stats.flagged_uncorrectable;
+        }
+        if (!matches) {
+          ++stats.comparator_mismatches;
+          if (!detected) {
+            ++stats.silent_corruptions;
+          }
+        }
+      } else if (!matches) {
+        ++stats.comparator_mismatches;
+        ++stats.silent_corruptions;
+      }
+    }
+  }
+  return stats;
 }
 
 ValidationStats StructuralTestbench::run(std::size_t count) {

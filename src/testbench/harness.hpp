@@ -96,12 +96,21 @@ class StructuralTestbench {
 
   ValidationStats run(std::size_t count);
 
+  /// Bit-parallel campaign: batches of 64 corruption trials share one
+  /// simulated design. Each batch writes one random stimulus (broadcast to
+  /// every lane), then runs the sleep/wake protocol once with 64 independent
+  /// upset sets — the comparator and monitor outcomes are read per lane.
+  /// Statistically equivalent to run() (same protocol, same injectors) at a
+  /// fraction of the simulation cost; this is the paper-scale path.
+  ValidationStats run_packed(std::size_t count);
+
  private:
   std::vector<ErrorLocation> sample_errors();
 
   ValidationConfig config_;
   std::unique_ptr<ProtectedDesign> design_;
   std::unique_ptr<RetentionSession> session_;
+  std::unique_ptr<PackedRetentionSession> packed_session_;
   Rng rng_;
   std::unique_ptr<ErrorInjector> injector_;
   std::unique_ptr<CorruptionModel> corruption_;

@@ -178,4 +178,35 @@ void BitVec::from_uint(std::size_t offset, std::size_t count, std::uint64_t valu
   }
 }
 
+std::vector<std::uint64_t> pack_lanes(const std::vector<BitVec>& rows) {
+  RETSCAN_CHECK(rows.size() <= 64, "pack_lanes: more than 64 lanes");
+  const std::size_t width = rows.empty() ? 0 : rows[0].size();
+  std::vector<std::uint64_t> words(width, 0);
+  for (std::size_t lane = 0; lane < rows.size(); ++lane) {
+    RETSCAN_CHECK(rows[lane].size() == width, "pack_lanes: row size mismatch");
+    const std::uint64_t bit = std::uint64_t{1} << lane;
+    for (std::size_t i = 0; i < width; ++i) {
+      if (rows[lane].get(i)) {
+        words[i] |= bit;
+      }
+    }
+  }
+  return words;
+}
+
+std::vector<BitVec> unpack_lanes(const std::vector<std::uint64_t>& words,
+                                 std::size_t lane_count) {
+  RETSCAN_CHECK(lane_count <= 64, "unpack_lanes: more than 64 lanes");
+  std::vector<BitVec> rows(lane_count, BitVec(words.size()));
+  for (std::size_t lane = 0; lane < lane_count; ++lane) {
+    const std::uint64_t bit = std::uint64_t{1} << lane;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      if (words[i] & bit) {
+        rows[lane].set(i, true);
+      }
+    }
+  }
+  return rows;
+}
+
 }  // namespace retscan

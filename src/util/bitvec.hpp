@@ -89,4 +89,16 @@ class BitVec {
   std::size_t size_ = 0;
 };
 
+/// Lane transposition helpers for the bit-parallel simulation engine.
+///
+/// A "lane word" holds bit `b` of 64 independent simulation slots: lane b of
+/// word i is bit i of slot b's BitVec. pack_lanes transposes up to 64
+/// equal-sized BitVecs (one per lane) into one lane word per bit position;
+/// unpack_lanes is the inverse. These are the conversion points between the
+/// per-pattern BitVec world (ATPG, scan I/O, codecs) and the word-parallel
+/// engine.
+std::vector<std::uint64_t> pack_lanes(const std::vector<BitVec>& rows);
+std::vector<BitVec> unpack_lanes(const std::vector<std::uint64_t>& words,
+                                 std::size_t lane_count);
+
 }  // namespace retscan
