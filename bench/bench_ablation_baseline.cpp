@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "parallel/campaign_runner.hpp"
 #include "power/corruption.hpp"
 #include "testbench/harness.hpp"
 
@@ -18,8 +19,10 @@ using namespace retscan;
 
 int main() {
   const std::size_t sequences = bench::sequence_budget(20000);
+  parallel::CampaignRunner runner;
   bench::header("Ablation A-2 — rush-reduction baseline vs monitoring (" +
-                std::to_string(sequences) + " wake-ups per row)");
+                std::to_string(sequences) + " wake-ups per row, " +
+                std::to_string(runner.threads()) + " threads)");
 
   std::cout << "# stages  droop_V  E[upsets]  settle_ns  corrupted%_baseline"
                "  corrupted%_monitored\n"
@@ -45,7 +48,7 @@ int main() {
     config.rush = rush;
     config.corruption = cparams;
     config.seed = 31 * stages;
-    const ValidationStats stats = FastTestbench(config).run(sequences);
+    const ValidationStats stats = runner.run_fast(config, sequences).stats;
 
     const double corrupted_baseline =
         100.0 * static_cast<double>(stats.sequences_with_errors) /

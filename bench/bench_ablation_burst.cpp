@@ -9,14 +9,17 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "parallel/campaign_runner.hpp"
 #include "testbench/harness.hpp"
 
 using namespace retscan;
 
 int main() {
   const std::size_t sequences = bench::sequence_budget(20000);
+  parallel::CampaignRunner runner;
   bench::header("Ablation A-1 — clustered vs scattered errors (80 chains x 13, " +
-                std::to_string(sequences) + " sequences per point)");
+                std::to_string(sequences) + " sequences per point, " +
+                std::to_string(runner.threads()) + " threads)");
 
   std::cout << "# errors   corrected%_clustered   corrected%_scattered\n" << std::fixed;
   bool ok = true;
@@ -29,12 +32,12 @@ int main() {
     clustered.burst_size = count;
     clustered.burst_spread = 1;
     clustered.seed = 11 * count;
-    const ValidationStats c = FastTestbench(clustered).run(sequences);
+    const ValidationStats c = runner.run_fast(clustered, sequences).stats;
 
     // Scattered: same count, spread across the whole fabric.
     ValidationConfig scattered = clustered;
     scattered.burst_spread = 64;  // effectively uniform over 80x13
-    const ValidationStats s = FastTestbench(scattered).run(sequences);
+    const ValidationStats s = runner.run_fast(scattered, sequences).stats;
 
     std::cout << std::setw(8) << count << std::setprecision(2) << std::setw(22)
               << 100.0 * c.correction_rate() << std::setw(23)

@@ -12,51 +12,61 @@
 #include "bench_util.hpp"
 #include "coding/misr.hpp"
 #include "coding/protectors.hpp"
+#include "parallel/campaign_runner.hpp"
 #include "util/rng.hpp"
 
 using namespace retscan;
 
 namespace {
-/// Empirical escape rate of a detector over random >=2-bit error patterns.
+/// Empirical escape rate of a detector over random >=2-bit error patterns,
+/// sharded over the campaign runner (each shard owns its protector, state
+/// snapshot and Rng stream, so the rate is thread-count invariant).
 template <typename MakeProtector>
-double escape_rate(MakeProtector make, std::size_t chains, std::size_t length,
-                   std::size_t trials, std::uint64_t seed) {
-  Rng rng(seed);
-  std::size_t escapes = 0;
-  auto protector = make();
-  std::vector<BitVec> state;
-  for (std::size_t c = 0; c < chains; ++c) {
-    state.push_back(rng.next_bits(length));
-  }
-  protector.encode(state);
-  for (std::size_t t = 0; t < trials; ++t) {
-    auto corrupted = state;
-    const std::size_t errors = 2 + rng.next_below(4);
-    for (std::size_t e = 0; e < errors; ++e) {
-      corrupted[rng.next_below(chains)].flip(rng.next_below(length));
-    }
-    if (corrupted == state) {
-      continue;  // error pattern cancelled itself
-    }
-    if (!protector.check(corrupted).any_error()) {
-      ++escapes;
-    }
-  }
+double escape_rate(parallel::CampaignRunner& runner, MakeProtector make,
+                   std::size_t chains, std::size_t length, std::size_t trials,
+                   std::uint64_t seed) {
+  const std::size_t escapes = runner.map_reduce<std::size_t>(
+      trials, 16384, [&](const parallel::ShardRange& shard) {
+        Rng rng(parallel::shard_seed(seed, shard.index));
+        std::size_t shard_escapes = 0;
+        auto protector = make();
+        std::vector<BitVec> state;
+        for (std::size_t c = 0; c < chains; ++c) {
+          state.push_back(rng.next_bits(length));
+        }
+        protector.encode(state);
+        for (std::size_t t = 0; t < shard.count; ++t) {
+          auto corrupted = state;
+          const std::size_t errors = 2 + rng.next_below(4);
+          for (std::size_t e = 0; e < errors; ++e) {
+            corrupted[rng.next_below(chains)].flip(rng.next_below(length));
+          }
+          if (corrupted == state) {
+            continue;  // error pattern cancelled itself
+          }
+          if (!protector.check(corrupted).any_error()) {
+            ++shard_escapes;
+          }
+        }
+        return shard_escapes;
+      });
   return static_cast<double>(escapes) / static_cast<double>(trials);
 }
 }  // namespace
 
 int main() {
   const std::size_t trials = bench::sequence_budget(200000);
+  parallel::CampaignRunner runner;
   bench::header("Ablation A-7 — MISR width vs aliasing (" + std::to_string(trials) +
-                " random multi-bit patterns per row)");
+                " random multi-bit patterns per row, " +
+                std::to_string(runner.threads()) + " threads)");
 
   std::cout << "# detector        escape_rate      theory(2^-W)\n" << std::scientific;
   bool ok = true;
   double previous = 1.0;
   for (const std::size_t w : {4u, 8u, 12u, 16u}) {
     const double rate = escape_rate(
-        [&] { return MisrChainProtector(w, 13); }, w, 13, trials, 100 + w);
+        runner, [&] { return MisrChainProtector(w, 13); }, w, 13, trials, 100 + w);
     const double theory = std::pow(2.0, -static_cast<double>(w));
     std::cout << "MISR-" << std::left << std::setw(12) << w << std::right
               << std::setprecision(3) << std::setw(12) << rate << std::setw(18)
@@ -69,8 +79,8 @@ int main() {
   }
   {
     const double rate = escape_rate(
-        [&] { return CrcChainProtector(Crc16::ccitt(), 16, 13, 16); }, 16, 13,
-        trials, 777);
+        runner, [&] { return CrcChainProtector(Crc16::ccitt(), 16, 13, 16); }, 16,
+        13, trials, 777);
     std::cout << "CRC-16 (16 ch) " << std::setprecision(3) << std::setw(15) << rate
               << std::setw(18) << std::pow(2.0, -16.0) << "\n";
     ok = ok && rate < 1e-3;

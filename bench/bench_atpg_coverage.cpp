@@ -6,7 +6,10 @@
 //
 // Also the fault-sim/delivery throughput bench: the 64-way bit-parallel
 // paths are timed against scalar baselines (one pattern per pass / one
-// pattern per scan load) and both throughputs land in BENCH_atpg.json.
+// pattern per scan load) and both throughputs land in BENCH_atpg.json,
+// plus the multi-threaded variants (fault list / pattern batches sharded
+// over the work-stealing pool) which must reproduce the serial results
+// bit-for-bit.
 
 #include <algorithm>
 #include <iostream>
@@ -15,6 +18,7 @@
 #include "atpg/scan_test.hpp"
 #include "bench_util.hpp"
 #include "circuits/fifo.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace retscan;
 
@@ -109,32 +113,64 @@ int main() {
   json.set("scalar_fault_evals_per_sec", scalar_fs_rate);
   json.set("faultsim_speedup", faultsim_speedup);
 
+  // --- multi-threaded fault simulation (with fault dropping) --------------
+  bench::header("Multi-threaded fault simulation (N cores x 64 lanes)");
+  ThreadPool pool;  // RETSCAN_THREADS / hardware_concurrency
+  timer.restart();
+  const FaultSimResult serial_sim = fault_simulate(frame, faults, atpg.patterns);
+  const double serial_sim_time = timer.seconds();
+  timer.restart();
+  const FaultSimResult pooled_sim = fault_simulate(frame, faults, atpg.patterns, pool);
+  const double pooled_sim_time = timer.seconds();
+  const double threaded_speedup = serial_sim_time / pooled_sim_time;
+  const bool pooled_matches = pooled_sim.detected_by == serial_sim.detected_by &&
+                              pooled_sim.detected == serial_sim.detected;
+  std::cout << "serial:  " << serial_sim.detected << "/" << serial_sim.total_faults
+            << " detected in " << serial_sim_time << " s\n"
+            << "pooled:  " << pooled_sim.detected << "/" << pooled_sim.total_faults
+            << " detected in " << pooled_sim_time << " s on " << pool.size()
+            << " threads (" << threaded_speedup << "x, results "
+            << (pooled_matches ? "identical" : "DIVERGED") << ")\n";
+  json.set("threads", static_cast<double>(pool.size()));
+  json.set("faultsim_threaded_speedup", threaded_speedup);
+
   // --- test-mode delivery throughput: one lane per pattern vs one load ----
   bench::header("Test-mode delivery throughput (64-lane vs scalar tester)");
   timer.restart();
   const ScanTestResult packed_applied =
       apply_test_mode_scan_test_packed(design, frame, atpg.patterns);
   const double packed_apply_time = timer.seconds();
+  timer.restart();
+  const ScanTestResult pooled_applied =
+      apply_test_mode_scan_test_packed(design, frame, atpg.patterns, pool, 128);
+  const double pooled_apply_time = timer.seconds();
   RetentionSession session(design);
   timer.restart();
   const ScanTestResult scalar_applied =
       apply_test_mode_scan_test(session, design, frame, atpg.patterns);
   const double scalar_apply_time = timer.seconds();
   const double packed_rate = packed_applied.patterns_applied / packed_apply_time;
+  const double pooled_rate = pooled_applied.patterns_applied / pooled_apply_time;
   const double scalar_rate = scalar_applied.patterns_applied / scalar_apply_time;
   const double delivery_speedup = packed_rate / scalar_rate;
   std::cout << "test-mode delivery: " << scalar_applied.patterns_applied
             << " patterns, " << scalar_applied.mismatches << " mismatches (scalar), "
-            << packed_applied.mismatches << " (packed)\n"
+            << packed_applied.mismatches << " (packed), " << pooled_applied.mismatches
+            << " (pooled)\n"
             << "packed:  " << packed_rate << " patterns/sec\n"
+            << "pooled:  " << pooled_rate << " patterns/sec (" << pool.size()
+            << " threads)\n"
             << "scalar:  " << scalar_rate << " patterns/sec\n"
-            << "speedup: " << delivery_speedup << "x\n";
+            << "speedup: " << delivery_speedup << "x (single-thread packed)\n";
   json.set("packed_patterns_per_sec", packed_rate);
+  json.set("pooled_patterns_per_sec", pooled_rate);
   json.set("scalar_patterns_per_sec", scalar_rate);
   json.set("delivery_speedup", delivery_speedup);
 
   const bool ok = atpg.coverage() > 0.90 && scalar_applied.all_passed() &&
-                  packed_applied.all_passed() && packed_detects == scalar_detects &&
+                  packed_applied.all_passed() && pooled_applied.all_passed() &&
+                  pooled_applied.patterns_applied == packed_applied.patterns_applied &&
+                  pooled_matches && packed_detects == scalar_detects &&
                   faultsim_speedup >= 10.0 && delivery_speedup >= 10.0;
   json.set("pass", ok ? 1.0 : 0.0);
   json.write();

@@ -7,10 +7,19 @@
 // reproduces the protocol bit-exactly (proven against the gate-level model
 // in the test suite) at a default of 200k sequences (RETSCAN_SEQUENCES
 // overrides). A gate-level confirmation pass runs a smaller count.
+//
+// Campaigns run on the retscan::parallel shard-map-reduce layer: the same
+// seed yields bit-identical statistics at every thread count (asserted
+// below by re-running experiment 1 serially), and the threads knob
+// (RETSCAN_THREADS) multiplies the 64-lane bit-parallel throughput by
+// near-linear core scaling — threads/shards/efficiency land in
+// BENCH_validation.json.
 
 #include <iostream>
+#include <thread>
 
 #include "bench_util.hpp"
+#include "parallel/campaign_runner.hpp"
 #include "testbench/harness.hpp"
 
 using namespace retscan;
@@ -33,6 +42,10 @@ int main() {
   bool ok = true;
   bench::JsonReport json("validation");
 
+  parallel::CampaignRunner runner;  // RETSCAN_THREADS / hardware_concurrency
+  parallel::CampaignRunner serial(parallel::CampaignOptions{.threads = 1});
+  const unsigned threads = runner.threads();
+
   bench::header("Section IV experiment 1 — single error per sequence (behavioral tier)");
   ValidationConfig single;
   single.fifo = FifoSpec{32, 32};
@@ -40,17 +53,57 @@ int main() {
   single.mode = InjectionMode::SingleRandom;
   single.seed = 2024;
   {
-    FastTestbench tb(single);
+    // The serial reference exists to prove determinism and measure scaling;
+    // cap it so a paper-scale budget is not dominated by a 1-thread rerun.
+    const std::size_t reference_sequences =
+        std::min<std::size_t>(fast_sequences, 200000);
     bench::Stopwatch timer;
-    const ValidationStats stats = tb.run(fast_sequences);
-    const double rate = static_cast<double>(stats.sequences) / timer.seconds();
+    const parallel::CampaignReport serial_run =
+        serial.run_fast(single, reference_sequences);
+    const double serial_seconds = timer.seconds();
+    timer.restart();
+    const parallel::CampaignReport reference_run =
+        runner.run_fast(single, reference_sequences);
+    const double parallel_seconds = timer.seconds();
+    // Full-budget campaign on the pool (identical to reference_run when the
+    // budget fits the cap, so skip the rerun then).
+    timer.restart();
+    const parallel::CampaignReport run = fast_sequences == reference_sequences
+                                             ? reference_run
+                                             : runner.run_fast(single, fast_sequences);
+    const double full_seconds =
+        fast_sequences == reference_sequences ? parallel_seconds : timer.seconds();
+
+    const ValidationStats& stats = run.stats;
+    const double rate = static_cast<double>(stats.sequences) / full_seconds;
+    const double serial_rate =
+        static_cast<double>(serial_run.stats.sequences) / serial_seconds;
+    const double speedup = serial_seconds / parallel_seconds;
+    const double efficiency = speedup / static_cast<double>(threads);
     report("exp1/fast", stats);
-    std::cout << "  throughput " << rate << " sequences/sec\n";
+    std::cout << "  throughput " << rate << " sequences/sec on " << threads
+              << " threads x " << run.shard_count << " shards (" << speedup
+              << "x over 1 thread, efficiency " << 100.0 * efficiency << "%)\n";
     json.set("fast_sequences_per_sec", rate);
+    json.set("serial_sequences_per_sec", serial_rate);
     json.set("fast_detection_rate", stats.detection_rate());
     json.set("fast_correction_rate", stats.correction_rate());
+    json.set("threads", static_cast<double>(threads));
+    json.set("shard_count", static_cast<double>(run.shard_count));
+    json.set("parallel_speedup", speedup);
+    json.set("scaling_efficiency", efficiency);
     ok = ok && stats.detection_rate() == 1.0 && stats.correction_rate() == 1.0 &&
          stats.silent_corruptions == 0;
+    // Determinism across thread counts is part of the contract.
+    ok = ok && serial_run.stats == reference_run.stats;
+    // Parallel throughput gate: ≥3x on a non-trivial budget when the
+    // hardware can actually deliver it — tiny CI smoke budgets are
+    // dominated by shard setup; threads beyond hardware_concurrency
+    // cannot scale at all; and hardware_concurrency counts logical CPUs,
+    // so require ≥8 (≈4 physical cores with SMT) before demanding 3x.
+    const unsigned cores = std::thread::hardware_concurrency();
+    ok = ok && (threads < 4 || threads > cores || cores < 8 ||
+                reference_sequences < 50000 || speedup >= 3.0);
   }
 
   bench::header("Section IV experiment 2 — clustered multiple errors (behavioral tier)");
@@ -59,8 +112,7 @@ int main() {
   burst.burst_size = 4;
   burst.burst_spread = 1;
   {
-    FastTestbench tb(burst);
-    const ValidationStats stats = tb.run(fast_sequences / 4);
+    const ValidationStats stats = runner.run_fast(burst, fast_sequences / 4).stats;
     report("exp2/fast", stats);
     ok = ok && stats.detection_rate() == 1.0 && stats.silent_corruptions == 0;
     ok = ok && stats.correction_rate() < 0.5;  // bursts defeat SEC correction
@@ -93,24 +145,43 @@ int main() {
     ok = ok && stats.detection_rate() == 1.0 && stats.silent_corruptions == 0;
   }
 
-  bench::header("Gate-level packed campaign (64 corruption trials per simulation)");
+  bench::header("Gate-level packed campaign (64 trials/simulation x " +
+                std::to_string(threads) + " threads)");
   gate.mode = InjectionMode::SingleRandom;
   {
-    StructuralTestbench tb(gate);
+    // gate_speedup is the perf-gated metric, so it must stay a pure
+    // lane-parallelism ratio (packed vs scalar, both on one thread, one
+    // shard — no per-shard testbench construction in the timed region) —
+    // machine-independent. The pooled run is reported separately.
     bench::Stopwatch timer;
-    const ValidationStats stats = tb.run_packed(640);
+    const parallel::CampaignReport packed_serial =
+        serial.run_structural_packed(gate, 640, 640);
+    const double packed_serial_rate =
+        static_cast<double>(packed_serial.stats.sequences) / timer.seconds();
+    timer.restart();
+    const parallel::CampaignReport run = runner.run_structural_packed(gate, 640, 64);
+    const ValidationStats& stats = run.stats;
     const double packed_gate_rate = static_cast<double>(stats.sequences) / timer.seconds();
-    const double gate_speedup = packed_gate_rate / scalar_gate_rate;
+    const double gate_speedup = packed_serial_rate / scalar_gate_rate;
     report("exp1/gate-packed", stats);
-    std::cout << "  throughput " << packed_gate_rate << " sequences/sec ("
-              << gate_speedup << "x over the scalar structural tier)\n";
+    std::cout << "  throughput " << packed_gate_rate << " sequences/sec pooled, "
+              << packed_serial_rate << " on 1 thread (" << gate_speedup
+              << "x over the scalar structural tier, " << run.shard_count
+              << " shards)\n";
     json.set("scalar_gate_sequences_per_sec", scalar_gate_rate);
-    json.set("packed_gate_sequences_per_sec", packed_gate_rate);
+    json.set("packed_gate_sequences_per_sec", packed_serial_rate);
+    json.set("pooled_gate_sequences_per_sec", packed_gate_rate);
     json.set("gate_speedup", gate_speedup);
     json.set("packed_detection_rate", stats.detection_rate());
     json.set("packed_correction_rate", stats.correction_rate());
+    // Note: the two packed runs use different shard plans (1 x 640 vs
+    // 10 x 64), so their stats differ by design; thread-count invariance
+    // under a FIXED shard plan is asserted in exp1 and tests/test_parallel.
     ok = ok && stats.detection_rate() == 1.0 && stats.correction_rate() == 1.0 &&
          stats.silent_corruptions == 0 && gate_speedup >= 10.0;
+    ok = ok && packed_serial.stats.detection_rate() == 1.0 &&
+         packed_serial.stats.correction_rate() == 1.0 &&
+         packed_serial.stats.silent_corruptions == 0;
   }
 
   std::cout << "\npaper: 100M sequences; 100%% single-error correction, 100%% multi-"

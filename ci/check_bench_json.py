@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json bench reports and gate perf regressions.
+
+Usage:
+    check_bench_json.py [--baselines DIR] [--max-regression FRAC] FILES...
+
+Every report must be a flat JSON object with a "bench" name, a "pass"
+metric equal to 1, and finite numeric values for everything else; benches
+listed in REQUIRED_KEYS must carry those keys. Ratio metrics listed in
+GATED_KEYS are machine-independent (packed vs scalar on the same host), so
+they are compared against the checked-in baselines: a value below
+baseline * (1 - max_regression) fails the gate.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+# Keys every report of a given bench must emit (beyond "bench" and "pass").
+REQUIRED_KEYS = {
+    "validation": [
+        "fast_sequences_per_sec",
+        "fast_detection_rate",
+        "fast_correction_rate",
+        "threads",
+        "shard_count",
+        "parallel_speedup",
+        "scaling_efficiency",
+        "gate_speedup",
+    ],
+    "atpg": [
+        "coverage",
+        "patterns",
+        "faultsim_speedup",
+        "delivery_speedup",
+        "threads",
+    ],
+}
+
+# Ratio metrics gated against bench/baselines/BENCH_<name>.json.
+GATED_KEYS = {
+    "validation": ["gate_speedup"],
+    "atpg": ["faultsim_speedup", "delivery_speedup"],
+}
+
+
+def fail(message):
+    print(f"FAIL: {message}")
+    return 1
+
+
+def check_report(path, baselines_dir, max_regression):
+    errors = 0
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"{path}: unreadable or invalid JSON: {error}")
+
+    if not isinstance(report, dict):
+        return fail(f"{path}: expected a JSON object")
+
+    name = report.get("bench")
+    if not isinstance(name, str) or not name:
+        errors += fail(f"{path}: missing/empty 'bench' name")
+        name = path.stem.removeprefix("BENCH_")
+
+    for key, value in report.items():
+        if key == "bench":
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or not math.isfinite(value):
+            errors += fail(f"{path}: metric '{key}' is not a finite number: {value!r}")
+
+    if report.get("pass") != 1:
+        errors += fail(f"{path}: 'pass' != 1 (bench-internal assertions failed)")
+
+    for key in REQUIRED_KEYS.get(name, []):
+        if key not in report:
+            errors += fail(f"{path}: required metric '{key}' missing")
+
+    baseline_path = baselines_dir / f"BENCH_{name}.json"
+    gated = GATED_KEYS.get(name, [])
+    if gated and baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        for key in gated:
+            if key not in baseline:
+                continue
+            floor = baseline[key] * (1.0 - max_regression)
+            value = report.get(key)
+            if not isinstance(value, (int, float)) or value < floor:
+                errors += fail(
+                    f"{path}: perf regression on '{key}': {value} < {floor:.3f} "
+                    f"(baseline {baseline[key]} - {max_regression:.0%})"
+                )
+            else:
+                print(f"ok:   {name}.{key} = {value:.2f} (floor {floor:.2f})")
+    elif gated:
+        errors += fail(f"{path}: no baseline at {baseline_path} for gated bench '{name}'")
+
+    if errors == 0:
+        print(f"ok:   {path} ({len(report) - 1} metrics, pass=1)")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", type=pathlib.Path)
+    parser.add_argument("--baselines", type=pathlib.Path,
+                        default=pathlib.Path("bench/baselines"))
+    parser.add_argument("--max-regression", type=float, default=0.20)
+    args = parser.parse_args()
+
+    errors = 0
+    for path in args.files:
+        errors += check_report(path, args.baselines, args.max_regression)
+    if errors:
+        print(f"\n{errors} problem(s) found")
+        return 1
+    print(f"\nall {len(args.files)} bench report(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "parallel/campaign_runner.hpp"
 #include "power/corruption.hpp"
 #include "testbench/harness.hpp"
 
@@ -15,7 +16,11 @@ using namespace retscan;
 
 int main() {
   const std::size_t sequences = 20000;
-  std::cout << "Rush-current severity sweep (32x32 FIFO, 80 chains, Hamming(7,4)+CRC)\n";
+  // Campaigns shard across the work-stealing pool (RETSCAN_THREADS knob);
+  // results are bit-identical at any thread count.
+  parallel::CampaignRunner runner;
+  std::cout << "Rush-current severity sweep (32x32 FIFO, 80 chains, Hamming(7,4)+CRC, "
+            << runner.threads() << " threads)\n";
   std::cout << "# R_switch  droop_V  p_upset      corrupted-wakes  corrected  flagged\n"
             << std::fixed;
 
@@ -35,8 +40,7 @@ int main() {
     config.corruption = cparams;
     config.seed = static_cast<std::uint64_t>(r * 1000) + 1;
 
-    FastTestbench tb(config);
-    const ValidationStats stats = tb.run(sequences);
+    const ValidationStats stats = runner.run_fast(config, sequences).stats;
     std::cout << std::setprecision(2) << std::setw(9) << r << std::setprecision(3)
               << std::setw(9) << model.peak_droop() << std::scientific
               << std::setprecision(2) << std::setw(12)

@@ -119,9 +119,14 @@ BitVec CombinationalFrame::good_response(const BitVec& pattern) const {
 
 std::vector<std::uint64_t> CombinationalFrame::good_response_words(
     const LoadedPatternBatch& batch) const {
-  scratch_ = batch.values;
-  evaluate(scratch_, kNullNet, 0);
-  return response_words(scratch_);
+  return good_response_words(batch, scratch_);
+}
+
+std::vector<std::uint64_t> CombinationalFrame::good_response_words(
+    const LoadedPatternBatch& batch, Workspace& workspace) const {
+  workspace = batch.values;
+  evaluate(workspace, kNullNet, 0);
+  return response_words(workspace);
 }
 
 std::vector<std::uint64_t> CombinationalFrame::good_response_words(
@@ -132,20 +137,26 @@ std::vector<std::uint64_t> CombinationalFrame::good_response_words(
 std::uint64_t CombinationalFrame::detect_mask(
     const Fault& fault, const LoadedPatternBatch& batch,
     const std::vector<std::uint64_t>& good_words) const {
+  return detect_mask(fault, batch, good_words, scratch_);
+}
+
+std::uint64_t CombinationalFrame::detect_mask(
+    const Fault& fault, const LoadedPatternBatch& batch,
+    const std::vector<std::uint64_t>& good_words, Workspace& workspace) const {
   RETSCAN_CHECK(good_words.size() == response_width(),
                 "CombinationalFrame::detect_mask: good responses missing");
-  scratch_ = batch.values;
+  workspace = batch.values;
   const std::uint64_t fault_value = fault.stuck_at ? ~std::uint64_t{0} : 0;
-  evaluate(scratch_, fault.net, fault_value);
+  evaluate(workspace, fault.net, fault_value);
   // Word-wide good/faulty XOR over every observable: bit p of the result is
   // set iff pattern p sees a difference somewhere.
   std::uint64_t mask = 0;
   for (std::size_t i = 0; i < po_nets_.size(); ++i) {
-    mask |= scratch_[po_nets_[i]] ^ good_words[i];
+    mask |= workspace[po_nets_[i]] ^ good_words[i];
   }
   for (std::size_t i = 0; i < flops_.size(); ++i) {
     const NetId d = netlist_->cell(flops_[i]).fanin[0];
-    mask |= scratch_[d] ^ good_words[po_nets_.size() + i];
+    mask |= workspace[d] ^ good_words[po_nets_.size() + i];
   }
   return mask & lane_mask(batch.count);
 }
@@ -193,6 +204,69 @@ FaultSimResult fault_simulate(const CombinationalFrame& frame,
         ++result.detected;
       }
     }
+  }
+  return result;
+}
+
+FaultSimResult fault_simulate(const CombinationalFrame& frame,
+                              const std::vector<Fault>& faults,
+                              const std::vector<BitVec>& patterns,
+                              ThreadPool& pool, std::size_t fault_shard) {
+  constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+  FaultSimResult result;
+  result.total_faults = faults.size();
+  result.detected_by.assign(faults.size(), npos);
+  if (faults.empty()) {
+    return result;
+  }
+  if (fault_shard == 0) {
+    fault_shard = 1;
+  }
+
+  // Load every 64-pattern batch and its good-machine response once, up
+  // front, in parallel — workers then share them read-only.
+  struct Batch {
+    std::size_t base = 0;
+    CombinationalFrame::LoadedPatternBatch loaded;
+    std::vector<std::uint64_t> good;
+  };
+  std::vector<Batch> batches((patterns.size() + 63) / 64);
+  pool.parallel_for(batches.size(), [&](std::size_t b) {
+    const std::size_t base = b * 64;
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    const std::vector<BitVec> slice(patterns.begin() + base,
+                                    patterns.begin() + base + count);
+    CombinationalFrame::Workspace workspace;
+    batches[b].base = base;
+    batches[b].loaded = frame.load_batch(slice);
+    batches[b].good = frame.good_response_words(batches[b].loaded, workspace);
+  });
+
+  // Shard the fault list. Each worker owns its shard's detected_by slots
+  // (disjoint writes) and a private workspace; fault dropping is per fault
+  // — stop at the first batch that detects — so per-fault results match
+  // the serial pass exactly.
+  const std::size_t shard_count = (faults.size() + fault_shard - 1) / fault_shard;
+  std::vector<std::size_t> shard_detected(shard_count, 0);
+  pool.parallel_for(shard_count, [&](std::size_t s) {
+    const std::size_t first = s * fault_shard;
+    const std::size_t last = std::min(faults.size(), first + fault_shard);
+    CombinationalFrame::Workspace workspace;
+    for (std::size_t fi = first; fi < last; ++fi) {
+      for (const Batch& batch : batches) {
+        const std::uint64_t mask =
+            frame.detect_mask(faults[fi], batch.loaded, batch.good, workspace);
+        if (mask != 0) {
+          result.detected_by[fi] =
+              batch.base + static_cast<std::size_t>(std::countr_zero(mask));
+          ++shard_detected[s];
+          break;
+        }
+      }
+    }
+  });
+  for (const std::size_t count : shard_detected) {
+    result.detected += count;
   }
   return result;
 }

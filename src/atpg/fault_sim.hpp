@@ -7,6 +7,7 @@
 #include "netlist/netlist.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace retscan {
 
@@ -54,12 +55,19 @@ class CombinationalFrame {
   };
   LoadedPatternBatch load_batch(const std::vector<BitVec>& patterns) const;
 
+  /// Per-thread evaluation scratch. The frame itself is immutable during
+  /// queries; passing an explicit workspace to the *_ws overloads below
+  /// lets any number of threads share one frame concurrently.
+  using Workspace = std::vector<std::uint64_t>;
+
   /// Good-machine responses of up to 64 patterns in lane-word form: one word
   /// per observable (POs first, then flop D captures), lane p = pattern p.
   /// This is the fast currency of the fault simulator — detection is a
   /// word-wide XOR against these, with no per-pattern unpacking.
   std::vector<std::uint64_t> good_response_words(const LoadedPatternBatch& batch) const;
   std::vector<std::uint64_t> good_response_words(const std::vector<BitVec>& patterns) const;
+  std::vector<std::uint64_t> good_response_words(const LoadedPatternBatch& batch,
+                                                 Workspace& workspace) const;
 
   /// 64-way parallel-pattern single-fault propagation: returns the set of
   /// pattern indices (bitmask) in the batch that detect `fault`, given the
@@ -67,6 +75,9 @@ class CombinationalFrame {
   /// caller.
   std::uint64_t detect_mask(const Fault& fault, const LoadedPatternBatch& batch,
                             const std::vector<std::uint64_t>& good_words) const;
+  std::uint64_t detect_mask(const Fault& fault, const LoadedPatternBatch& batch,
+                            const std::vector<std::uint64_t>& good_words,
+                            Workspace& workspace) const;
   std::uint64_t detect_mask(const Fault& fault, const std::vector<BitVec>& patterns,
                             const std::vector<std::uint64_t>& good_words) const;
   /// Convenience overload taking per-pattern good responses.
@@ -108,5 +119,16 @@ struct FaultSimResult {
 FaultSimResult fault_simulate(const CombinationalFrame& frame,
                               const std::vector<Fault>& faults,
                               const std::vector<BitVec>& patterns);
+
+/// Multi-threaded fault simulation: pattern batches are preloaded once,
+/// then the fault list is sharded across the pool (each worker carries its
+/// own evaluation workspace). Per-fault results — including the index of
+/// the first detecting pattern — are a pure function of (fault, patterns),
+/// so the result is identical to the serial fault_simulate() at any thread
+/// count. `fault_shard` is the fault-list chunk a worker claims at a time.
+FaultSimResult fault_simulate(const CombinationalFrame& frame,
+                              const std::vector<Fault>& faults,
+                              const std::vector<BitVec>& patterns,
+                              ThreadPool& pool, std::size_t fault_shard = 128);
 
 }  // namespace retscan

@@ -247,9 +247,16 @@ ScanTestResult apply_test_mode_scan_test(RetentionSession& session,
   return result;
 }
 
-ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
-                                                const CombinationalFrame& frame,
-                                                const std::vector<BitVec>& patterns) {
+namespace {
+
+/// Packed test-mode delivery over patterns [first, first + count): the
+/// shared worker of the serial and pooled variants. Uses an explicit
+/// evaluation workspace so concurrent shards can share one frame.
+ScanTestResult run_test_mode_packed_range(const ProtectedDesign& design,
+                                          const CombinationalFrame& frame,
+                                          const std::vector<BitVec>& patterns,
+                                          std::size_t first, std::size_t total,
+                                          CombinationalFrame::Workspace& workspace) {
   ScanTestResult result;
   PackedSim sim(design.netlist());
   const ScanChains& chains = design.chains();
@@ -262,12 +269,14 @@ ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
     tsi[g] = design.netlist().find_net("tsi" + std::to_string(g));
   }
 
-  for (std::size_t base = 0; base < patterns.size(); base += PackedSim::lane_count()) {
+  for (std::size_t base = first; base < first + total;
+       base += PackedSim::lane_count()) {
     const std::size_t count =
-        std::min<std::size_t>(PackedSim::lane_count(), patterns.size() - base);
+        std::min<std::size_t>(PackedSim::lane_count(), first + total - base);
     const std::vector<BitVec> batch(patterns.begin() + base,
                                     patterns.begin() + base + count);
-    const std::vector<std::uint64_t> good = frame.good_response_words(batch);
+    const std::vector<std::uint64_t> good =
+        frame.good_response_words(frame.load_batch(batch), workspace);
     const std::vector<LaneWord> pattern_words = pack_lanes(batch);
     const PackedPpiSplit split = packed_split_ppi(frame, chains, pattern_words);
 
@@ -298,6 +307,43 @@ ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
     result.mismatches += static_cast<std::size_t>(std::popcount(mismatch));
   }
   return result;
+}
+
+}  // namespace
+
+ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
+                                                const CombinationalFrame& frame,
+                                                const std::vector<BitVec>& patterns) {
+  CombinationalFrame::Workspace workspace;
+  return run_test_mode_packed_range(design, frame, patterns, 0, patterns.size(),
+                                    workspace);
+}
+
+ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
+                                                const CombinationalFrame& frame,
+                                                const std::vector<BitVec>& patterns,
+                                                ThreadPool& pool,
+                                                std::size_t patterns_per_shard) {
+  // Shards must be whole 64-lane batches so the pooled pass forms exactly
+  // the same batches as the serial one.
+  const std::size_t lanes = PackedSim::lane_count();
+  patterns_per_shard = std::max<std::size_t>(lanes, patterns_per_shard / lanes * lanes);
+  const std::size_t shard_count =
+      (patterns.size() + patterns_per_shard - 1) / patterns_per_shard;
+  std::vector<ScanTestResult> partial(shard_count);
+  pool.parallel_for(shard_count, [&](std::size_t s) {
+    const std::size_t first = s * patterns_per_shard;
+    const std::size_t count = std::min(patterns_per_shard, patterns.size() - first);
+    CombinationalFrame::Workspace workspace;
+    partial[s] =
+        run_test_mode_packed_range(design, frame, patterns, first, count, workspace);
+  });
+  ScanTestResult merged;
+  for (const ScanTestResult& p : partial) {
+    merged.patterns_applied += p.patterns_applied;
+    merged.mismatches += p.mismatches;
+  }
+  return merged;
 }
 
 }  // namespace retscan

@@ -52,4 +52,15 @@ ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
                                                 const CombinationalFrame& frame,
                                                 const std::vector<BitVec>& patterns);
 
+/// Multi-threaded 64-lane test-mode delivery: the pattern set is sharded
+/// into 64-lane-aligned chunks across the pool and every shard drives its
+/// own PackedSim over the design (scan loading fully overwrites the state
+/// each batch, so shards are independent and the merged result is
+/// identical to the single-threaded packed pass at any thread count).
+ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
+                                                const CombinationalFrame& frame,
+                                                const std::vector<BitVec>& patterns,
+                                                ThreadPool& pool,
+                                                std::size_t patterns_per_shard = 256);
+
 }  // namespace retscan

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace retscan {
 
@@ -20,8 +21,14 @@ ErrorInjector::ErrorInjector(std::size_t chain_count, std::size_t chain_length,
                              std::uint64_t seed)
     : chain_count_(chain_count),
       chain_length_(chain_length),
-      row_lfsr_(Lfsr::maximal(bits_for(chain_count), (seed | 1) & 0xffff)),
-      column_lfsr_(Lfsr::maximal(bits_for(chain_length), ((seed >> 16) | 1) & 0xffff)) {
+      // Fold the full 64-bit seed through independent mix streams before
+      // truncating to the LFSR state width: nearby seeds (per-shard streams
+      // of a parallel campaign are dense integers post-mix) must land on
+      // unrelated row/column sequences. `| 1` keeps the state nonzero.
+      row_lfsr_(Lfsr::maximal(bits_for(chain_count),
+                              (Rng::derive_stream(seed, 0x726f77) | 1) & 0xffff)),
+      column_lfsr_(Lfsr::maximal(bits_for(chain_length),
+                                 (Rng::derive_stream(seed, 0x636f6c) | 1) & 0xffff)) {
   RETSCAN_CHECK(chain_count_ > 0 && chain_length_ > 0, "ErrorInjector: empty fabric");
 }
 

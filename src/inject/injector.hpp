@@ -31,6 +31,9 @@ struct ErrorLocation {
 /// close together.
 class ErrorInjector {
  public:
+  /// All 64 bits of `seed` contribute to the LFSR starting states (mixed
+  /// through Rng::derive_stream), so per-shard campaign seeds — however
+  /// they are derived — yield independent injection sequences.
   ErrorInjector(std::size_t chain_count, std::size_t chain_length, std::uint64_t seed = 1);
 
   std::size_t chain_count() const { return chain_count_; }

@@ -1,0 +1,82 @@
+#include "parallel/campaign_runner.hpp"
+
+#include "sim/packed_sim.hpp"
+#include "util/rng.hpp"
+
+namespace retscan::parallel {
+
+std::vector<ShardRange> plan_shards(std::size_t total, std::size_t shard_size) {
+  std::vector<ShardRange> shards;
+  if (total == 0) {
+    return shards;
+  }
+  if (shard_size == 0) {
+    shard_size = total;
+  }
+  shards.reserve((total + shard_size - 1) / shard_size);
+  for (std::size_t first = 0; first < total; first += shard_size) {
+    ShardRange shard;
+    shard.index = shards.size();
+    shard.first = first;
+    shard.count = std::min(shard_size, total - first);
+    shards.push_back(shard);
+  }
+  return shards;
+}
+
+std::uint64_t shard_seed(std::uint64_t campaign_seed, std::uint64_t index) {
+  return Rng::derive_stream(campaign_seed, index);
+}
+
+CampaignRunner::CampaignRunner(const CampaignOptions& options)
+    : options_(options), pool_(options.threads) {}
+
+namespace {
+
+/// Shared campaign driver on top of CampaignRunner::map_reduce — the one
+/// copy of the shard/merge logic: per-shard config with a derived seed
+/// stream, run_shard builds and runs the testbench tier.
+template <typename RunShard>
+CampaignReport run_campaign(CampaignRunner& runner, const ValidationConfig& config,
+                            std::size_t count, std::size_t shard_size,
+                            RunShard&& run_shard) {
+  CampaignReport report;
+  report.threads = runner.threads();
+  report.shard_count = plan_shards(count, shard_size).size();
+  report.stats = runner.map_reduce<ValidationStats>(
+      count, shard_size, [&](const ShardRange& shard) {
+        ValidationConfig shard_config = config;
+        shard_config.seed = shard_seed(config.seed, shard.index);
+        return run_shard(shard_config, shard.count);
+      });
+  return report;
+}
+
+}  // namespace
+
+CampaignReport CampaignRunner::run_fast(const ValidationConfig& config,
+                                        std::size_t count, std::size_t shard_size) {
+  if (shard_size == 0) {
+    shard_size = options_.shard_size;
+  }
+  return run_campaign(*this, config, count, shard_size,
+                      [](const ValidationConfig& shard_config, std::size_t n) {
+                        return FastTestbench(shard_config).run(n);
+                      });
+}
+
+CampaignReport CampaignRunner::run_structural_packed(const ValidationConfig& config,
+                                                     std::size_t count,
+                                                     std::size_t shard_size) {
+  if (shard_size == 0) {
+    shard_size = options_.structural_shard_size;
+  }
+  const std::size_t lanes = PackedSim::lane_count();
+  shard_size = (shard_size + lanes - 1) / lanes * lanes;
+  return run_campaign(*this, config, count, shard_size,
+                      [](const ValidationConfig& shard_config, std::size_t n) {
+                        return StructuralTestbench(shard_config).run_packed(n);
+                      });
+}
+
+}  // namespace retscan::parallel

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "testbench/harness.hpp"
+#include "util/thread_pool.hpp"
+
+namespace retscan::parallel {
+
+/// One contiguous chunk of a campaign: trials [first, first + count).
+struct ShardRange {
+  std::size_t index = 0;
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
+
+/// Fixed-size decomposition of `total` trials into shards of `shard_size`
+/// (last shard takes the remainder). The plan depends only on
+/// (total, shard_size) — never on the thread count — which is what makes
+/// merged campaign results bit-identical at any parallelism.
+std::vector<ShardRange> plan_shards(std::size_t total, std::size_t shard_size);
+
+/// Seed of shard `index` in a campaign seeded with `campaign_seed`: an
+/// independent Rng stream per shard, so a shard's trials are a pure
+/// function of (campaign_seed, index).
+std::uint64_t shard_seed(std::uint64_t campaign_seed, std::uint64_t index);
+
+struct CampaignOptions {
+  /// 0 → RETSCAN_THREADS env override, else hardware_concurrency().
+  unsigned threads = 0;
+  /// Behavioral-tier (FastTestbench) trials per shard. Large enough to
+  /// amortize per-shard testbench construction, small enough that the
+  /// work-stealing pool balances tail shards.
+  std::size_t shard_size = 4096;
+  /// Gate-level trials per shard; rounded up to whole 64-lane batches so a
+  /// shard never runs a partially filled PackedSim batch mid-campaign.
+  std::size_t structural_shard_size = 256;
+};
+
+/// Campaign result plus the parallel execution shape, for BENCH_*.json.
+struct CampaignReport {
+  ValidationStats stats;
+  unsigned threads = 1;
+  std::size_t shard_count = 0;
+};
+
+/// Shard-map-reduce driver for statistical campaigns: shards a trial count
+/// into independent chunks, runs each with its own seed stream on a
+/// work-stealing pool, and merges the per-shard statistics in shard order.
+/// `threads == 1` reproduces the serial path (same shards, same seeds), so
+/// the thread count is purely a throughput knob.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(const CampaignOptions& options = {});
+
+  unsigned threads() const { return pool_.size(); }
+  const CampaignOptions& options() const { return options_; }
+  ThreadPool& pool() { return pool_; }
+
+  /// Generic deterministic map-reduce: fn(shard) → Result, merged with
+  /// operator+= in shard index order. Result must be value-initializable.
+  template <typename Result, typename ShardFn>
+  Result map_reduce(std::size_t total, std::size_t shard_size, ShardFn&& fn) {
+    const std::vector<ShardRange> shards = plan_shards(total, shard_size);
+    std::vector<Result> partial(shards.size());
+    pool_.parallel_for(shards.size(),
+                       [&](std::size_t s) { partial[s] = fn(shards[s]); });
+    Result merged{};
+    for (const Result& p : partial) {
+      merged += p;
+    }
+    return merged;
+  }
+
+  /// Behavioral-tier validation campaign (FastTestbench::run) across the
+  /// pool. shard_size == 0 → options().shard_size.
+  CampaignReport run_fast(const ValidationConfig& config, std::size_t count,
+                          std::size_t shard_size = 0);
+
+  /// Gate-level packed campaign (StructuralTestbench::run_packed): each
+  /// shard simulates its own design copy with 64 corruption trials per
+  /// batch. shard_size == 0 → options().structural_shard_size.
+  CampaignReport run_structural_packed(const ValidationConfig& config,
+                                       std::size_t count,
+                                       std::size_t shard_size = 0);
+
+ private:
+  CampaignOptions options_;
+  ThreadPool pool_;
+};
+
+}  // namespace retscan::parallel

@@ -14,12 +14,19 @@ std::size_t chain_length_for(const ValidationConfig& config) {
                 "ValidationConfig: flop count not divisible by chain count");
   return flops / config.chain_count;
 }
+
+/// Injector seed derived as an independent stream of the campaign seed.
+/// (The old `seed | 1` collided for seeds differing only in bit 0 — fatal
+/// for sharded campaigns whose per-shard seeds are dense.)
+std::uint64_t injector_seed(const ValidationConfig& config) {
+  return Rng::derive_stream(config.seed, 0x494e4a4543544full);  // "INJECTO"
+}
 }  // namespace
 
 FastTestbench::FastTestbench(const ValidationConfig& config)
     : config_(config), chain_length_(chain_length_for(config)), rng_(config.seed) {
   injector_ = std::make_unique<ErrorInjector>(config_.chain_count, chain_length_,
-                                              config_.seed | 1);
+                                              injector_seed(config_));
 }
 
 ValidationStats FastTestbench::run(std::size_t count) {
@@ -126,8 +133,8 @@ StructuralTestbench::StructuralTestbench(const ValidationConfig& config)
   protection.test_width = 4;
   design_ = std::make_unique<ProtectedDesign>(make_fifo(config_.fifo), protection);
   session_ = std::make_unique<RetentionSession>(*design_);
-  injector_ = std::make_unique<ErrorInjector>(config_.chain_count,
-                                              design_->chain_length(), config_.seed | 1);
+  injector_ = std::make_unique<ErrorInjector>(
+      config_.chain_count, design_->chain_length(), injector_seed(config_));
   if (config_.mode == InjectionMode::RushModel) {
     const RushCurrentModel rush(config_.rush);
     corruption_ = std::make_unique<CorruptionModel>(config_.corruption, rush);

@@ -59,6 +59,22 @@ struct ValidationStats {
                ? 1.0
                : static_cast<double>(corrected) / static_cast<double>(sequences_with_errors);
   }
+
+  /// Shard reduction: counters are pure sums, so merging per-shard stats in
+  /// shard order reproduces the single-threaded campaign exactly.
+  ValidationStats& operator+=(const ValidationStats& other) {
+    sequences += other.sequences;
+    errors_injected += other.errors_injected;
+    sequences_with_errors += other.sequences_with_errors;
+    detected += other.detected;
+    corrected += other.corrected;
+    flagged_uncorrectable += other.flagged_uncorrectable;
+    comparator_mismatches += other.comparator_mismatches;
+    silent_corruptions += other.silent_corruptions;
+    return *this;
+  }
+
+  bool operator==(const ValidationStats&) const = default;
 };
 
 /// Behavioral (fast) testbench: runs the full monitoring protocol on chain

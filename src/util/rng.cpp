@@ -65,6 +65,16 @@ BitVec Rng::next_bits(std::size_t size) {
   return bits;
 }
 
+std::uint64_t Rng::derive_stream(std::uint64_t seed, std::uint64_t stream) {
+  // Two dependent SplitMix64 rounds: the first whitens the stream index so
+  // that consecutive shard indices land far apart, the second mixes it
+  // into the campaign seed. Zero is a fine input and never a fixed point.
+  std::uint64_t state = seed ^ (stream * 0xd1342543de82ef95ull);
+  const std::uint64_t first = splitmix64(state);
+  state ^= first ^ stream;
+  return splitmix64(state);
+}
+
 std::vector<std::size_t> Rng::sample_distinct(std::size_t population, std::size_t count) {
   RETSCAN_CHECK(count <= population, "Rng::sample_distinct: count > population");
   std::vector<std::size_t> chosen;

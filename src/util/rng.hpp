@@ -34,6 +34,13 @@ class Rng {
   /// replacement (Floyd's algorithm). count must be <= population.
   std::vector<std::size_t> sample_distinct(std::size_t population, std::size_t count);
 
+  /// Derive the seed of an independent child stream: (seed, stream) pairs
+  /// map to well-separated 64-bit seeds via two SplitMix64 rounds. This is
+  /// how parallel campaigns split one campaign seed into per-shard Rng
+  /// streams — shard results depend only on (seed, shard index), never on
+  /// the thread that ran the shard.
+  static std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t stream);
+
  private:
   std::uint64_t state_[4];
 };

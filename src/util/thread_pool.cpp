@@ -1,0 +1,183 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace retscan {
+
+namespace {
+/// Which pool (if any) owns the current thread — used to run nested
+/// parallel_for calls inline instead of deadlocking a worker on itself.
+thread_local const ThreadPool* tl_pool = nullptr;
+}  // namespace
+
+unsigned ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned fallback = hw == 0 ? 1 : hw;
+  if (const char* env = std::getenv("RETSCAN_THREADS")) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0 && value <= 4096) {
+      return static_cast<unsigned>(value);
+    }
+    std::fprintf(stderr,
+                 "[retscan] warning: invalid RETSCAN_THREADS='%s' (want 1..4096); "
+                 "using %u\n",
+                 env, fallback);
+  }
+  return fallback;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = threads == 0 ? default_thread_count() : threads;
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (unsigned i = 0; i < count; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  const std::size_t index =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  // Increment pending_ BEFORE the task becomes stealable, so a concurrent
+  // pop can never drive the counter below zero; holding idle_mutex_ for the
+  // increment pairs with the cv predicate check so the wakeup can't be
+  // missed. A worker waking between the two blocks spins once harmlessly.
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[index]->mutex);
+    workers_[index]->queue.push_back(std::move(task));
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task) {
+  Worker& worker = *workers_[index];
+  std::lock_guard<std::mutex> lock(worker.mutex);
+  if (worker.queue.empty()) {
+    return false;
+  }
+  task = std::move(worker.queue.back());
+  worker.queue.pop_back();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t thief, std::function<void()>& task) {
+  for (std::size_t hop = 1; hop < workers_.size(); ++hop) {
+    Worker& victim = *workers_[(thief + hop) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.queue.empty()) {
+      task = std::move(victim.queue.front());
+      victim.queue.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(index, task) || try_steal(index, task)) {
+      try {
+        task();
+      } catch (...) {
+        // enqueue() tasks are documented non-throwing; submit()/parallel_for()
+        // wrappers capture their own exceptions. Swallow rather than
+        // std::terminate so one misbehaved task cannot take the pool down.
+      }
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    idle_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  if (tl_pool == this || size() <= 1 || count == 1) {
+    // Same contract as the pooled path: every body runs, first exception
+    // rethrown at the end — side effects must not depend on thread count.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+    if (error) {
+      std::rethrow_exception(error);
+    }
+    return;
+  }
+
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining = count;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    enqueue([state, i, &body] {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) {
+          state->error = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->remaining == 0) {
+        state->done.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->remaining == 0; });
+  if (state->error) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace retscan

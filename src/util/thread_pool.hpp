@@ -1,0 +1,85 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace retscan {
+
+/// Small work-stealing thread pool: one task deque per worker, owners pop
+/// from the back (LIFO, cache-warm), thieves steal from the front (FIFO,
+/// oldest work first). This is the execution substrate of the
+/// retscan::parallel campaign layer — shards of a statistical campaign are
+/// submitted as independent tasks and idle workers steal from loaded ones,
+/// so uneven shard costs (e.g. fault shards with early drops) still fill
+/// every core.
+///
+/// Determinism note: the pool schedules; it never sequences results. All
+/// campaign-level reductions happen in shard order outside the pool, so
+/// the same seed produces bit-identical campaign statistics at any thread
+/// count.
+class ThreadPool {
+ public:
+  /// threads == 0 → default_thread_count() (RETSCAN_THREADS env override,
+  /// else std::thread::hardware_concurrency()).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Fire-and-forget task. Tasks must not throw — wrap throwing work via
+  /// submit() or parallel_for(), which capture and propagate exceptions.
+  void enqueue(std::function<void()> task);
+
+  /// Task with a result (or a propagated exception) via std::future.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Run body(0) .. body(count-1) across the pool and block until all
+  /// complete. The first exception thrown by any body is rethrown here
+  /// (after every submitted body has finished, so the pool is left clean).
+  /// Runs inline when called from a pool worker (no nested deadlock) or
+  /// when the pool is effectively serial.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  /// RETSCAN_THREADS env override (strictly parsed), else
+  /// hardware_concurrency(), else 1.
+  static unsigned default_thread_count();
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+    std::thread thread;
+  };
+
+  bool try_pop(std::size_t index, std::function<void()>& task);
+  bool try_steal(std::size_t thief, std::function<void()>& task);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace retscan

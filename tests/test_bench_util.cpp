@@ -1,0 +1,55 @@
+// bench_util.hpp is header-only plumbing shared by every bench binary; the
+// RETSCAN_SEQUENCES override must parse strictly — garbage silently running
+// a bench at the wrong scale is how perf gates rot.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench_util.hpp"
+
+namespace {
+
+class SequenceBudgetTest : public ::testing::Test {
+ protected:
+  void SetUp() override { unsetenv("RETSCAN_SEQUENCES"); }
+  void TearDown() override { unsetenv("RETSCAN_SEQUENCES"); }
+
+  std::size_t budget(const char* env) {
+    setenv("RETSCAN_SEQUENCES", env, 1);
+    return retscan::bench::sequence_budget(12345);
+  }
+};
+
+TEST_F(SequenceBudgetTest, DefaultWhenUnset) {
+  EXPECT_EQ(retscan::bench::sequence_budget(12345), 12345u);
+}
+
+TEST_F(SequenceBudgetTest, ParsesPositiveInteger) {
+  EXPECT_EQ(budget("50000"), 50000u);
+  EXPECT_EQ(budget("1"), 1u);
+  EXPECT_EQ(budget("100000000"), 100000000u);  // paper scale
+}
+
+TEST_F(SequenceBudgetTest, FallsBackOnZeroAndNegative) {
+  EXPECT_EQ(budget("0"), 12345u);
+  EXPECT_EQ(budget("-20000"), 12345u);
+}
+
+TEST_F(SequenceBudgetTest, FallsBackOnGarbage) {
+  EXPECT_EQ(budget("lots"), 12345u);
+  EXPECT_EQ(budget(""), 12345u);
+  EXPECT_EQ(budget("  "), 12345u);
+}
+
+TEST_F(SequenceBudgetTest, FallsBackOnTrailingJunk) {
+  EXPECT_EQ(budget("100x"), 12345u);
+  EXPECT_EQ(budget("1e6"), 12345u);  // no float spellings
+  EXPECT_EQ(budget("20 000"), 12345u);
+}
+
+TEST_F(SequenceBudgetTest, FallsBackOnOverflow) {
+  EXPECT_EQ(budget("99999999999999999999999999"), 12345u);
+}
+
+}  // namespace

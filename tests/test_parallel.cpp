@@ -1,0 +1,253 @@
+// The retscan::parallel orchestration layer: work-stealing ThreadPool
+// semantics (completion, exception propagation, clean shutdown),
+// deterministic shard planning/seeding, and — the load-bearing contract —
+// thread-count invariance: the same campaign seed must produce
+// bit-identical statistics at 1, 2 and 8 threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "atpg/scan_test.hpp"
+#include "circuits/fifo.hpp"
+#include "core/protected_design.hpp"
+#include "parallel/campaign_runner.hpp"
+#include "testbench/harness.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace retscan;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 500;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SubmitDeliversResultsAndExceptions) {
+  ThreadPool pool(2);
+  auto value = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(value.get(), 42);
+  auto boom = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptionAndPoolSurvives) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   ran.fetch_add(1, std::memory_order_relaxed);
+                                   if (i % 7 == 3) {
+                                     throw std::runtime_error("shard failed");
+                                   }
+                                 }),
+               std::runtime_error);
+  // Every body still ran (the pool drains before rethrowing) …
+  EXPECT_EQ(ran.load(), 64u);
+  // … and the pool stays usable afterwards; destruction at scope end is the
+  // shutdown-under-exceptions check.
+  ran.store(0);
+  pool.parallel_for(32, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 32u);
+
+  // The inline (serial-pool) path honors the same drain-before-rethrow
+  // contract, so side effects do not depend on the thread count.
+  ThreadPool solo(1);
+  std::size_t solo_ran = 0;
+  EXPECT_THROW(solo.parallel_for(16,
+                                 [&](std::size_t i) {
+                                   ++solo_ran;
+                                   if (i == 2) {
+                                     throw std::runtime_error("inline shard");
+                                   }
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(solo_ran, 16u);
+}
+
+TEST(ThreadPool, SerialAndNestedCallsRunInline) {
+  ThreadPool pool(1);
+  std::size_t sum = 0;  // no atomics needed: single-thread pools run inline
+  pool.parallel_for(10, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 45u);
+
+  ThreadPool outer(2);
+  std::atomic<std::size_t> total{0};
+  outer.parallel_for(4, [&](std::size_t) {
+    // Nested parallel_for on the same pool must not deadlock a worker.
+    outer.parallel_for(8, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 32u);
+}
+
+TEST(ShardPlan, CoversTotalExactlyOnceIndependentOfThreads) {
+  const auto shards = parallel::plan_shards(1000, 256);
+  ASSERT_EQ(shards.size(), 4u);
+  std::size_t expected_first = 0;
+  for (const auto& shard : shards) {
+    EXPECT_EQ(shard.first, expected_first);
+    expected_first += shard.count;
+  }
+  EXPECT_EQ(expected_first, 1000u);
+  EXPECT_EQ(shards.back().count, 232u);
+
+  EXPECT_TRUE(parallel::plan_shards(0, 64).empty());
+  EXPECT_EQ(parallel::plan_shards(5, 0).size(), 1u);  // 0 → one shard
+}
+
+TEST(ShardSeeds, AreDistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    seeds.insert(parallel::shard_seed(2024, i));
+  }
+  EXPECT_EQ(seeds.size(), 4096u);
+  EXPECT_NE(parallel::shard_seed(1, 0), parallel::shard_seed(2, 0));
+  EXPECT_NE(Rng::derive_stream(0, 0), 0u);
+}
+
+namespace {
+ValidationConfig fast_config() {
+  ValidationConfig config;
+  config.fifo = FifoSpec{32, 32};
+  config.chain_count = 80;
+  config.mode = InjectionMode::SingleRandom;
+  config.seed = 99;
+  return config;
+}
+}  // namespace
+
+TEST(CampaignRunner, FastCampaignIsThreadCountInvariant) {
+  constexpr std::size_t kSequences = 2048;
+  constexpr std::size_t kShard = 256;
+  const ValidationConfig config = fast_config();
+
+  parallel::CampaignReport reports[3];
+  const unsigned thread_counts[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    parallel::CampaignRunner runner(
+        parallel::CampaignOptions{.threads = thread_counts[i]});
+    reports[i] = runner.run_fast(config, kSequences, kShard);
+    EXPECT_EQ(reports[i].threads, thread_counts[i]);
+    EXPECT_EQ(reports[i].shard_count, kSequences / kShard);
+  }
+  EXPECT_TRUE(reports[0].stats == reports[1].stats);
+  EXPECT_TRUE(reports[0].stats == reports[2].stats);
+  EXPECT_EQ(reports[0].stats.sequences, kSequences);
+  EXPECT_EQ(reports[0].stats.detection_rate(), 1.0);
+  EXPECT_EQ(reports[0].stats.correction_rate(), 1.0);
+  EXPECT_EQ(reports[0].stats.silent_corruptions, 0u);
+}
+
+TEST(CampaignRunner, BurstCampaignIsThreadCountInvariant) {
+  ValidationConfig config = fast_config();
+  config.mode = InjectionMode::MultipleBurst;
+  config.burst_size = 4;
+  config.burst_spread = 1;
+
+  parallel::CampaignRunner one(parallel::CampaignOptions{.threads = 1});
+  parallel::CampaignRunner eight(parallel::CampaignOptions{.threads = 8});
+  const ValidationStats a = one.run_fast(config, 1024, 128).stats;
+  const ValidationStats b = eight.run_fast(config, 1024, 128).stats;
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.detection_rate(), 1.0);
+  EXPECT_EQ(a.silent_corruptions, 0u);
+}
+
+TEST(CampaignRunner, StructuralPackedIsThreadCountInvariant) {
+  ValidationConfig gate;
+  gate.fifo = FifoSpec{32, 2};
+  gate.chain_count = 8;
+  gate.mode = InjectionMode::SingleRandom;
+  gate.seed = 5;
+
+  parallel::CampaignRunner one(parallel::CampaignOptions{.threads = 1});
+  parallel::CampaignRunner three(parallel::CampaignOptions{.threads = 3});
+  const ValidationStats a = one.run_structural_packed(gate, 128, 64).stats;
+  const ValidationStats b = three.run_structural_packed(gate, 128, 64).stats;
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.sequences, 128u);
+  EXPECT_EQ(a.detection_rate(), 1.0);
+  EXPECT_EQ(a.correction_rate(), 1.0);
+}
+
+namespace {
+/// Protected FIFO + constrained combinational frame, as the testers use it.
+struct FrameFixture {
+  ProtectedDesign design;
+  CombinationalFrame frame;
+
+  FrameFixture()
+      : design(make_fifo(FifoSpec{32, 2}),
+               [] {
+                 ProtectionConfig config;
+                 config.kind = CodeKind::HammingPlusCrc;
+                 config.chain_count = 8;
+                 config.test_width = 4;
+                 return config;
+               }()),
+        frame(design.netlist()) {
+    for (const char* name : {"se", "retain", "mon_en", "mon_decode", "mon_clear",
+                             "sig_capture", "sig_compare", "test_mode"}) {
+      frame.constrain(name, false);
+    }
+  }
+};
+}  // namespace
+
+TEST(FaultSimParallel, ShardMergeMatchesSerialFaultCoverage) {
+  FrameFixture fixture;
+  const auto all = enumerate_faults(fixture.design.netlist());
+  const auto faults = collapse_faults(fixture.design.netlist(), all);
+
+  Rng rng(7);
+  std::vector<BitVec> patterns;
+  for (int i = 0; i < 100; ++i) {
+    patterns.push_back(fixture.frame.random_pattern(rng));
+  }
+
+  const FaultSimResult serial = fault_simulate(fixture.frame, faults, patterns);
+  ThreadPool pool(4);
+  const FaultSimResult pooled =
+      fault_simulate(fixture.frame, faults, patterns, pool, 32);
+
+  EXPECT_EQ(pooled.total_faults, serial.total_faults);
+  EXPECT_EQ(pooled.detected, serial.detected);
+  EXPECT_EQ(pooled.detected_by, serial.detected_by);
+  EXPECT_GT(serial.detected, 0u);
+}
+
+TEST(ScanTestParallel, PooledDeliveryMatchesSerialPacked) {
+  FrameFixture fixture;
+  Rng rng(11);
+  std::vector<BitVec> patterns;
+  for (int i = 0; i < 70; ++i) {  // non-multiple of 64: exercises tail batch
+    patterns.push_back(fixture.frame.random_pattern(rng));
+  }
+
+  const ScanTestResult serial =
+      apply_test_mode_scan_test_packed(fixture.design, fixture.frame, patterns);
+  ThreadPool pool(4);
+  const ScanTestResult pooled = apply_test_mode_scan_test_packed(
+      fixture.design, fixture.frame, patterns, pool, 64);
+
+  EXPECT_EQ(pooled.patterns_applied, serial.patterns_applied);
+  EXPECT_EQ(pooled.mismatches, serial.mismatches);
+  EXPECT_EQ(pooled.patterns_applied, patterns.size());
+  EXPECT_TRUE(pooled.all_passed());
+}
