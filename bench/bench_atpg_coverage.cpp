@@ -26,23 +26,26 @@ namespace {
 
 /// Full fault-dictionary workload (no fault dropping): every fault is
 /// simulated against every pattern, so the measured cost is pure
-/// pattern-evaluation throughput. `batch_size` 64 is the bit-parallel path;
-/// 1 is the scalar baseline (one pattern per pass, as the seed's
-/// one-fault-at-a-time flow cost it).
+/// pattern-evaluation throughput. `batch_size` 64 is the bit-parallel
+/// compiled cone path; with `reference` set, each fault instead pays a full
+/// interpreted circuit evaluation per pattern pass (the seed's
+/// one-fault-at-a-time flow), which is the scalar baseline.
 std::size_t fault_dictionary_detects(const CombinationalFrame& frame,
                                      const std::vector<Fault>& faults,
                                      const std::vector<BitVec>& patterns,
-                                     std::size_t batch_size) {
+                                     std::size_t batch_size, bool reference = false) {
   std::size_t detected = 0;
   std::vector<std::uint64_t> masks(faults.size(), 0);
+  CombinationalFrame::Workspace workspace;
   for (std::size_t base = 0; base < patterns.size(); base += batch_size) {
     const std::size_t count = std::min(batch_size, patterns.size() - base);
     const std::vector<BitVec> batch(patterns.begin() + base,
                                     patterns.begin() + base + count);
     const CombinationalFrame::LoadedPatternBatch loaded = frame.load_batch(batch);
-    const std::vector<std::uint64_t> good = frame.good_response_words(loaded);
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-      masks[fi] |= frame.detect_mask(faults[fi], loaded, good);
+      masks[fi] |= reference
+                       ? frame.detect_mask_full(faults[fi], batch, loaded.good)
+                       : frame.detect_mask(faults[fi], loaded, loaded.good, workspace);
     }
   }
   for (const std::uint64_t mask : masks) {
@@ -101,7 +104,7 @@ int main() {
   const double packed_fs_time = timer.seconds() / kPackedRepeats;
   timer.restart();
   const std::size_t scalar_detects =
-      fault_dictionary_detects(frame, faults, atpg.patterns, 1);
+      fault_dictionary_detects(frame, faults, atpg.patterns, 1, /*reference=*/true);
   const double scalar_fs_time = timer.seconds();
   const double packed_fs_rate = nominal_evals / packed_fs_time;
   const double scalar_fs_rate = nominal_evals / scalar_fs_time;

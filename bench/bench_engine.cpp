@@ -1,0 +1,178 @@
+// Compiled-core throughput bench: the raw gate-evaluation engine behind
+// every simulator facade and fault-sim frame.
+//
+//  * full-sweep kernel — million gate-evals/sec (MEPS) of the compiled flat
+//    instruction stream vs the retained per-Cell reference interpreter, on
+//    the protected FIFO netlist (64 lanes per word, both sides);
+//  * fanout-cone incremental fault simulation — per-fault cone passes vs
+//    full-circuit interpreted passes on the same fault dictionary, with
+//    bit-identical detect masks required.
+//
+// Both ratios (compile_speedup, cone_speedup) are same-host comparisons and
+// land in BENCH_engine.json, where ci/check_bench_json.py gates them against
+// bench/baselines/BENCH_engine.json.
+
+#include <cstdint>
+#include <iostream>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "bench_util.hpp"
+#include "circuits/fifo.hpp"
+#include "core/protected_design.hpp"
+#include "sim/compiled_netlist.hpp"
+#include "util/rng.hpp"
+
+using namespace retscan;
+
+int main() {
+  bench::header("Compiled simulation core vs reference interpreter");
+  bench::JsonReport json("engine");
+  bool ok = true;
+
+  ProtectionConfig config;
+  config.kind = CodeKind::HammingPlusCrc;
+  config.chain_count = 8;
+  config.test_width = 4;
+  const ProtectedDesign design(make_fifo(FifoSpec{32, 4}), config);
+  const Netlist& nl = design.netlist();
+  const std::shared_ptr<const CompiledNetlist> compiled = nl.compiled();
+  const std::size_t gates = compiled->instrs().size();
+  std::cout << "netlist: " << nl.cell_count() << " cells, " << nl.net_count()
+            << " nets, " << gates << " compiled gates\n";
+
+  // --- full-sweep throughput ----------------------------------------------
+  // Randomize every source slot, settle, repeat; each sweep is gates x 64
+  // lane-parallel gate evaluations. The interpreter runs the identical
+  // stimulus on NetId-indexed values; both sides feed a checksum so the
+  // loops cannot be elided, and every sweep's results must agree net-for-net.
+  constexpr int kSweeps = 400;
+  std::vector<LaneWord> slot_values(compiled->slot_count(), 0);
+  std::vector<LaneWord> net_values(nl.net_count(), 0);
+  const std::size_t source_count = compiled->slot_count() - gates;
+
+  Rng stim_rng(1);
+  std::vector<std::vector<LaneWord>> stimulus(kSweeps,
+                                              std::vector<LaneWord>(source_count));
+  for (auto& sweep : stimulus) {
+    for (LaneWord& word : sweep) {
+      word = stim_rng.next_u64();
+    }
+  }
+
+  bench::Stopwatch timer;
+  LaneWord compiled_sum = 0;
+  for (int s = 0; s < kSweeps; ++s) {
+    // Source slots are the first source_count slots by construction.
+    for (std::size_t i = 0; i < source_count; ++i) {
+      slot_values[i] = stimulus[s][i];
+    }
+    compiled->eval_full(slot_values.data());
+    compiled_sum ^= slot_values[compiled->slot_count() - 1];
+  }
+  const double compiled_time = timer.seconds();
+
+  timer.restart();
+  LaneWord interp_sum = 0;
+  for (int s = 0; s < kSweeps; ++s) {
+    for (std::size_t i = 0; i < source_count; ++i) {
+      net_values[compiled->net_of_slot(static_cast<std::uint32_t>(i))] = stimulus[s][i];
+    }
+    CompiledNetlist::reference_eval(nl, net_values);
+    interp_sum ^= net_values[compiled->net_of_slot(
+        static_cast<std::uint32_t>(compiled->slot_count() - 1))];
+  }
+  const double interp_time = timer.seconds();
+
+  // Equivalence of the final sweep, every net.
+  std::size_t sweep_mismatches = 0;
+  for (NetId net = 0; net < nl.net_count(); ++net) {
+    if (slot_values[compiled->slot(net)] != net_values[net]) {
+      ++sweep_mismatches;
+    }
+  }
+  ok = ok && sweep_mismatches == 0 && compiled_sum == interp_sum;
+
+  const double lane_evals =
+      static_cast<double>(gates) * kSweeps * static_cast<double>(kLaneCount);
+  const double compiled_meps = lane_evals / compiled_time / 1e6;
+  const double interp_meps = lane_evals / interp_time / 1e6;
+  const double compile_speedup = compiled_meps / interp_meps;
+  std::cout << "compiled:    " << compiled_meps << " M gate-evals/sec\n"
+            << "interpreted: " << interp_meps << " M gate-evals/sec\n"
+            << "speedup:     " << compile_speedup << "x ("
+            << sweep_mismatches << " mismatching nets)\n";
+  json.set("gates", static_cast<double>(gates));
+  json.set("compiled_meps", compiled_meps);
+  json.set("interp_meps", interp_meps);
+  json.set("compile_speedup", compile_speedup);
+
+  // --- cone-incremental vs full-circuit fault simulation ------------------
+  bench::header("Fanout-cone incremental vs full-circuit fault simulation");
+  CombinationalFrame frame(nl);
+  for (const char* name : {"se", "retain", "mon_en", "mon_decode", "mon_clear",
+                           "sig_capture", "sig_compare", "test_mode"}) {
+    frame.constrain(name, false);
+  }
+  const auto faults = collapse_faults(nl, enumerate_faults(nl));
+  Rng pattern_rng(7);
+  std::vector<BitVec> patterns;
+  for (int i = 0; i < 256; ++i) {
+    patterns.push_back(frame.random_pattern(pattern_rng));
+  }
+  frame.warm_cones(faults);
+
+  // Preload batches so both timed loops measure pure per-fault evaluation.
+  std::vector<std::vector<BitVec>> batches;
+  std::vector<CombinationalFrame::LoadedPatternBatch> loaded;
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    batches.emplace_back(patterns.begin() + base, patterns.begin() + base + count);
+    loaded.push_back(frame.load_batch(batches.back()));
+  }
+
+  const double fault_evals =
+      static_cast<double>(faults.size()) * static_cast<double>(loaded.size());
+  constexpr int kConeRepeats = 5;
+  CombinationalFrame::Workspace workspace;
+  std::vector<std::uint64_t> cone_masks(faults.size() * loaded.size(), 0);
+  timer.restart();
+  for (int r = 0; r < kConeRepeats; ++r) {
+    for (std::size_t b = 0; b < loaded.size(); ++b) {
+      for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        cone_masks[b * faults.size() + fi] =
+            frame.detect_mask(faults[fi], loaded[b], loaded[b].good, workspace);
+      }
+    }
+  }
+  const double cone_time = timer.seconds() / kConeRepeats;
+
+  std::vector<std::uint64_t> full_masks(faults.size() * loaded.size(), 0);
+  timer.restart();
+  for (std::size_t b = 0; b < loaded.size(); ++b) {
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      full_masks[b * faults.size() + fi] =
+          frame.detect_mask_full(faults[fi], batches[b], loaded[b].good);
+    }
+  }
+  const double full_time = timer.seconds();
+
+  ok = ok && cone_masks == full_masks;
+  const double cone_rate = fault_evals / cone_time;
+  const double full_rate = fault_evals / full_time;
+  const double cone_speedup = cone_rate / full_rate;
+  std::cout << "cone:    " << cone_rate << " fault-evals/sec over "
+            << faults.size() << " faults x " << loaded.size() << " batches\n"
+            << "full:    " << full_rate << " fault-evals/sec\n"
+            << "speedup: " << cone_speedup << "x (masks "
+            << (cone_masks == full_masks ? "identical" : "DIVERGED") << ")\n";
+  json.set("collapsed_faults", static_cast<double>(faults.size()));
+  json.set("cone_fault_evals_per_sec", cone_rate);
+  json.set("full_fault_evals_per_sec", full_rate);
+  json.set("cone_speedup", cone_speedup);
+
+  json.set("pass", ok ? 1.0 : 0.0);
+  json.write();
+  std::cout << (ok ? "\n[engine] PASS\n" : "\n[engine] FAIL\n");
+  return ok ? 0 : 1;
+}

@@ -37,12 +37,22 @@ REQUIRED_KEYS = {
         "delivery_speedup",
         "threads",
     ],
+    "engine": [
+        "gates",
+        "compiled_meps",
+        "interp_meps",
+        "compile_speedup",
+        "cone_fault_evals_per_sec",
+        "full_fault_evals_per_sec",
+        "cone_speedup",
+    ],
 }
 
 # Ratio metrics gated against bench/baselines/BENCH_<name>.json.
 GATED_KEYS = {
     "validation": ["gate_speedup"],
     "atpg": ["faultsim_speedup", "delivery_speedup"],
+    "engine": ["compile_speedup", "cone_speedup"],
 }
 
 

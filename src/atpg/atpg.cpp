@@ -22,13 +22,12 @@ AtpgResult run_atpg(const CombinationalFrame& frame, const std::vector<Fault>& f
       batch.push_back(frame.random_pattern(rng));
     }
     const CombinationalFrame::LoadedPatternBatch loaded = frame.load_batch(batch);
-    const std::vector<std::uint64_t> good = frame.good_response_words(loaded);
     std::uint64_t useful = 0;  // patterns that detected something new
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
       if (detected[fi]) {
         continue;
       }
-      const std::uint64_t mask = frame.detect_mask(faults[fi], loaded, good);
+      const std::uint64_t mask = frame.detect_mask(faults[fi], loaded, loaded.good);
       if (mask != 0) {
         detected[fi] = true;
         ++result.detected_random;
@@ -61,15 +60,16 @@ AtpgResult run_atpg(const CombinationalFrame& frame, const std::vector<Fault>& f
         ++result.aborted;
         continue;
       }
-      // Fault-simulate the new pattern against all remaining faults.
-      const std::vector<BitVec> batch{generated.pattern};
-      const std::vector<BitVec> good{frame.good_response(generated.pattern)};
+      // Fault-simulate the new pattern against all remaining faults: load
+      // and settle it once, then cone-evaluate each survivor against it.
+      const CombinationalFrame::LoadedPatternBatch loaded =
+          frame.load_batch({generated.pattern});
       bool useful = false;
       for (std::size_t fj = 0; fj < faults.size(); ++fj) {
         if (detected[fj]) {
           continue;
         }
-        if (frame.detect_mask(faults[fj], batch, good) != 0) {
+        if (frame.detect_mask(faults[fj], loaded, loaded.good) != 0) {
           detected[fj] = true;
           ++result.detected_podem;
           --remaining;

@@ -1,5 +1,6 @@
 #include "atpg/fault_sim.hpp"
 
+#include <atomic>
 #include <bit>
 #include <limits>
 
@@ -8,8 +9,21 @@
 
 namespace retscan {
 
+namespace {
+
+inline constexpr std::uint32_t kNoObs = ~std::uint32_t{0};
+
+/// Batch identity for Workspace sync tracking: unique per load_batch, never
+/// reused, so a stale workspace can never masquerade as settled.
+std::uint64_t next_batch_tag() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
 CombinationalFrame::CombinationalFrame(const Netlist& netlist)
-    : netlist_(&netlist), order_(netlist.combinational_order()) {
+    : netlist_(&netlist), compiled_(netlist.compiled()) {
   for (const CellId input : netlist.inputs()) {
     pi_nets_.push_back(netlist.cell(input).out);
   }
@@ -17,11 +31,34 @@ CombinationalFrame::CombinationalFrame(const Netlist& netlist)
   for (const CellId output : netlist.outputs()) {
     po_nets_.push_back(netlist.cell(output).fanin[0]);
   }
-  // Constant cells are sources (not in combinational_order) and must be
+  // Constant cells are sources (not in the instruction stream) and must be
   // initialized explicitly on every load.
   for (CellId id = 0; id < netlist.cell_count(); ++id) {
     if (netlist.cell(id).type == CellType::Const1) {
       const1_nets_.push_back(netlist.cell(id).out);
+      const1_slots_.push_back(compiled_->slot(netlist.cell(id).out));
+    }
+  }
+  for (const NetId net : pi_nets_) {
+    pi_slots_.push_back(compiled_->slot(net));
+  }
+  for (const CellId flop : flops_) {
+    ppi_slots_.push_back(compiled_->slot(netlist.cell(flop).out));
+  }
+  // Observation points: POs first, then flop D captures (functional path,
+  // se = 0) — the good_words layout.
+  for (const NetId po : po_nets_) {
+    obs_slots_.push_back(compiled_->slot(po));
+  }
+  for (const CellId flop : flops_) {
+    obs_slots_.push_back(compiled_->slot(netlist.cell(flop).fanin[0]));
+  }
+  obs_word_of_slot_.assign(compiled_->slot_count(), kNoObs);
+  for (std::uint32_t word = 0; word < obs_slots_.size(); ++word) {
+    // Duplicate observables on one net carry identical good words, so
+    // keeping the first mapping preserves the detect mask.
+    if (obs_word_of_slot_[obs_slots_[word]] == kNoObs) {
+      obs_word_of_slot_[obs_slots_[word]] = word;
     }
   }
 }
@@ -45,71 +82,45 @@ BitVec CombinationalFrame::random_pattern(Rng& rng) const {
   return pattern;
 }
 
-void CombinationalFrame::load(std::vector<std::uint64_t>& values,
+void CombinationalFrame::load(std::vector<std::uint64_t>& slot_values,
                               const std::vector<BitVec>& patterns) const {
   RETSCAN_CHECK(patterns.size() <= 64, "CombinationalFrame: batch larger than 64");
-  std::fill(values.begin(), values.end(), 0);
+  std::fill(slot_values.begin(), slot_values.end(), 0);
   for (std::size_t p = 0; p < patterns.size(); ++p) {
     RETSCAN_CHECK(patterns[p].size() == pattern_width(),
                   "CombinationalFrame: pattern width mismatch");
     const std::uint64_t bit = std::uint64_t{1} << p;
-    for (std::size_t i = 0; i < pi_nets_.size(); ++i) {
+    for (std::size_t i = 0; i < pi_slots_.size(); ++i) {
       if (patterns[p].get(i)) {
-        values[pi_nets_[i]] |= bit;
+        slot_values[pi_slots_[i]] |= bit;
       }
     }
-    for (std::size_t i = 0; i < flops_.size(); ++i) {
-      if (patterns[p].get(pi_nets_.size() + i)) {
-        values[netlist_->cell(flops_[i]).out] |= bit;
+    for (std::size_t i = 0; i < ppi_slots_.size(); ++i) {
+      if (patterns[p].get(pi_slots_.size() + i)) {
+        slot_values[ppi_slots_[i]] |= bit;
       }
     }
   }
   for (const auto& [index, value] : constraints_) {
-    values[pi_nets_[index]] = value ? ~std::uint64_t{0} : 0;
+    slot_values[pi_slots_[index]] = value ? ~std::uint64_t{0} : 0;
   }
-  for (const NetId net : const1_nets_) {
-    values[net] = ~std::uint64_t{0};
+  for (const std::uint32_t slot : const1_slots_) {
+    slot_values[slot] = ~std::uint64_t{0};
   }
-}
-
-void CombinationalFrame::evaluate(std::vector<std::uint64_t>& values, NetId fault_net,
-                                  std::uint64_t fault_value) const {
-  // PIs and flop outputs may themselves be the fault site.
-  if (fault_net != kNullNet) {
-    values[fault_net] = fault_value;
-  }
-  for (const CellId id : order_) {
-    const Cell& c = netlist_->cell(id);
-    if (c.type == CellType::Output) {
-      continue;
-    }
-    values[c.out] = eval_comb_word(c, values);
-    if (c.out == fault_net) {
-      values[c.out] = fault_value;
-    }
-  }
-}
-
-std::vector<std::uint64_t> CombinationalFrame::response_words(
-    const std::vector<std::uint64_t>& values) const {
-  std::vector<std::uint64_t> words;
-  words.reserve(response_width());
-  for (const NetId po : po_nets_) {
-    words.push_back(values[po]);
-  }
-  for (const CellId flop : flops_) {
-    // PPO = functional D pin (capture path, se = 0).
-    words.push_back(values[netlist_->cell(flop).fanin[0]]);
-  }
-  return words;
 }
 
 CombinationalFrame::LoadedPatternBatch CombinationalFrame::load_batch(
     const std::vector<BitVec>& patterns) const {
   LoadedPatternBatch batch;
-  batch.values.resize(netlist_->net_count());
+  batch.settled.resize(compiled_->slot_count());
   batch.count = patterns.size();
-  load(batch.values, patterns);
+  batch.tag = next_batch_tag();
+  load(batch.settled, patterns);
+  compiled_->eval_full(batch.settled.data());
+  batch.good.reserve(obs_slots_.size());
+  for (const std::uint32_t slot : obs_slots_) {
+    batch.good.push_back(batch.settled[slot]);
+  }
   return batch;
 }
 
@@ -118,20 +129,31 @@ BitVec CombinationalFrame::good_response(const BitVec& pattern) const {
 }
 
 std::vector<std::uint64_t> CombinationalFrame::good_response_words(
-    const LoadedPatternBatch& batch) const {
-  return good_response_words(batch, scratch_);
-}
-
-std::vector<std::uint64_t> CombinationalFrame::good_response_words(
-    const LoadedPatternBatch& batch, Workspace& workspace) const {
-  workspace = batch.values;
-  evaluate(workspace, kNullNet, 0);
-  return response_words(workspace);
-}
-
-std::vector<std::uint64_t> CombinationalFrame::good_response_words(
     const std::vector<BitVec>& patterns) const {
-  return good_response_words(load_batch(patterns));
+  return load_batch(patterns).good;
+}
+
+const CombinationalFrame::FaultCone& CombinationalFrame::fault_cone(NetId net) const {
+  const std::lock_guard<std::mutex> lock(cone_mutex_);
+  auto it = cones_.find(net);
+  if (it == cones_.end()) {
+    auto fault_cone = std::make_unique<FaultCone>();
+    fault_cone->cone = compiled_->build_cone(net);
+    for (const std::uint32_t slot : fault_cone->cone.touched_slots) {
+      const std::uint32_t word = obs_word_of_slot_[slot];
+      if (word != kNoObs) {
+        fault_cone->observables.emplace_back(word, slot);
+      }
+    }
+    it = cones_.emplace(net, std::move(fault_cone)).first;
+  }
+  return *it->second;
+}
+
+void CombinationalFrame::warm_cones(const std::vector<Fault>& faults) const {
+  for (const Fault& fault : faults) {
+    (void)fault_cone(fault.net);
+  }
 }
 
 std::uint64_t CombinationalFrame::detect_mask(
@@ -143,20 +165,37 @@ std::uint64_t CombinationalFrame::detect_mask(
 std::uint64_t CombinationalFrame::detect_mask(
     const Fault& fault, const LoadedPatternBatch& batch,
     const std::vector<std::uint64_t>& good_words, Workspace& workspace) const {
+  return detect_mask(fault, fault_cone(fault.net), batch, good_words, workspace);
+}
+
+std::uint64_t CombinationalFrame::detect_mask(
+    const Fault& fault, const FaultCone& fc, const LoadedPatternBatch& batch,
+    const std::vector<std::uint64_t>& good_words, Workspace& workspace) const {
   RETSCAN_CHECK(good_words.size() == response_width(),
                 "CombinationalFrame::detect_mask: good responses missing");
-  workspace = batch.values;
-  const std::uint64_t fault_value = fault.stuck_at ? ~std::uint64_t{0} : 0;
-  evaluate(workspace, fault.net, fault_value);
-  // Word-wide good/faulty XOR over every observable: bit p of the result is
-  // set iff pattern p sees a difference somewhere.
-  std::uint64_t mask = 0;
-  for (std::size_t i = 0; i < po_nets_.size(); ++i) {
-    mask |= workspace[po_nets_[i]] ^ good_words[i];
+  // Sync the workspace to this batch's good machine once; every cone pass
+  // below leaves it settled again, so consecutive faults pay no copy.
+  if (workspace.synced_tag != batch.tag) {
+    workspace.values = batch.settled;
+    workspace.synced_tag = batch.tag;
   }
-  for (std::size_t i = 0; i < flops_.size(); ++i) {
-    const NetId d = netlist_->cell(flops_[i]).fanin[0];
-    mask |= workspace[d] ^ good_words[po_nets_.size() + i];
+  std::uint64_t* v = workspace.values.data();
+  const std::uint64_t fault_word = fault.stuck_at ? ~std::uint64_t{0} : 0;
+  v[fc.cone.source_slot] = fault_word;
+  const CompiledInstr* instrs = compiled_->instrs().data();
+  for (const std::uint32_t i : fc.cone.instrs) {
+    const CompiledInstr& in = instrs[i];
+    v[in.out] = CompiledNetlist::eval_instr(in, v);
+  }
+  // Word-wide good/faulty XOR over the reachable observables only: bit p of
+  // the result is set iff pattern p sees a difference somewhere.
+  std::uint64_t mask = 0;
+  for (const auto& [word, slot] : fc.observables) {
+    mask |= v[slot] ^ good_words[word];
+  }
+  // Undo: restore exactly the touched slots to the good-machine values.
+  for (const std::uint32_t slot : fc.cone.touched_slots) {
+    v[slot] = batch.settled[slot];
   }
   return mask & lane_mask(batch.count);
 }
@@ -178,6 +217,61 @@ std::uint64_t CombinationalFrame::detect_mask(const Fault& fault,
   return detect_mask(fault, patterns, pack_lanes(good));
 }
 
+std::uint64_t CombinationalFrame::detect_mask_full(
+    const Fault& fault, const std::vector<BitVec>& patterns,
+    const std::vector<std::uint64_t>& good_words) const {
+  RETSCAN_CHECK(good_words.size() == response_width(),
+                "CombinationalFrame::detect_mask_full: good responses missing");
+  RETSCAN_CHECK(patterns.size() <= 64, "CombinationalFrame: batch larger than 64");
+  // NetId-indexed load, exactly the seed's layout.
+  std::vector<std::uint64_t> values(netlist_->net_count(), 0);
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    RETSCAN_CHECK(patterns[p].size() == pattern_width(),
+                  "CombinationalFrame: pattern width mismatch");
+    const std::uint64_t bit = std::uint64_t{1} << p;
+    for (std::size_t i = 0; i < pi_nets_.size(); ++i) {
+      if (patterns[p].get(i)) {
+        values[pi_nets_[i]] |= bit;
+      }
+    }
+    for (std::size_t i = 0; i < flops_.size(); ++i) {
+      if (patterns[p].get(pi_nets_.size() + i)) {
+        values[netlist_->cell(flops_[i]).out] |= bit;
+      }
+    }
+  }
+  for (const auto& [index, value] : constraints_) {
+    values[pi_nets_[index]] = value ? ~std::uint64_t{0} : 0;
+  }
+  for (const NetId net : const1_nets_) {
+    values[net] = ~std::uint64_t{0};
+  }
+  // Full interpreted sweep with the fault forced at its site (PIs and flop
+  // outputs may themselves be the fault site, and the forced value must
+  // survive its driver's evaluation).
+  const std::uint64_t fault_value = fault.stuck_at ? ~std::uint64_t{0} : 0;
+  values[fault.net] = fault_value;
+  for (const CellId id : netlist_->combinational_order()) {
+    const Cell& c = netlist_->cell(id);
+    if (c.type == CellType::Output) {
+      continue;
+    }
+    values[c.out] = eval_comb_word(c, values);
+    if (c.out == fault.net) {
+      values[c.out] = fault_value;
+    }
+  }
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < po_nets_.size(); ++i) {
+    mask |= values[po_nets_[i]] ^ good_words[i];
+  }
+  for (std::size_t i = 0; i < flops_.size(); ++i) {
+    const NetId d = netlist_->cell(flops_[i]).fanin[0];
+    mask |= values[d] ^ good_words[po_nets_.size() + i];
+  }
+  return mask & lane_mask(patterns.size());
+}
+
 FaultSimResult fault_simulate(const CombinationalFrame& frame,
                               const std::vector<Fault>& faults,
                               const std::vector<BitVec>& patterns) {
@@ -186,19 +280,26 @@ FaultSimResult fault_simulate(const CombinationalFrame& frame,
   result.total_faults = faults.size();
   result.detected_by.assign(faults.size(), npos);
 
-  // One load + one good-machine evaluation per 64-pattern batch, then a
-  // word-wide XOR detection per live fault.
+  // One load + settle per 64-pattern batch, then an incremental cone
+  // evaluation per live fault. Cones are resolved once per fault so the
+  // cache lock stays out of the batch loop.
+  std::vector<const CombinationalFrame::FaultCone*> cones;
+  cones.reserve(faults.size());
+  for (const Fault& fault : faults) {
+    cones.push_back(&frame.fault_cone(fault.net));
+  }
+  CombinationalFrame::Workspace workspace;
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
     const std::vector<BitVec> batch(patterns.begin() + base,
                                     patterns.begin() + base + count);
     const CombinationalFrame::LoadedPatternBatch loaded = frame.load_batch(batch);
-    const std::vector<std::uint64_t> good = frame.good_response_words(loaded);
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
       if (result.detected_by[fi] != npos) {
         continue;  // fault dropping
       }
-      const std::uint64_t mask = frame.detect_mask(faults[fi], loaded, good);
+      const std::uint64_t mask =
+          frame.detect_mask(faults[fi], *cones[fi], loaded, loaded.good, workspace);
       if (mask != 0) {
         result.detected_by[fi] = base + static_cast<std::size_t>(std::countr_zero(mask));
         ++result.detected;
@@ -223,12 +324,14 @@ FaultSimResult fault_simulate(const CombinationalFrame& frame,
     fault_shard = 1;
   }
 
-  // Load every 64-pattern batch and its good-machine response once, up
-  // front, in parallel — workers then share them read-only.
+  // Build every fault cone on this thread so workers only take cache hits.
+  frame.warm_cones(faults);
+
+  // Load and settle every 64-pattern batch once, up front, in parallel —
+  // workers then share them read-only.
   struct Batch {
     std::size_t base = 0;
     CombinationalFrame::LoadedPatternBatch loaded;
-    std::vector<std::uint64_t> good;
   };
   std::vector<Batch> batches((patterns.size() + 63) / 64);
   pool.parallel_for(batches.size(), [&](std::size_t b) {
@@ -236,33 +339,47 @@ FaultSimResult fault_simulate(const CombinationalFrame& frame,
     const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
     const std::vector<BitVec> slice(patterns.begin() + base,
                                     patterns.begin() + base + count);
-    CombinationalFrame::Workspace workspace;
     batches[b].base = base;
     batches[b].loaded = frame.load_batch(slice);
-    batches[b].good = frame.good_response_words(batches[b].loaded, workspace);
   });
 
   // Shard the fault list. Each worker owns its shard's detected_by slots
-  // (disjoint writes) and a private workspace; fault dropping is per fault
-  // — stop at the first batch that detects — so per-fault results match
-  // the serial pass exactly.
+  // (disjoint writes) and a private workspace, and walks its shard
+  // batch-major — the workspace baseline is copied once per batch, and
+  // every live fault is then an incremental cone pass. Dropping a fault at
+  // its first detecting batch gives exactly the serial per-fault result.
   const std::size_t shard_count = (faults.size() + fault_shard - 1) / fault_shard;
   std::vector<std::size_t> shard_detected(shard_count, 0);
   pool.parallel_for(shard_count, [&](std::size_t s) {
     const std::size_t first = s * fault_shard;
     const std::size_t last = std::min(faults.size(), first + fault_shard);
     CombinationalFrame::Workspace workspace;
+    // Resolve the shard's cones once (pure cache hits after warm_cones) so
+    // the cone-cache lock never enters the batch loop.
+    std::vector<std::size_t> live;
+    std::vector<const CombinationalFrame::FaultCone*> cones(last - first, nullptr);
+    live.reserve(last - first);
     for (std::size_t fi = first; fi < last; ++fi) {
-      for (const Batch& batch : batches) {
-        const std::uint64_t mask =
-            frame.detect_mask(faults[fi], batch.loaded, batch.good, workspace);
+      live.push_back(fi);
+      cones[fi - first] = &frame.fault_cone(faults[fi].net);
+    }
+    for (const Batch& batch : batches) {
+      if (live.empty()) {
+        break;
+      }
+      std::size_t kept = 0;
+      for (const std::size_t fi : live) {
+        const std::uint64_t mask = frame.detect_mask(
+            faults[fi], *cones[fi - first], batch.loaded, batch.loaded.good, workspace);
         if (mask != 0) {
           result.detected_by[fi] =
               batch.base + static_cast<std::size_t>(std::countr_zero(mask));
           ++shard_detected[s];
-          break;
+        } else {
+          live[kept++] = fi;
         }
       }
+      live.resize(kept);
     }
   });
   for (const std::size_t count : shard_detected) {

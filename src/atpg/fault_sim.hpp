@@ -1,10 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "atpg/fault.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/compiled_netlist.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -16,6 +21,15 @@ namespace retscan {
 /// pseudo-primary outputs (captured and unloaded). A scan test pattern is
 /// therefore an assignment to PIs + PPIs, and its response is the POs +
 /// PPOs. This is exactly the view a scan tester has of the circuit.
+///
+/// Evaluation runs on the compiled simulation core (sim/compiled_netlist):
+/// batches are loaded and settled once into slot-indexed good-machine
+/// values, and each fault is then simulated *incrementally* — only its
+/// fanout cone is re-evaluated, only its reachable observation points are
+/// compared, and the touched slots are restored afterwards — so per-fault
+/// cost is O(cone), not O(circuit). Cones are built lazily per fault site
+/// and cached (thread-safe; the pooled fault simulator warms the cache
+/// before fanning out).
 class CombinationalFrame {
  public:
   explicit CombinationalFrame(const Netlist& netlist);
@@ -45,37 +59,66 @@ class CombinationalFrame {
   /// Good-machine response of a single pattern.
   BitVec good_response(const BitVec& pattern) const;
 
-  /// Up to 64 patterns loaded into lane-word net values: inputs, pseudo
-  /// inputs, constraints and constants set, everything else zero. Loading is
-  /// the per-batch cost; each fault evaluation then starts from a plain word
-  /// copy of this, so simulating F faults costs one load + F evaluations.
+  /// Up to 64 patterns loaded AND settled: `settled` holds the slot-indexed
+  /// good-machine values after one full compiled sweep, `good` the
+  /// observable response words. Loading+settling is the per-batch cost; each
+  /// fault evaluation is then an incremental cone pass over `settled`, so
+  /// simulating F faults costs one settle + F cone evaluations.
   struct LoadedPatternBatch {
-    std::vector<std::uint64_t> values;  // indexed by NetId
-    std::size_t count = 0;              // patterns in the batch
+    std::vector<std::uint64_t> settled;  // indexed by value slot
+    std::vector<std::uint64_t> good;     // response_width() observable words
+    std::size_t count = 0;               // patterns in the batch
+    std::uint64_t tag = 0;               // workspace-sync identity
   };
   LoadedPatternBatch load_batch(const std::vector<BitVec>& patterns) const;
 
   /// Per-thread evaluation scratch. The frame itself is immutable during
   /// queries; passing an explicit workspace to the *_ws overloads below
-  /// lets any number of threads share one frame concurrently.
-  using Workspace = std::vector<std::uint64_t>;
+  /// lets any number of threads share one frame concurrently. The workspace
+  /// remembers which batch it mirrors (cone undo keeps it settled), so
+  /// consecutive queries against the same batch skip the baseline copy.
+  struct Workspace {
+    std::vector<std::uint64_t> values;
+    std::uint64_t synced_tag = 0;
+  };
 
   /// Good-machine responses of up to 64 patterns in lane-word form: one word
   /// per observable (POs first, then flop D captures), lane p = pattern p.
   /// This is the fast currency of the fault simulator — detection is a
-  /// word-wide XOR against these, with no per-pattern unpacking.
-  std::vector<std::uint64_t> good_response_words(const LoadedPatternBatch& batch) const;
+  /// word-wide XOR against these, with no per-pattern unpacking. For an
+  /// already-loaded batch, read LoadedPatternBatch::good directly.
   std::vector<std::uint64_t> good_response_words(const std::vector<BitVec>& patterns) const;
-  std::vector<std::uint64_t> good_response_words(const LoadedPatternBatch& batch,
-                                                 Workspace& workspace) const;
+
+  /// Precomputed fanout cone of one fault site within this frame: the
+  /// compiled cone slice plus the (good-word index, value slot) of every
+  /// observation point the fault can reach.
+  struct FaultCone {
+    CompiledNetlist::Cone cone;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> observables;
+  };
+  /// The cone of a fault site, built on first use and cached (thread-safe,
+  /// one lock per call; the returned reference stays valid for the frame's
+  /// lifetime). Hot loops resolve this once per fault and pass it to the
+  /// cone-taking detect_mask overload so the cache lock stays out of the
+  /// inner loop. The cache holds every queried site's cone — O(sites x
+  /// average cone size) words total, the time/space trade that makes
+  /// per-fault evaluation O(cone); for circuits where that footprint is too
+  /// large, detect_mask_full remains the O(1)-scratch path.
+  const FaultCone& fault_cone(NetId net) const;
 
   /// 64-way parallel-pattern single-fault propagation: returns the set of
   /// pattern indices (bitmask) in the batch that detect `fault`, given the
   /// precomputed good responses. Patterns beyond 64 must be batched by the
-  /// caller.
+  /// caller. Evaluates only the fault's fanout cone.
   std::uint64_t detect_mask(const Fault& fault, const LoadedPatternBatch& batch,
                             const std::vector<std::uint64_t>& good_words) const;
   std::uint64_t detect_mask(const Fault& fault, const LoadedPatternBatch& batch,
+                            const std::vector<std::uint64_t>& good_words,
+                            Workspace& workspace) const;
+  /// Hot-loop variant: the caller resolved `cone` (= fault_cone(fault.net))
+  /// up front, so no cache lookup or lock is taken here.
+  std::uint64_t detect_mask(const Fault& fault, const FaultCone& cone,
+                            const LoadedPatternBatch& batch,
                             const std::vector<std::uint64_t>& good_words,
                             Workspace& workspace) const;
   std::uint64_t detect_mask(const Fault& fault, const std::vector<BitVec>& patterns,
@@ -84,24 +127,36 @@ class CombinationalFrame {
   std::uint64_t detect_mask(const Fault& fault, const std::vector<BitVec>& patterns,
                             const std::vector<BitVec>& good) const;
 
+  /// Reference full-circuit detection through the retained interpreter path
+  /// (per-Cell walk, NetId-indexed values, no cones): the independent oracle
+  /// the cone path is tested against, and the baseline bench_engine times.
+  std::uint64_t detect_mask_full(const Fault& fault, const std::vector<BitVec>& patterns,
+                                 const std::vector<std::uint64_t>& good_words) const;
+
+  /// Pre-build the cone of every fault site in `faults`. The pooled fault
+  /// simulator calls this on the caller thread so workers only take cache
+  /// hits; optional elsewhere (cones build lazily under a lock).
+  void warm_cones(const std::vector<Fault>& faults) const;
+
  private:
-  /// Word-parallel evaluation of up to 64 patterns through the shared gate
-  /// kernel (sim/eval_kernel.hpp); values[net] holds one bit per pattern.
-  /// If fault_net != kNullNet its value is forced.
-  void evaluate(std::vector<std::uint64_t>& values, NetId fault_net,
-                std::uint64_t fault_value) const;
-  void load(std::vector<std::uint64_t>& values, const std::vector<BitVec>& patterns) const;
-  /// Observable values (response_width() words) from settled net values.
-  std::vector<std::uint64_t> response_words(const std::vector<std::uint64_t>& values) const;
+  void load(std::vector<std::uint64_t>& slot_values,
+            const std::vector<BitVec>& patterns) const;
 
   const Netlist* netlist_;
-  std::vector<CellId> order_;
+  std::shared_ptr<const CompiledNetlist> compiled_;
   std::vector<NetId> pi_nets_;
   std::vector<CellId> flops_;
   std::vector<NetId> po_nets_;
+  std::vector<std::uint32_t> pi_slots_;   // pi_nets_ as value slots
+  std::vector<std::uint32_t> ppi_slots_;  // flop Q slots (pattern layout order)
+  std::vector<std::uint32_t> obs_slots_;  // PO slots then flop D slots
+  std::vector<std::uint32_t> obs_word_of_slot_;  // slot -> good-word index (or kNoObs)
+  std::vector<std::uint32_t> const1_slots_;
+  std::vector<NetId> const1_nets_;  // for the reference interpreter path
   std::vector<std::pair<std::size_t, bool>> constraints_;
-  std::vector<NetId> const1_nets_;
-  mutable std::vector<std::uint64_t> scratch_;  // evaluation workspace
+  mutable Workspace scratch_;  // evaluation workspace (single-thread paths)
+  mutable std::mutex cone_mutex_;
+  mutable std::unordered_map<NetId, std::unique_ptr<FaultCone>> cones_;
 };
 
 /// Fault-simulate a pattern set over a fault list with fault dropping.

@@ -135,9 +135,7 @@ ScanTestResult apply_scan_test(Simulator& sim, const ScanChains& chains,
       sim.set_input(chains.retain, false);
     }
     scan_load(sim, chains, split.chain_data);
-    for (const auto& [flop, value] : split.other_flops) {
-      sim.set_flop_state(flop, value);
-    }
+    sim.set_flop_states(split.other_flops);
 
     // Capture phase: functional inputs from the pattern, se released.
     apply_pis(sim, frame, pattern);
@@ -227,9 +225,7 @@ ScanTestResult apply_test_mode_scan_test(RetentionSession& session,
       }
       sim.step();
     }
-    for (const auto& [flop, value] : split.other_flops) {
-      sim.set_flop_state(flop, value);
-    }
+    sim.set_flop_states(split.other_flops);
 
     // Capture with all scan/monitor controls at their constrained values.
     apply_pis(sim, frame, pattern);
@@ -250,13 +246,12 @@ ScanTestResult apply_test_mode_scan_test(RetentionSession& session,
 namespace {
 
 /// Packed test-mode delivery over patterns [first, first + count): the
-/// shared worker of the serial and pooled variants. Uses an explicit
-/// evaluation workspace so concurrent shards can share one frame.
+/// shared worker of the serial and pooled variants. Batch loading settles
+/// into per-call state, so concurrent shards can share one frame.
 ScanTestResult run_test_mode_packed_range(const ProtectedDesign& design,
                                           const CombinationalFrame& frame,
                                           const std::vector<BitVec>& patterns,
-                                          std::size_t first, std::size_t total,
-                                          CombinationalFrame::Workspace& workspace) {
+                                          std::size_t first, std::size_t total) {
   ScanTestResult result;
   PackedSim sim(design.netlist());
   const ScanChains& chains = design.chains();
@@ -275,8 +270,7 @@ ScanTestResult run_test_mode_packed_range(const ProtectedDesign& design,
         std::min<std::size_t>(PackedSim::lane_count(), first + total - base);
     const std::vector<BitVec> batch(patterns.begin() + base,
                                     patterns.begin() + base + count);
-    const std::vector<std::uint64_t> good =
-        frame.good_response_words(frame.load_batch(batch), workspace);
+    const std::vector<std::uint64_t> good = frame.load_batch(batch).good;
     const std::vector<LaneWord> pattern_words = pack_lanes(batch);
     const PackedPpiSplit split = packed_split_ppi(frame, chains, pattern_words);
 
@@ -314,9 +308,7 @@ ScanTestResult run_test_mode_packed_range(const ProtectedDesign& design,
 ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
                                                 const CombinationalFrame& frame,
                                                 const std::vector<BitVec>& patterns) {
-  CombinationalFrame::Workspace workspace;
-  return run_test_mode_packed_range(design, frame, patterns, 0, patterns.size(),
-                                    workspace);
+  return run_test_mode_packed_range(design, frame, patterns, 0, patterns.size());
 }
 
 ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
@@ -334,9 +326,7 @@ ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
   pool.parallel_for(shard_count, [&](std::size_t s) {
     const std::size_t first = s * patterns_per_shard;
     const std::size_t count = std::min(patterns_per_shard, patterns.size() - first);
-    CombinationalFrame::Workspace workspace;
-    partial[s] =
-        run_test_mode_packed_range(design, frame, patterns, first, count, workspace);
+    partial[s] = run_test_mode_packed_range(design, frame, patterns, first, count);
   });
   ScanTestResult merged;
   for (const ScanTestResult& p : partial) {

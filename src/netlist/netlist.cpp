@@ -296,7 +296,10 @@ const std::vector<std::vector<CellId>>& Netlist::fanouts() const {
   return fanouts_;
 }
 
-std::vector<CellId> Netlist::combinational_order() const {
+const std::vector<CellId>& Netlist::combinational_order() const {
+  if (comb_order_valid_) {
+    return comb_order_;
+  }
   // Kahn's algorithm over combinational cells only; sequential cell outputs
   // and primary inputs/constants are sources.
   std::vector<std::size_t> pending(cells_.size(), 0);
@@ -354,7 +357,9 @@ std::vector<CellId> Netlist::combinational_order() const {
     }
   }
   RETSCAN_CHECK(order.size() == comb_total, "Netlist: combinational cycle detected");
-  return order;
+  comb_order_ = std::move(order);
+  comb_order_valid_ = true;
+  return comb_order_;
 }
 
 std::unordered_map<CellType, std::size_t> Netlist::type_histogram() const {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -9,6 +10,8 @@
 #include "netlist/cell_type.hpp"
 
 namespace retscan {
+
+class CompiledNetlist;  // sim/compiled_netlist.hpp
 
 using NetId = std::uint32_t;
 using CellId = std::uint32_t;
@@ -121,13 +124,27 @@ class Netlist {
   /// Cells reading each net. Rebuilt lazily after mutation.
   const std::vector<std::vector<CellId>>& fanouts() const;
   /// Combinational cells in topological evaluation order. Throws on a
-  /// combinational cycle (sequential cells cut the graph).
-  std::vector<CellId> combinational_order() const;
+  /// combinational cycle (sequential cells cut the graph). Computed once and
+  /// cached until the next structural mutation — SimEngine, the fault-sim
+  /// frame and PODEM all walk it at construction, and per-shard construction
+  /// in CampaignRunner multiplies that, so the sort must not re-run per call.
+  const std::vector<CellId>& combinational_order() const;
+  /// The compiled simulation core lowered from this netlist (see
+  /// sim/compiled_netlist.hpp), built lazily, shared by every engine and
+  /// fault frame on this netlist, and discarded on structural mutation. The
+  /// instance is self-contained, so holders survive netlist moves/copies.
+  /// Like fanouts(), the first call must not race with other threads; build
+  /// an engine or frame on the owning thread before fanning out.
+  std::shared_ptr<const CompiledNetlist> compiled() const;
   /// Count of cells per type.
   std::unordered_map<CellType, std::size_t> type_histogram() const;
 
  private:
-  void invalidate_fanouts() { fanouts_valid_ = false; }
+  void invalidate_fanouts() {
+    fanouts_valid_ = false;
+    comb_order_valid_ = false;
+    compiled_.reset();
+  }
 
   std::string name_;
   std::vector<Cell> cells_;
@@ -139,6 +156,9 @@ class Netlist {
   std::unordered_map<std::string, CellId> output_by_name_;
   mutable std::vector<std::vector<CellId>> fanouts_;
   mutable bool fanouts_valid_ = false;
+  mutable std::vector<CellId> comb_order_;
+  mutable bool comb_order_valid_ = false;
+  mutable std::shared_ptr<const CompiledNetlist> compiled_;
 };
 
 }  // namespace retscan

@@ -81,13 +81,15 @@ std::vector<BitVec> scan_snapshot(const Simulator& sim, const ScanChains& chains
 
 void scan_restore(Simulator& sim, const ScanChains& chains, const std::vector<BitVec>& data) {
   RETSCAN_CHECK(data.size() == chains.chain_count(), "scan_restore: chain count mismatch");
+  std::vector<std::pair<CellId, bool>> updates;
   for (std::size_t c = 0; c < chains.chain_count(); ++c) {
     RETSCAN_CHECK(data[c].size() == chains.chains[c].size(),
                   "scan_restore: chain data length mismatch");
     for (std::size_t p = 0; p < data[c].size(); ++p) {
-      sim.set_flop_state(chains.chains[c][p], data[c].get(p));
+      updates.emplace_back(chains.chains[c][p], data[c].get(p));
     }
   }
+  sim.set_flop_states(updates);  // one commit + settle for the whole restore
 }
 
 BitVec flatten_chain_data(const std::vector<BitVec>& data) {

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/eval_kernel.hpp"
+#include "util/error.hpp"
+
+namespace retscan {
+
+/// Opcode of one compiled combinational instruction. Only value-producing
+/// combinational gates are compiled — constants and sequential outputs are
+/// sources (written by the caller), Output port cells produce nothing.
+enum class CompiledOp : std::uint8_t {
+  Buf,
+  Not,
+  And2,
+  Or2,
+  Xor2,
+  Nand2,
+  Nor2,
+  Xnor2,
+  Mux2,
+};
+
+/// One packed gate record of the compiled instruction stream. Operands are
+/// value *slots* (nets renumbered in evaluation order, see CompiledNetlist);
+/// unused operand fields are zero and never read for the instruction's op.
+/// 24 bytes per gate, laid out flat, replaces the seed's pointer-chasing
+/// walk over `Cell` objects (heap `std::vector<NetId> fanin`, `std::string
+/// name`) in every simulation hot loop.
+struct CompiledInstr {
+  std::uint32_t in0 = 0;  // value slots
+  std::uint32_t in1 = 0;
+  std::uint32_t in2 = 0;
+  std::uint32_t out = 0;     // value slot this instruction drives
+  CellId cell = kNullCell;   // originating cell (activity accounting, faults)
+  DomainId domain = kAlwaysOnDomain;
+  CompiledOp op = CompiledOp::Buf;
+};
+
+/// Compiled simulation core: the combinational portion of a Netlist lowered
+/// once into a flat, cache-friendly instruction stream.
+///
+///  * Nets are renumbered into *slots* in evaluation order — source nets
+///    (primary inputs, constants, sequential outputs, dangling nets) first,
+///    then each compiled gate's output in topological order. Every
+///    instruction therefore only reads slots below the one it writes, and a
+///    full sweep walks the value array almost monotonically.
+///  * `eval_full` / `eval_full_clamped` evaluate the whole stream (the
+///    SimEngine settle and the fault-frame good machine).
+///  * `build_cone` extracts the fanout cone of a net — the instruction
+///    slice it can disturb plus the touched-slot undo list — which is what
+///    makes incremental per-fault simulation O(cone) instead of O(circuit).
+///
+/// A CompiledNetlist is self-contained (no back-pointer into the Netlist),
+/// so the shared instance cached by Netlist::compiled() stays valid across
+/// netlist moves and copies; it describes the structure as of lowering time
+/// and is discarded by the netlist on any structural mutation.
+class CompiledNetlist {
+ public:
+  explicit CompiledNetlist(const Netlist& netlist);
+
+  /// One slot per net of the source netlist.
+  std::size_t slot_count() const { return slot_of_net_.size(); }
+  std::uint32_t slot(NetId net) const {
+    RETSCAN_CHECK(net < slot_of_net_.size(), "CompiledNetlist::slot: bad net");
+    return slot_of_net_[net];
+  }
+  NetId net_of_slot(std::uint32_t slot) const {
+    RETSCAN_CHECK(slot < net_of_slot_.size(), "CompiledNetlist: bad slot");
+    return net_of_slot_[slot];
+  }
+
+  /// The flat instruction stream in topological evaluation order.
+  const std::vector<CompiledInstr>& instrs() const { return instrs_; }
+
+  /// Number of power domains referenced by any cell (>= 1).
+  std::size_t domain_count() const { return domain_count_; }
+
+  /// Evaluate one instruction against a slot-indexed value array.
+  static LaneWord eval_instr(const CompiledInstr& in, const LaneWord* v) {
+    switch (in.op) {
+      case CompiledOp::Buf: return v[in.in0];
+      case CompiledOp::Not: return ~v[in.in0];
+      case CompiledOp::And2: return v[in.in0] & v[in.in1];
+      case CompiledOp::Or2: return v[in.in0] | v[in.in1];
+      case CompiledOp::Xor2: return v[in.in0] ^ v[in.in1];
+      case CompiledOp::Nand2: return ~(v[in.in0] & v[in.in1]);
+      case CompiledOp::Nor2: return ~(v[in.in0] | v[in.in1]);
+      case CompiledOp::Xnor2: return ~(v[in.in0] ^ v[in.in1]);
+      case CompiledOp::Mux2: return lane_mux(v[in.in0], v[in.in1], v[in.in2]);
+    }
+    return 0;
+  }
+
+  /// Full-sweep settle: values must hold slot_count() lane words with every
+  /// source slot already written.
+  void eval_full(LaneWord* values) const;
+  /// Full-sweep settle with power-domain clamping: `domain_clamps` holds one
+  /// word per domain (~0 = powered, 0 = isolation-clamped to 0).
+  void eval_full_clamped(LaneWord* values, const LaneWord* domain_clamps) const;
+
+  /// Fanout cone of a net: everything a stuck-at fault on `source` can
+  /// disturb within the combinational frame.
+  struct Cone {
+    std::uint32_t source_slot = 0;
+    /// Instruction indices downstream of the source, ascending (topological).
+    std::vector<std::uint32_t> instrs;
+    /// Undo list: the source slot plus every cone output slot — restoring
+    /// exactly these returns a workspace to the good-machine values.
+    std::vector<std::uint32_t> touched_slots;
+  };
+  Cone build_cone(NetId source) const;
+
+  /// The retained reference interpreter: the seed's per-`Cell` evaluation
+  /// walk (combinational_order + eval_comb_word over NetId-indexed values,
+  /// Output cells skipped, no clamping). Kept as the independent oracle for
+  /// the compiled kernel in equivalence tests and as the interpreted
+  /// baseline in bench_engine.
+  static void reference_eval(const Netlist& netlist, std::vector<LaneWord>& values_by_net);
+
+ private:
+  std::vector<std::uint32_t> slot_of_net_;
+  std::vector<NetId> net_of_slot_;
+  std::vector<CompiledInstr> instrs_;
+  std::size_t domain_count_ = 1;
+  // Readers CSR: reader_instrs_[reader_offsets_[s] .. reader_offsets_[s+1])
+  // are the instruction indices whose operands include slot s.
+  std::vector<std::uint32_t> reader_offsets_;
+  std::vector<std::uint32_t> reader_instrs_;
+};
+
+}  // namespace retscan

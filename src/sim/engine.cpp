@@ -9,23 +9,19 @@ namespace retscan {
 
 SimEngine::SimEngine(const Netlist& netlist, LaneWord activity_lanes)
     : netlist_(&netlist),
+      compiled_(netlist.compiled()),
       activity_lanes_(activity_lanes),
-      net_values_(netlist.net_count(), 0),
       flop_state_(netlist.cell_count(), 0),
       retention_state_(netlist.cell_count(), 0),
       prev_retain_(netlist.cell_count(), 0),
       toggles_(netlist.cell_count(), 0) {
-  for (const CellId id : netlist.combinational_order()) {
-    if (netlist.cell(id).type != CellType::Output) {
-      comb_cells_.push_back(id);
-    }
-  }
+  net_values_.assign(compiled_->slot_count(), 0);
   DomainId max_domain = 0;
   for (CellId id = 0; id < netlist.cell_count(); ++id) {
     const Cell& c = netlist.cell(id);
     max_domain = std::max(max_domain, c.domain);
     if (c.type == CellType::Const1) {
-      const1_cells_.push_back(id);
+      const1_slots_.emplace_back(compiled_->slot(c.out), id);
     }
     if (cell_is_flop(c.type)) {
       flop_cells_.push_back(id);
@@ -39,26 +35,26 @@ SimEngine::SimEngine(const Netlist& netlist, LaneWord activity_lanes)
     SeqCell s;
     s.id = id;
     s.type = c.type;
-    s.out = c.out;
+    s.out = compiled_->slot(c.out);
     s.domain = c.domain;
     switch (c.type) {
       case CellType::Dff:
-        s.d = c.fanin[0];
+        s.d = compiled_->slot(c.fanin[0]);
         break;
       case CellType::Sdff:
-        s.d = c.fanin[0];
-        s.si = c.fanin[1];
-        s.se = c.fanin[2];
+        s.d = compiled_->slot(c.fanin[0]);
+        s.si = compiled_->slot(c.fanin[1]);
+        s.se = compiled_->slot(c.fanin[2]);
         break;
       case CellType::Rdff:
-        s.d = c.fanin[0];
-        s.si = c.fanin[1];
-        s.se = c.fanin[2];
-        s.retain = c.fanin[3];
+        s.d = compiled_->slot(c.fanin[0]);
+        s.si = compiled_->slot(c.fanin[1]);
+        s.se = compiled_->slot(c.fanin[2]);
+        s.retain = compiled_->slot(c.fanin[3]);
         break;
       case CellType::LatchL:
-        s.d = c.fanin[0];
-        s.retain = c.fanin[1];  // EN pin
+        s.d = compiled_->slot(c.fanin[0]);
+        s.retain = compiled_->slot(c.fanin[1]);  // EN pin
         break;
       default:
         break;
@@ -96,33 +92,59 @@ void SimEngine::reset() {
   std::fill(retention_state_.begin(), retention_state_.end(), LaneWord{0});
   std::fill(prev_retain_.begin(), prev_retain_.end(), LaneWord{0});
   std::fill(domain_powered_.begin(), domain_powered_.end(), kAllLanes);
+  all_powered_ = true;
   std::fill(net_values_.begin(), net_values_.end(), LaneWord{0});
   commit_sequential_outputs();
   eval();
 }
 
-void SimEngine::drive_net(NetId net, CellId cell, LaneWord value) {
-  const LaneWord old = net_values_[net];
+void SimEngine::drive_slot(std::uint32_t slot, CellId cell, LaneWord value) {
+  const LaneWord old = net_values_[slot];
   if (old != value) {
-    net_values_[net] = value;
+    net_values_[slot] = value;
     toggles_[cell] += static_cast<std::uint64_t>(std::popcount((old ^ value) & activity_lanes_));
   }
 }
 
 void SimEngine::eval() {
-  for (const CellId id : comb_cells_) {
-    const Cell& c = netlist_->cell(id);
-    const LaneWord value = domain_powered_[c.domain] & eval_comb_word(c, net_values_);
-    drive_net(c.out, id, value);
+  // One compiled sweep over the flat instruction stream. Sweep-invariant
+  // state is resolved once up front: the all-powered common case skips the
+  // per-gate domain lookup entirely (the gated case reads a single snapshot
+  // pointer), and an engine with no activity lanes (PackedSim) skips toggle
+  // accounting — plain stores, no compare per gate.
+  LaneWord* v = net_values_.data();
+  const bool toggles = activity_lanes_ != 0;
+  if (all_powered_) {
+    if (toggles) {
+      for (const CompiledInstr& in : compiled_->instrs()) {
+        drive_slot(in.out, in.cell, CompiledNetlist::eval_instr(in, v));
+      }
+    } else {
+      for (const CompiledInstr& in : compiled_->instrs()) {
+        v[in.out] = CompiledNetlist::eval_instr(in, v);
+      }
+    }
+  } else {
+    const LaneWord* clamps = domain_powered_.data();
+    if (toggles) {
+      for (const CompiledInstr& in : compiled_->instrs()) {
+        drive_slot(in.out, in.cell,
+                   CompiledNetlist::eval_instr(in, v) & clamps[in.domain]);
+      }
+    } else {
+      for (const CompiledInstr& in : compiled_->instrs()) {
+        v[in.out] = CompiledNetlist::eval_instr(in, v) & clamps[in.domain];
+      }
+    }
   }
 }
 
 void SimEngine::commit_sequential_outputs() {
   for (const SeqCell& s : seq_cells_) {
-    drive_net(s.out, s.id, flop_state_[s.id] & domain_powered_[s.domain]);
+    drive_slot(s.out, s.id, flop_state_[s.id] & domain_powered_[s.domain]);
   }
-  for (const CellId id : const1_cells_) {
-    drive_net(netlist_->cell(id).out, id, kAllLanes);
+  for (const auto& [slot, cell] : const1_slots_) {
+    drive_slot(slot, cell, kAllLanes);
   }
 }
 
@@ -190,12 +212,14 @@ void SimEngine::step() {
 void SimEngine::set_flop(CellId id, LaneWord value) {
   flop_state_[id] = value;
   commit_sequential_outputs();
+  eval();
 }
 
 void SimEngine::power_off(DomainId domain, Rng* rng, bool per_lane_garbage) {
   RETSCAN_CHECK(domain < domain_powered_.size(), "SimEngine::power_off: bad domain");
   RETSCAN_CHECK(domain != kAlwaysOnDomain, "SimEngine: cannot power off the always-on domain");
   domain_powered_[domain] = 0;
+  all_powered_ = false;
   for (const CellId id : domain_seq_cells_[domain]) {
     // Master state is physically lost. Retention latches are always-on by
     // construction and keep their contents.
@@ -212,6 +236,9 @@ void SimEngine::power_off(DomainId domain, Rng* rng, bool per_lane_garbage) {
 void SimEngine::power_on(DomainId domain) {
   RETSCAN_CHECK(domain < domain_powered_.size(), "SimEngine::power_on: bad domain");
   domain_powered_[domain] = kAllLanes;
+  all_powered_ =
+      std::all_of(domain_powered_.begin(), domain_powered_.end(),
+                  [](LaneWord powered) { return powered == kAllLanes; });
   commit_sequential_outputs();
   eval();
 }

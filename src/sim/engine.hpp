@@ -1,17 +1,26 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled_netlist.hpp"
 #include "sim/eval_kernel.hpp"
 #include "util/rng.hpp"
 
 namespace retscan {
 
 /// 64-lane bit-parallel two-phase simulation engine.
+///
+/// Combinational settling runs on the compiled simulation core
+/// (sim/compiled_netlist.hpp): the netlist is lowered once into a flat
+/// instruction stream with nets renumbered in evaluation order, shared via
+/// Netlist::compiled() by every engine and fault frame on the same netlist,
+/// so the hot loop never touches `Cell` objects.
 ///
 /// This is the one implementation of the library's cycle semantics —
 /// combinational settling, flop/latch capture, power-domain clamping, Rdff
@@ -38,7 +47,8 @@ class SimEngine {
  public:
   /// `activity_lanes` selects which lanes contribute to toggle counts and
   /// clocked-edge accounting (the scalar facade passes lane 0 only so that
-  /// replicated lanes are not multiply counted).
+  /// replicated lanes are not multiply counted; PackedSim passes 0, which
+  /// disables accounting and lets eval() run the plain-store sweep).
   SimEngine(const Netlist& netlist, LaneWord activity_lanes);
 
   const Netlist& netlist() const { return *netlist_; }
@@ -51,8 +61,11 @@ class SimEngine {
   void step();
 
   // --- lane-word state access --------------------------------------------
-  LaneWord net(NetId net) const { return net_values_[net]; }
-  void set_net(NetId net, LaneWord value) { net_values_[net] = value; }
+  // Net values live in a slot-indexed array (nets renumbered in evaluation
+  // order by the compiled core, for hot-loop locality); the NetId accessors
+  // translate at the API boundary.
+  LaneWord net(NetId net) const { return net_values_[compiled_->slot(net)]; }
+  void set_net(NetId net, LaneWord value) { net_values_[compiled_->slot(net)] = value; }
   std::size_t net_count() const { return net_values_.size(); }
 
   /// Primary-input net by port name; throws if absent.
@@ -61,8 +74,12 @@ class SimEngine {
   void check_input_net(NetId net) const;
 
   LaneWord flop(CellId id) const { return flop_state_[id]; }
-  /// Write a flop's master state and re-drive sequential outputs (the
-  /// scalar set_flop_state contract).
+  /// Write a flop's master state, re-drive sequential outputs and settle the
+  /// combinational logic — like power_off/power_on, the engine is fully
+  /// consistent when this returns (the seed committed without re-eval(),
+  /// leaving downstream nets stale until the next step()). Batch loaders
+  /// should use set_flop_raw + commit_sequential_outputs + eval instead of
+  /// paying one settle per flop.
   void set_flop(CellId id, LaneWord value);
   /// Write without recommitting outputs; callers batch-loading many flops
   /// must call commit_sequential_outputs() themselves.
@@ -102,34 +119,36 @@ class SimEngine {
   struct SeqCell {
     CellId id;
     CellType type;
-    NetId out;
+    std::uint32_t out;  // output value slot
     DomainId domain;
-    // Pin nets (kNullNet where the type has fewer pins).
-    NetId d = kNullNet;
-    NetId si = kNullNet;
-    NetId se = kNullNet;
-    NetId retain = kNullNet;  // Rdff RETAIN or LatchL EN
+    // Pin value slots (unused pins stay 0 and are never read for the type).
+    std::uint32_t d = 0;
+    std::uint32_t si = 0;
+    std::uint32_t se = 0;
+    std::uint32_t retain = 0;  // Rdff RETAIN or LatchL EN
   };
 
-  void drive_net(NetId net, CellId cell, LaneWord value);
+  void drive_slot(std::uint32_t slot, CellId cell, LaneWord value);
 
   const Netlist* netlist_;
+  std::shared_ptr<const CompiledNetlist> compiled_;
   LaneWord activity_lanes_;
 
   // Structure precomputed once at construction: the per-cycle loops never
-  // re-scan cell_count() or re-branch on non-sequential cells.
-  std::vector<CellId> comb_cells_;  // topological order, Output cells removed
+  // re-scan cell_count() or re-branch on non-sequential cells. The
+  // combinational gates live in the compiled instruction stream.
   std::vector<SeqCell> seq_cells_;  // flops + latches in id order
-  std::vector<CellId> const1_cells_;
+  std::vector<std::pair<std::uint32_t, CellId>> const1_slots_;
   std::vector<CellId> flop_cells_;
   std::vector<CellId> rdff_cells_;
   std::vector<std::vector<CellId>> domain_seq_cells_;  // seq cells per domain
 
-  std::vector<LaneWord> net_values_;       // indexed by NetId
+  std::vector<LaneWord> net_values_;       // indexed by value slot
   std::vector<LaneWord> flop_state_;       // indexed by CellId
   std::vector<LaneWord> retention_state_;  // indexed by CellId (Rdff only)
   std::vector<LaneWord> prev_retain_;      // indexed by CellId (Rdff only)
   std::vector<LaneWord> domain_powered_;   // 0 or ~0 per domain
+  bool all_powered_ = true;                // fast-path flag for eval()
   std::vector<LaneWord> next_state_;       // capture scratch, per seq cell
   std::vector<LaneWord> write_mask_;       // capture scratch, per seq cell
   std::unordered_map<std::string, NetId> input_by_name_;

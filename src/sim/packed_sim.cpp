@@ -4,7 +4,9 @@
 
 namespace retscan {
 
-PackedSim::PackedSim(const Netlist& netlist) : engine_(netlist, kAllLanes) {}
+// No activity lanes: PackedSim exposes no toggle/energy accounting, and an
+// activity-free engine runs the cheaper plain-store evaluation sweep.
+PackedSim::PackedSim(const Netlist& netlist) : engine_(netlist, 0) {}
 
 void PackedSim::set_input(const std::string& port_name, LaneWord lanes) {
   set_input(engine_.input_net(port_name), lanes);

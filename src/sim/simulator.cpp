@@ -79,6 +79,16 @@ void Simulator::set_flop_states(const BitVec& states) {
   engine_.eval();
 }
 
+void Simulator::set_flop_states(const std::vector<std::pair<CellId, bool>>& updates) {
+  for (const auto& [flop, value] : updates) {
+    RETSCAN_CHECK(flop < netlist().cell_count() && cell_is_flop(netlist().cell(flop).type),
+                  "Simulator::set_flop_states: not a flop");
+    engine_.set_flop_raw(flop, lane_broadcast(value));
+  }
+  engine_.commit_sequential_outputs();
+  engine_.eval();
+}
+
 bool Simulator::retention_state(CellId flop) const {
   RETSCAN_CHECK(flop < netlist().cell_count() && netlist().cell(flop).type == CellType::Rdff,
                 "Simulator::retention_state: not an Rdff");

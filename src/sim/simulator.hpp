@@ -81,10 +81,15 @@ class Simulator {
   bool output(const std::string& port_name) const;
 
   bool flop_state(CellId flop) const;
+  /// Write one flop's state and settle — like power_off/power_on, all
+  /// combinational nets are consistent when this returns. Writing many flops
+  /// one by one pays one settle each; use a batch setter instead.
   void set_flop_state(CellId flop, bool value);
   /// States of all Dff/Sdff/Rdff cells in netlist.flops() order.
   BitVec flop_states() const;
   void set_flop_states(const BitVec& states);
+  /// Batch-write a subset of flops (one commit + settle for the whole set).
+  void set_flop_states(const std::vector<std::pair<CellId, bool>>& updates);
 
   /// Retention (balloon) latch content of an Rdff.
   bool retention_state(CellId flop) const;

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <limits>
+
 #include "atpg/scan_test.hpp"
+#include "scan/scan_insert.hpp"
 #include "circuits/fifo.hpp"
 #include "circuits/generators.hpp"
 #include "scan/scan_io.hpp"
@@ -97,6 +101,48 @@ TEST(FaultSim, SingleFaultDetection) {
   EXPECT_EQ(mask, 0b1000u);  // only pattern 3 (a=1, b=1)
   const std::uint64_t mask_sa1 = frame.detect_mask(Fault{a, true}, patterns, good);
   EXPECT_EQ(mask_sa1, 0b0100u);  // only pattern 2 (a=0, b=1)
+}
+
+TEST(FaultSim, ConeSimulationMatchesFullSimulationCoverage) {
+  // The cone-incremental fault simulator must report exactly the coverage
+  // of the retained full-circuit reference path — same detected set, same
+  // first-detecting pattern per fault.
+  Netlist nl = make_counter(10);
+  ScanInsertionOptions options;
+  options.chain_count = 2;
+  insert_scan(nl, options);
+  CombinationalFrame frame(nl);
+  frame.constrain("se", false);
+  frame.constrain("retain", false);
+  const auto faults = collapse_faults(nl, enumerate_faults(nl));
+  Rng rng(12);
+  std::vector<BitVec> patterns;
+  for (int i = 0; i < 100; ++i) {  // two batches, second partial
+    patterns.push_back(frame.random_pattern(rng));
+  }
+  constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> reference(faults.size(), npos);
+  std::size_t reference_detected = 0;
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    const std::vector<BitVec> batch(patterns.begin() + base,
+                                    patterns.begin() + base + count);
+    const auto loaded = frame.load_batch(batch);
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (reference[fi] != npos) {
+        continue;
+      }
+      const std::uint64_t mask = frame.detect_mask_full(faults[fi], batch, loaded.good);
+      if (mask != 0) {
+        reference[fi] = base + static_cast<std::size_t>(std::countr_zero(mask));
+        ++reference_detected;
+      }
+    }
+  }
+  const FaultSimResult result = fault_simulate(frame, faults, patterns);
+  EXPECT_EQ(result.detected_by, reference);
+  EXPECT_EQ(result.detected, reference_detected);
+  EXPECT_GT(result.detected, 0u);
 }
 
 TEST(FaultSim, ExhaustivePatternsDetectAllAdderFaults) {

@@ -238,6 +238,23 @@ TEST(Simulator, FlopStatesRoundTrip) {
   EXPECT_EQ(sim.flop_states(), states);
 }
 
+TEST(Simulator, SetFlopStateSettlesCombinationalNets) {
+  // Like power_off/power_on, a direct flop write leaves the simulator fully
+  // consistent: downstream combinational nets reflect the new state without
+  // an explicit eval()/step().
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId q = nl.n_dff(d);
+  const NetId y = nl.n_not(q);
+  nl.add_output("y", y);
+  Simulator sim(nl);
+  ASSERT_TRUE(sim.net_value(y));  // q = 0 after reset
+  sim.set_flop_state(nl.driver(q), true);
+  EXPECT_FALSE(sim.net_value(y));  // settled immediately
+  sim.set_flop_states({{nl.driver(q), false}});
+  EXPECT_TRUE(sim.net_value(y));  // batch setter settles too
+}
+
 TEST(Simulator, LatchHoldsWithoutEnable) {
   Netlist nl;
   const NetId d = nl.add_input("d");
