@@ -11,9 +11,9 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "parallel/campaign_runner.hpp"
-#include "power/corruption.hpp"
-#include "testbench/harness.hpp"
+#include "retscan/parallel.hpp"
+#include "retscan/design.hpp"
+#include "retscan/campaign.hpp"
 
 using namespace retscan;
 

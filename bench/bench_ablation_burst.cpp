@@ -9,8 +9,8 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "parallel/campaign_runner.hpp"
-#include "testbench/harness.hpp"
+#include "retscan/parallel.hpp"
+#include "retscan/campaign.hpp"
 
 using namespace retscan;
 

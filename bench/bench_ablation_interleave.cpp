@@ -11,8 +11,8 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "coding/protectors.hpp"
-#include "util/rng.hpp"
+#include "retscan/coding.hpp"
+#include "retscan/sim.hpp"
 
 using namespace retscan;
 

@@ -10,10 +10,9 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "coding/misr.hpp"
-#include "coding/protectors.hpp"
-#include "parallel/campaign_runner.hpp"
-#include "util/rng.hpp"
+#include "retscan/coding.hpp"
+#include "retscan/parallel.hpp"
+#include "retscan/sim.hpp"
 
 using namespace retscan;
 

@@ -8,9 +8,8 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "circuits/fifo.hpp"
-#include "core/synthesizer.hpp"
-#include "power/recovery.hpp"
+#include "retscan/netlist.hpp"
+#include "retscan/design.hpp"
 
 using namespace retscan;
 

@@ -9,11 +9,10 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "circuits/fifo.hpp"
-#include "coding/protectors.hpp"
-#include "core/synthesizer.hpp"
-#include "inject/injector.hpp"
-#include "util/rng.hpp"
+#include "retscan/netlist.hpp"
+#include "retscan/coding.hpp"
+#include "retscan/design.hpp"
+#include "retscan/sim.hpp"
 
 using namespace retscan;
 

@@ -1,3 +1,8 @@
+// This file deliberately exercises the pre-v1 delivery entry points
+// (they are the backends the Session facade routes onto), so the
+// deprecation attributes are suppressed here.
+#define RETSCAN_SUPPRESS_DEPRECATED
+
 // Section III evidence: manufacturing test is unaffected by the monitoring
 // architecture. Runs ATPG on the protected FIFO's combinational frame and
 // applies the pattern set through the Fig. 5(b) test-mode concatenation on
@@ -14,11 +19,10 @@
 #include <algorithm>
 #include <iostream>
 
-#include "atpg/atpg.hpp"
-#include "atpg/scan_test.hpp"
+#include "retscan/test.hpp"
 #include "bench_util.hpp"
-#include "circuits/fifo.hpp"
-#include "util/thread_pool.hpp"
+#include "retscan/netlist.hpp"
+#include "retscan/parallel.hpp"
 
 using namespace retscan;
 

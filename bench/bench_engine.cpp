@@ -15,13 +15,11 @@
 #include <cstdint>
 #include <iostream>
 
-#include "atpg/fault.hpp"
-#include "atpg/fault_sim.hpp"
+#include "retscan/test.hpp"
 #include "bench_util.hpp"
-#include "circuits/fifo.hpp"
-#include "core/protected_design.hpp"
-#include "sim/compiled_netlist.hpp"
-#include "util/rng.hpp"
+#include "retscan/netlist.hpp"
+#include "retscan/design.hpp"
+#include "retscan/sim.hpp"
 
 using namespace retscan;
 

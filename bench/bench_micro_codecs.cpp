@@ -4,10 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
-#include "circuits/fifo.hpp"
-#include "coding/protectors.hpp"
-#include "core/protected_design.hpp"
-#include "util/rng.hpp"
+#include "retscan/netlist.hpp"
+#include "retscan/coding.hpp"
+#include "retscan/design.hpp"
+#include "retscan/sim.hpp"
 
 namespace retscan {
 namespace {

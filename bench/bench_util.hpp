@@ -1,8 +1,6 @@
 #pragma once
 
-#include <cerrno>
 #include <chrono>
-#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -10,29 +8,17 @@
 #include <utility>
 #include <vector>
 
+#include "retscan/runtime.hpp"
+
 namespace retscan::bench {
 
 /// Sequence-count scaling for the statistical benches. The paper runs 100M
 /// FPGA sequences; default bench runs are scaled down to finish in seconds.
 /// Override with RETSCAN_SEQUENCES=<n> to run paper-scale campaigns.
-/// The value must be a plain positive decimal integer; anything else
-/// (garbage, 0, negative, trailing junk, overflow) warns on stderr and
-/// falls back to the default instead of being silently ignored.
+/// Parsing (strict, with a warning on garbage) is centralized in
+/// retscan::runtime_sequences; this is a bench-local alias.
 inline std::size_t sequence_budget(std::size_t default_count) {
-  const char* env = std::getenv("RETSCAN_SEQUENCES");
-  if (env == nullptr) {
-    return default_count;
-  }
-  char* end = nullptr;
-  errno = 0;
-  const long long v = std::strtoll(env, &end, 10);
-  if (errno != 0 || end == env || *end != '\0' || v <= 0) {
-    std::cerr << "[bench] warning: invalid RETSCAN_SEQUENCES='" << env
-              << "' (want a positive integer); using default " << default_count
-              << "\n";
-    return default_count;
-  }
-  return static_cast<std::size_t>(v);
+  return runtime_sequences(default_count);
 }
 
 inline void header(const std::string& title) {

@@ -19,8 +19,8 @@
 #include <thread>
 
 #include "bench_util.hpp"
-#include "parallel/campaign_runner.hpp"
-#include "testbench/harness.hpp"
+#include "retscan/parallel.hpp"
+#include "retscan/campaign.hpp"
 
 using namespace retscan;
 

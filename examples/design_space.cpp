@@ -3,12 +3,12 @@
 // the cost table, the Pareto front, and the quality solution under a
 // configuration-file-style set of constraints.
 //
-//   ./build/examples/design_space
+//   ./build/example_design_space
 
 #include <iostream>
 
-#include "circuits/fifo.hpp"
-#include "core/synthesizer.hpp"
+#include "retscan/design.hpp"
+#include "retscan/netlist.hpp"
 
 using namespace retscan;
 

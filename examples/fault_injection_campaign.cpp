@@ -1,46 +1,43 @@
-// Fault-injection campaign across injection models and electrical operating
-// points: how often does a wake-up corrupt state, and what does monitoring
-// recover? Sweeps the rush-current severity (switch resistance) under the
-// physical corruption model.
+// Fault-injection campaign across electrical operating points: how often
+// does a wake-up corrupt state, and what does monitoring recover? Sweeps
+// the rush-current severity (switch resistance) under the physical
+// corruption model, as one declarative CampaignSpec per operating point.
 //
-//   ./build/examples/fault_injection_campaign
+//   ./build/example_fault_injection_campaign
 
 #include <iomanip>
 #include <iostream>
 
-#include "parallel/campaign_runner.hpp"
-#include "power/corruption.hpp"
-#include "testbench/harness.hpp"
+#include "retscan/retscan.hpp"
 
 using namespace retscan;
 
 int main() {
   const std::size_t sequences = 20000;
-  // Campaigns shard across the work-stealing pool (RETSCAN_THREADS knob);
-  // results are bit-identical at any thread count.
-  parallel::CampaignRunner runner;
+  ProtectionConfig protection;
+  protection.kind = CodeKind::HammingPlusCrc;
+  protection.chain_count = 80;
+  Session session(FifoSpec{32, 32}, protection);
+  // Injection campaigns shard across the session's work-stealing pool
+  // (RETSCAN_THREADS knob); results are bit-identical at any thread count.
   std::cout << "Rush-current severity sweep (32x32 FIFO, 80 chains, Hamming(7,4)+CRC, "
-            << runner.threads() << " threads)\n";
+            << session.threads() << " threads)\n";
   std::cout << "# R_switch  droop_V  p_upset      corrupted-wakes  corrected  flagged\n"
             << std::fixed;
 
   for (const double r : {2.0, 0.8, 0.4, 0.2, 0.1, 0.05}) {
-    RushParameters rush;
-    rush.resistance_ohm = r;
-    const RushCurrentModel model(rush);
-    CorruptionParameters cparams;
-    cparams.vulnerability = 0.02;
-    const CorruptionModel corruption(cparams, model);
+    CampaignSpec spec;
+    spec.kind = CampaignKind::Injection;
+    spec.mode = InjectionMode::RushModel;
+    spec.rush.resistance_ohm = r;
+    spec.corruption.vulnerability = 0.02;
+    spec.seed = static_cast<std::uint64_t>(r * 1000) + 1;
+    spec.sequences = sequences;
+    const CampaignResult result = session.run(spec);
+    const ValidationStats& stats = result.validation;
 
-    ValidationConfig config;
-    config.fifo = FifoSpec{32, 32};
-    config.chain_count = 80;
-    config.mode = InjectionMode::RushModel;
-    config.rush = rush;
-    config.corruption = cparams;
-    config.seed = static_cast<std::uint64_t>(r * 1000) + 1;
-
-    const ValidationStats stats = runner.run_fast(config, sequences).stats;
+    const RushCurrentModel model(spec.rush);
+    const CorruptionModel corruption(spec.corruption, model);
     std::cout << std::setprecision(2) << std::setw(9) << r << std::setprecision(3)
               << std::setw(9) << model.peak_droop() << std::scientific
               << std::setprecision(2) << std::setw(12)
@@ -48,7 +45,7 @@ int main() {
               << stats.sequences_with_errors << " /" << sequences << std::setw(10)
               << stats.corrected << std::setw(9) << stats.flagged_uncorrectable
               << "\n";
-    if (stats.silent_corruptions != 0) {
+    if (!result.passed()) {
       std::cout << "ESCAPE DETECTED — should never happen\n";
       return 1;
     }

@@ -3,16 +3,14 @@
 // gates; this example requests sleep, injects a retention upset, and
 // writes a VCD of the control signals (open with gtkwave).
 //
-//   ./build/examples/hardware_controller && gtkwave retscan_episode.vcd
+//   ./build/example_hardware_controller && gtkwave retscan_episode.vcd
 
 #include <fstream>
 #include <iostream>
 
-#include "circuits/fifo.hpp"
-#include "core/protected_design.hpp"
-#include "scan/scan_io.hpp"
-#include "sim/vcd.hpp"
-#include "util/rng.hpp"
+#include "retscan/design.hpp"
+#include "retscan/netlist.hpp"
+#include "retscan/sim.hpp"
 
 using namespace retscan;
 

@@ -2,58 +2,62 @@
 // stuck-at pattern set for the protected design with the built-in ATPG
 // (random + PODEM), then deliver it through the narrow tsi/tso test ports
 // using the Fig. 5(b) chain concatenation — proving the monitoring
-// architecture is transparent to test.
+// architecture is transparent to test. One ScanTest CampaignSpec does the
+// whole flow; the unbundled Session calls below show the pieces.
 //
-//   ./build/examples/manufacturing_test
+//   ./build/example_manufacturing_test
 
 #include <iostream>
 
-#include "atpg/atpg.hpp"
-#include "atpg/scan_test.hpp"
-#include "circuits/fifo.hpp"
+#include "retscan/retscan.hpp"
 
 using namespace retscan;
 
 int main() {
-  ProtectionConfig config;
-  config.kind = CodeKind::HammingPlusCrc;
-  config.chain_count = 8;
-  config.test_width = 4;
-  const ProtectedDesign design(make_fifo(FifoSpec{32, 2}), config);
-  std::cout << "design: " << design.netlist().cell_count() << " cells, 8 chains of "
-            << design.chain_length() << ", test I/O width 4\n";
+  ProtectionConfig protection;
+  protection.kind = CodeKind::HammingPlusCrc;
+  protection.chain_count = 8;
+  protection.test_width = 4;
+  Session session(FifoSpec{32, 2}, protection);
+  std::cout << "design: " << session.netlist().cell_count() << " cells, 8 chains of "
+            << session.design().chain_length() << ", test I/O width 4\n";
   std::cout << "test-mode chains: 4 concatenated chains of "
-            << design.test_config().concatenated_length(design.chain_length())
+            << session.design().test_config().concatenated_length(
+                   session.design().chain_length())
             << " flops (Fig. 5(b))\n";
+  std::cout << "collapsed stuck-at fault list: " << session.faults().size()
+            << " faults\n";
 
-  // Combinational test frame with capture-mode constraints.
-  CombinationalFrame frame(design.netlist());
-  for (const char* name : {"se", "retain", "mon_en", "mon_decode", "mon_clear",
-                           "sig_capture", "sig_compare", "test_mode"}) {
-    frame.constrain(name, false);
-  }
-
-  const auto faults = collapse_faults(design.netlist(), enumerate_faults(design.netlist()));
-  std::cout << "collapsed stuck-at fault list: " << faults.size() << " faults\n";
-
+  // Piecewise: generate on the session's capture-constrained frame...
   AtpgOptions options;
   options.random_patterns = 512;
   options.max_backtracks = 300;
-  const AtpgResult atpg = run_atpg(frame, faults, options);
+  const AtpgResult atpg = session.run_atpg(options);
   std::cout << "ATPG: coverage " << 100.0 * atpg.coverage() << "% ("
             << atpg.detected_random << " random, " << atpg.detected_podem
             << " PODEM, " << atpg.untestable << " proven untestable, "
             << atpg.aborted << " aborted) with " << atpg.patterns.size()
             << " patterns\n";
 
-  RetentionSession session(design);
-  const ScanTestResult delivery =
-      apply_test_mode_scan_test(session, design, frame, atpg.patterns);
+  // ...then deliver through the tsi/tso concatenation. Backend::Reference is
+  // the scalar tester oracle; the default (Auto) is pooled 64-lane delivery.
+  const ScanTestResult delivery = session.run_scan_test(
+      atpg.patterns, {.access = ScanAccess::TestMode, .backend = Backend::Reference});
   std::cout << "delivered " << delivery.patterns_applied
             << " patterns through tsi/tso: " << delivery.mismatches
             << " mismatches\n";
-  std::cout << (delivery.all_passed()
+
+  // Or as one declarative campaign (ATPG + pooled delivery, same seed knob).
+  CampaignSpec spec;
+  spec.kind = CampaignKind::ScanTest;
+  spec.atpg = options;
+  const CampaignResult campaign = session.run(spec);
+  std::cout << "campaign: " << campaign.scan_test.patterns_applied
+            << " patterns on " << to_string(campaign.backend) << " ("
+            << campaign.threads << " threads), " << campaign.scan_test.mismatches
+            << " mismatches\n";
+  std::cout << (delivery.all_passed() && campaign.passed()
                     ? "manufacturing test unaffected by the monitoring logic.\n"
                     : "DELIVERY FAILED\n");
-  return delivery.all_passed() ? 0 : 1;
+  return delivery.all_passed() && campaign.passed() ? 0 : 1;
 }

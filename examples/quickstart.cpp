@@ -1,57 +1,57 @@
 // Quickstart: protect a power-gated design with scan-based state
 // monitoring, corrupt its retention state during sleep, and watch the
-// monitoring architecture repair it.
+// monitoring architecture repair it — all through the retscan v1 API.
 //
-//   cmake --build build && ./build/examples/quickstart
+//   cmake --build build && ./build/example_quickstart
 
 #include <iostream>
 
-#include "circuits/generators.hpp"
-#include "core/protected_design.hpp"
-#include "scan/scan_io.hpp"
+#include "retscan/retscan.hpp"
 
 using namespace retscan;
 
 int main() {
   // 1. A conventional power-gated design: here, a 16-bit counter. Any
-  //    Netlist with plain Dff flops works.
+  //    Netlist with plain Dff flops works; the paper's FIFO case study is
+  //    one Session(FifoSpec{...}, ...) away.
   Netlist counter = make_counter(16);
 
-  // 2. The reliability-aware synthesis step (Fig. 4 of the paper): insert
-  //    retention scan chains, generate Hamming(7,4) + CRC-16 monitoring
-  //    blocks and the error-correction logic, wire the mode multiplexers.
-  ProtectionConfig config;
-  config.kind = CodeKind::HammingPlusCrc;
-  config.chain_count = 4;  // 16 flops -> 4 chains of 4
-  config.test_width = 4;
-  const ProtectedDesign design(std::move(counter), config);
-  std::cout << "protected design: " << design.netlist().cell_count() << " cells, "
-            << design.chains().chain_count() << " chains of "
-            << design.chain_length() << "\n";
+  // 2. The reliability-aware synthesis step (Fig. 4 of the paper) happens
+  //    inside the Session: retention scan chains, Hamming(7,4) + CRC-16
+  //    monitoring blocks, correction logic and the mode multiplexers.
+  ProtectionConfig protection;
+  protection.kind = CodeKind::HammingPlusCrc;
+  protection.chain_count = 4;  // 16 flops -> 4 chains of 4
+  protection.test_width = 4;
+  Session session(std::move(counter), protection);
+  std::cout << "protected design: " << session.netlist().cell_count() << " cells, "
+            << session.chains().chain_count() << " chains of "
+            << session.design().chain_length() << " (retscan " << version_string()
+            << ")\n";
 
   // 3. Run it: count a while, then take it through a protected sleep/wake
   //    cycle with a rush-current upset injected into a retention latch.
-  RetentionSession session(design);
-  session.sim().set_input("en", true);
-  session.sim().step_n(1000);
-  session.sim().set_input("en", false);  // idle before sleep
-  const auto before = scan_snapshot(session.sim(), design.chains());
+  RetentionSession& retention = session.retention();
+  retention.sim().set_input("en", true);
+  retention.sim().step_n(1000);
+  retention.sim().set_input("en", false);  // idle before sleep
+  const auto before = scan_snapshot(retention.sim(), session.chains());
 
   const std::vector<ErrorLocation> upset = {ErrorLocation{2, 1}};
-  const auto outcome = session.sleep_wake_cycle(upset, nullptr);
+  const auto outcome = retention.sleep_wake_cycle(upset, nullptr);
 
   std::cout << "upset injected at chain 2, position 1\n"
             << "detected:  " << (outcome.errors_detected ? "yes" : "no") << "\n"
             << "repaired:  " << (outcome.recheck_clean ? "yes" : "no") << "\n"
             << "controller: " << pg_state_name(outcome.final_state) << "\n";
 
-  const bool restored = scan_snapshot(session.sim(), design.chains()) == before;
+  const bool restored = scan_snapshot(retention.sim(), session.chains()) == before;
   std::cout << "state after wake matches state before sleep: "
             << (restored ? "yes" : "no") << "\n";
 
   // 4. Back to normal operation.
-  session.sim().set_input("en", true);
-  session.sim().step_n(10);
+  retention.sim().set_input("en", true);
+  retention.sim().step_n(10);
   std::cout << "counter resumed.\n";
   return restored && outcome.recheck_clean ? 0 : 1;
 }

@@ -1,0 +1,184 @@
+#pragma once
+
+/// retscan v1 public surface — declarative campaigns.
+///
+/// One spec describes any of the library's statistical workloads —
+/// validation campaigns, fault-injection campaigns, fault-coverage /
+/// ATPG runs, and manufacturing scan-test deliveries — with uniform
+/// seed / threads / shard knobs, and `run(Session&, spec)` routes it to
+/// the fastest backend the session can offer (or exactly the backend you
+/// pin). Same seed → bit-identical results, at any thread count, on any
+/// backend that has a legacy equivalent (asserted by tests/test_api.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "atpg/atpg.hpp"
+#include "atpg/scan_test.hpp"
+#include "core/protected_design.hpp"
+#include "parallel/campaign_runner.hpp"
+#include "testbench/harness.hpp"
+
+namespace retscan {
+
+class Session;
+
+/// What the campaign measures.
+enum class CampaignKind {
+  Validation,    ///< Fig. 8 testbench: inject → detect/correct statistics
+  Injection,     ///< validation driven by an electrical corruption model
+  FaultCoverage, ///< ATPG + stuck-at fault simulation over the scan frame
+  ScanTest,      ///< pattern delivery through the scan fabric, checked
+};
+
+/// Execution strategy. `Auto` lets the session pick the fastest backend
+/// that exists for the kind; the others pin it (useful for oracles and
+/// perf baselines). Every backend produces the same statistics for the
+/// same seed wherever an equivalence is defined (see tests/test_api.cpp).
+enum class Backend {
+  Auto,           ///< fastest available (usually PackedParallel)
+  Reference,      ///< scalar oracle: one trial/pattern at a time
+  Packed,         ///< 64-way bit-parallel lanes, one thread
+  PackedParallel, ///< 64-way lanes × work-stealing thread pool
+};
+
+/// Which model tier a validation campaign runs on.
+enum class ValidationTier {
+  Behavioral, ///< bit-exact behavioral protectors (paper-scale, fast)
+  Structural, ///< gate-level simulated ProtectedDesign (slow, exact)
+};
+
+/// How scan-test patterns reach the design. FullWidth applies only to
+/// plain scanned netlists — in a ProtectedDesign the per-chain si ports
+/// are superseded by the monitor feedback muxes, so Sessions (which always
+/// wrap a ProtectedDesign) reject it with an explanatory error; drive
+/// apply_scan_test on a pre-monitor netlist directly for that flow.
+enum class ScanAccess {
+  TestMode,  ///< narrow tsi/tso ports, Fig. 5(b) concatenation
+  FullWidth, ///< per-chain si/so ports (pre-monitor netlists only)
+};
+
+/// Canonical spellings — exactly the values the spec-file format and the
+/// `retscan` CLI accept ("validation", "packed-parallel", "rush-model", ...).
+const char* to_string(CampaignKind kind);
+const char* to_string(Backend backend);
+const char* to_string(ValidationTier tier);
+const char* to_string(ScanAccess access);
+const char* to_string(InjectionMode mode);
+
+/// Inverse of to_string; returns false (out untouched) on unknown text.
+bool from_string(std::string_view text, CampaignKind& out);
+bool from_string(std::string_view text, Backend& out);
+bool from_string(std::string_view text, ValidationTier& out);
+bool from_string(std::string_view text, ScanAccess& out);
+bool from_string(std::string_view text, InjectionMode& out);
+
+/// Options for Session::run_scan_test — the unified replacement for the
+/// five legacy `apply_*scan_test*` overloads.
+struct ScanTestOptions {
+  ScanAccess access = ScanAccess::TestMode;
+  Backend backend = Backend::Auto;
+  /// PackedParallel: pattern count per pool shard (64-lane aligned).
+  std::size_t patterns_per_shard = 256;
+};
+
+/// Declarative description of one campaign. Geometry (FIFO, chains, code)
+/// comes from the Session the spec runs on; the spec holds only the
+/// workload. Construct with designated initializers:
+///
+///   CampaignSpec spec{.kind = CampaignKind::Validation,
+///                     .seed = 2024,
+///                     .sequences = 200000};
+///   CampaignResult result = run(session, spec);
+struct CampaignSpec {
+  CampaignKind kind = CampaignKind::Validation;
+  Backend backend = Backend::Auto;
+  /// Campaign master seed. Every backend derives its per-shard / injector
+  /// streams from this one value (for FaultCoverage/ScanTest it overrides
+  /// atpg.seed so one knob controls the whole run).
+  std::uint64_t seed = 1;
+  /// Worker threads for PackedParallel backends; 0 → the session's pool
+  /// (RETSCAN_THREADS / hardware_concurrency).
+  unsigned threads = 0;
+  /// Trials (or fault-list entries) per pool shard; 0 → backend default.
+  std::size_t shard_size = 0;
+
+  // --- Validation / Injection ------------------------------------------
+  /// Sleep/wake trial count. Must be > 0 for validation kinds.
+  std::size_t sequences = 0;
+  ValidationTier tier = ValidationTier::Behavioral;
+  InjectionMode mode = InjectionMode::SingleRandom;
+  std::size_t burst_size = 4;
+  std::size_t burst_spread = 2;
+  /// Electrical model, used when mode == InjectionMode::RushModel.
+  CorruptionParameters corruption{};
+  RushParameters rush{};
+
+  // --- FaultCoverage / ScanTest ----------------------------------------
+  AtpgOptions atpg{};
+  ScanAccess access = ScanAccess::TestMode;
+  /// ScanTest PackedParallel: patterns per pool shard.
+  std::size_t patterns_per_shard = 256;
+};
+
+/// Everything a campaign produced. Only the section matching `kind` is
+/// populated; the execution-shape fields are always filled.
+struct CampaignResult {
+  CampaignKind kind = CampaignKind::Validation;
+  Backend backend = Backend::Reference; ///< resolved strategy actually run
+  unsigned threads = 1;
+  std::size_t shard_count = 1;
+  double seconds = 0.0; ///< wall-clock of the campaign body
+
+  ValidationStats validation{}; ///< Validation / Injection
+  AtpgResult atpg{};            ///< FaultCoverage / ScanTest
+  FaultSimResult faults{};      ///< FaultCoverage
+  ScanTestResult scan_test{};   ///< ScanTest
+
+  /// Kind-appropriate "nothing escaped" verdict: no silent corruptions
+  /// (validation kinds), all deliveries matched (scan test), always true
+  /// for pure coverage measurements.
+  bool passed() const;
+};
+
+/// Reject unrunnable specs with an actionable message (thrown as
+/// retscan::Error): zero trial counts, injection with nothing to inject,
+/// backends that don't exist for the tier/access, sessions lacking the
+/// golden model a validation campaign needs, bad shard sizes.
+void validate(const CampaignSpec& spec, const Session& session);
+
+/// The strategy Auto resolves to (after validate()) — exposed so tools can
+/// report what would run without running it.
+Backend resolve_backend(const CampaignSpec& spec, const Session& session);
+
+/// Run the campaign on the session's design. Validates first; throws
+/// retscan::Error on a bad spec.
+CampaignResult run(Session& session, const CampaignSpec& spec);
+
+// --- campaign spec files (the `retscan run campaign.spec` format) --------
+
+/// A parsed spec file: the design geometry plus the campaign. The textual
+/// format is `key = value` lines with '#' comments; see
+/// examples/validation.spec for the key reference.
+struct SpecFile {
+  FifoSpec fifo{32, 32};
+  ProtectionConfig protection;
+  CampaignSpec campaign;
+};
+
+/// Parse a spec from a stream / string / file. Errors (unknown keys,
+/// malformed values) are thrown as retscan::Error naming the line.
+SpecFile parse_spec(std::istream& in);
+SpecFile parse_spec_text(const std::string& text);
+SpecFile load_spec_file(const std::string& path);
+
+/// The strict non-negative integer parse the spec format (and the CLI's
+/// override flags) use: plain decimal digits, fully consumed. Negatives,
+/// trailing junk and overflow return nullopt — never a wrapped value.
+std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+}  // namespace retscan

@@ -1,0 +1,38 @@
+#pragma once
+
+/// retscan v1 — the deprecated pre-v1 entry points, kept for migration.
+///
+/// Everything here still works and still produces bit-identical results to
+/// its Session-routed replacement (asserted by tests/test_legacy.cpp), but
+/// new code should use the facade. Migration map:
+///
+///   apply_scan_test(Simulator&, ...)            → no Session equivalent:
+///       full-width si/so delivery only applies to plain (pre-monitor)
+///       scanned netlists, which a Session never wraps — keep calling it
+///       directly on those
+///   apply_scan_test(PackedSim&, ...)            → same, packed
+///   apply_test_mode_scan_test(...)              → Session::run_scan_test
+///       {.access = ScanAccess::TestMode, .backend = Backend::Reference}
+///   apply_test_mode_scan_test_packed(...)       → Session::run_scan_test
+///       {.access = ScanAccess::TestMode, .backend = Backend::Packed}
+///   apply_test_mode_scan_test_packed(..., pool) → Session::run_scan_test
+///       {.access = ScanAccess::TestMode, .backend = Backend::PackedParallel}
+///   FastTestbench(config).run(n)                → run(session, {.kind = Validation,
+///       .backend = Backend::Reference, .sequences = n})
+///   StructuralTestbench(config).run(n)          → ... .tier = Structural,
+///       .backend = Backend::Reference
+///   StructuralTestbench(config).run_packed(n)   → ... .tier = Structural,
+///       .backend = Backend::Packed
+///   CampaignRunner::run_fast / run_structural_packed → .backend =
+///       Backend::PackedParallel (threads/shard_size knobs on the spec)
+///
+/// The five apply_* delivery overloads carry [[deprecated]] attributes;
+/// compiling a TU that calls them warns unless RETSCAN_SUPPRESS_DEPRECATED
+/// is defined before any retscan include (the library's own backends and
+/// the equivalence tests do exactly that). The testbench and runner classes
+/// stay undeprecated: they ARE the backend strategies the Session selects,
+/// and remain supported for surgical use.
+
+#include "atpg/scan_test.hpp"           // the deprecated apply_* overloads
+#include "parallel/campaign_runner.hpp" // CampaignRunner (backend strategy)
+#include "testbench/harness.hpp"        // Fast/StructuralTestbench (strategies)

@@ -1,0 +1,12 @@
+#pragma once
+
+/// retscan v1 public surface — parallel orchestration layer.
+///
+/// The work-stealing thread pool and the shard-map-reduce campaign runner
+/// the pooled backends are built on. A Session owns one runner and routes
+/// CampaignSpec workloads through it automatically; include this directly
+/// only to drive custom map-reduce workloads by hand. Same seed → same
+/// shard plan → bit-identical merged results at any thread count.
+
+#include "parallel/campaign_runner.hpp" // CampaignRunner, plan_shards, shard_seed
+#include "util/thread_pool.hpp"         // ThreadPool

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace retscan {
+
+/// Parsed `RETSCAN_*` environment overrides — the one place the process
+/// environment is interpreted. Both knobs parse strictly: the value must be
+/// a plain positive decimal integer (threads additionally capped at 4096);
+/// anything else (garbage, 0, negative, trailing junk, overflow) warns on
+/// stderr and is treated as unset, never silently accepted.
+struct RuntimeConfig {
+  /// RETSCAN_THREADS override; 0 means unset/invalid (use the hardware
+  /// default, see runtime_threads()).
+  unsigned threads = 0;
+  /// RETSCAN_SEQUENCES campaign-budget override; nullopt means
+  /// unset/invalid (use the caller's default).
+  std::optional<std::size_t> sequences;
+};
+
+/// Parse the environment now. Deliberately not cached: tests and embedding
+/// applications mutate the environment between calls, and the parse is two
+/// getenv()s.
+RuntimeConfig runtime_config();
+
+/// Resolved worker count: RETSCAN_THREADS override, else
+/// hardware_concurrency(), else 1. This is what ThreadPool(0) uses.
+unsigned runtime_threads();
+
+/// Campaign sequence budget: RETSCAN_SEQUENCES override, else
+/// `default_count`. The paper runs 100M FPGA sequences; benches default to
+/// counts that finish in seconds and let this env knob scale them up.
+std::size_t runtime_sequences(std::size_t default_count);
+
+}  // namespace retscan

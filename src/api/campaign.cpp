@@ -1,0 +1,598 @@
+// The campaign router is the one place that dispatches onto the pre-v1
+// entry points (testbenches, CampaignRunner, apply_* deliveries); calling
+// them here must not trip their deprecation attributes.
+#ifndef RETSCAN_SUPPRESS_DEPRECATED
+#define RETSCAN_SUPPRESS_DEPRECATED
+#endif
+
+#include "retscan/campaign.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "atpg/atpg.hpp"
+#include "atpg/scan_test.hpp"
+#include "retscan/session.hpp"
+#include "sim/packed_sim.hpp"
+#include "util/error.hpp"
+
+namespace retscan {
+
+const char* to_string(CampaignKind kind) {
+  switch (kind) {
+    case CampaignKind::Validation:    return "validation";
+    case CampaignKind::Injection:     return "injection";
+    case CampaignKind::FaultCoverage: return "fault-coverage";
+    case CampaignKind::ScanTest:      return "scan-test";
+  }
+  return "?";
+}
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::Auto:           return "auto";
+    case Backend::Reference:      return "reference";
+    case Backend::Packed:         return "packed";
+    case Backend::PackedParallel: return "packed-parallel";
+  }
+  return "?";
+}
+
+const char* to_string(ValidationTier tier) {
+  switch (tier) {
+    case ValidationTier::Behavioral: return "behavioral";
+    case ValidationTier::Structural: return "structural";
+  }
+  return "?";
+}
+
+const char* to_string(ScanAccess access) {
+  switch (access) {
+    case ScanAccess::TestMode:  return "test-mode";
+    case ScanAccess::FullWidth: return "full-width";
+  }
+  return "?";
+}
+
+const char* to_string(InjectionMode mode) {
+  switch (mode) {
+    case InjectionMode::None:          return "none";
+    case InjectionMode::SingleRandom:  return "single-random";
+    case InjectionMode::MultipleBurst: return "multiple-burst";
+    case InjectionMode::RushModel:     return "rush-model";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Generic inverse over an enum's value list via to_string.
+template <typename Enum>
+bool enum_from_string(std::string_view text, Enum& out,
+                      std::initializer_list<Enum> values) {
+  for (const Enum value : values) {
+    if (text == to_string(value)) {
+      out = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool from_string(std::string_view text, CampaignKind& out) {
+  return enum_from_string(text, out,
+                          {CampaignKind::Validation, CampaignKind::Injection,
+                           CampaignKind::FaultCoverage, CampaignKind::ScanTest});
+}
+
+bool from_string(std::string_view text, Backend& out) {
+  return enum_from_string(text, out,
+                          {Backend::Auto, Backend::Reference, Backend::Packed,
+                           Backend::PackedParallel});
+}
+
+bool from_string(std::string_view text, ValidationTier& out) {
+  return enum_from_string(text, out,
+                          {ValidationTier::Behavioral, ValidationTier::Structural});
+}
+
+bool from_string(std::string_view text, ScanAccess& out) {
+  return enum_from_string(text, out, {ScanAccess::TestMode, ScanAccess::FullWidth});
+}
+
+bool from_string(std::string_view text, InjectionMode& out) {
+  return enum_from_string(text, out,
+                          {InjectionMode::None, InjectionMode::SingleRandom,
+                           InjectionMode::MultipleBurst, InjectionMode::RushModel});
+}
+
+bool CampaignResult::passed() const {
+  switch (kind) {
+    case CampaignKind::Validation:
+    case CampaignKind::Injection:
+      return validation.silent_corruptions == 0;
+    case CampaignKind::FaultCoverage:
+      return true;  // a coverage measurement has no pass/fail verdict
+    case CampaignKind::ScanTest:
+      return scan_test.all_passed();
+  }
+  return false;
+}
+
+namespace {
+
+bool is_validation_kind(CampaignKind kind) {
+  return kind == CampaignKind::Validation || kind == CampaignKind::Injection;
+}
+
+/// The session's geometry + the spec's workload, as the legacy testbenches
+/// expect it. This mapping is what makes Session-routed campaigns
+/// bit-identical to the legacy entry points for the same seed.
+ValidationConfig validation_config(Session& session, const CampaignSpec& spec) {
+  ValidationConfig config;
+  config.fifo = session.fifo();
+  config.chain_count = session.protection().chain_count;
+  config.kind = session.protection().kind;
+  config.hamming_r = session.protection().hamming_r;
+  config.mode = spec.kind == CampaignKind::Injection ? InjectionMode::RushModel
+                                                     : spec.mode;
+  config.burst_size = spec.burst_size;
+  config.burst_spread = spec.burst_spread;
+  config.seed = spec.seed;
+  config.corruption = spec.corruption;
+  config.rush = spec.rush;
+  return config;
+}
+
+[[noreturn]] void reject(const CampaignSpec& spec, const std::string& why) {
+  throw Error("CampaignSpec (" + std::string(to_string(spec.kind)) + "/" +
+              to_string(spec.backend) + "): " + why);
+}
+
+}  // namespace
+
+void validate(const CampaignSpec& spec, const Session& session) {
+  if (spec.threads > 4096) {
+    reject(spec, "threads = " + std::to_string(spec.threads) +
+                     " is past any plausible machine; use 1..4096 (0 = the "
+                     "session's pool)");
+  }
+  if (is_validation_kind(spec.kind)) {
+    if (spec.sequences == 0) {
+      reject(spec,
+             "sequences must be > 0 — a validation campaign with no sleep/wake "
+             "trials measures nothing; set spec.sequences (RETSCAN_SEQUENCES "
+             "scales bench defaults, see retscan/runtime.hpp)");
+    }
+    if (!session.has_fifo()) {
+      reject(spec,
+             "this session wraps an arbitrary netlist, but validation campaigns "
+             "compare against the behavioral golden FIFO model — construct the "
+             "Session from a FifoSpec, or run fault-coverage / scan-test kinds");
+    }
+    // The Fig. 8 testbenches parameterize on (kind, hamming_r, chain_count)
+    // only; refuse to silently run a campaign on a reduced model of the
+    // session's protection architecture.
+    const ProtectionConfig& protection = session.protection();
+    if (protection.secded) {
+      reject(spec,
+             "the validation testbenches model plain Hamming/CRC monitors, not "
+             "SEC-DED — a secded session would silently report plain-Hamming "
+             "statistics; use fault-coverage / scan-test kinds, or the "
+             "SEC-DED ablation bench (bench_ablation_secded)");
+    }
+    if (protection.crc_group_width != 0) {
+      reject(spec,
+             "the validation testbenches model one wide CRC block "
+             "(crc_group_width = 0); per-group CRC statistics would silently "
+             "differ — drop crc_group_width or use fault-coverage kinds");
+    }
+    if (protection.assignment != ChainAssignment::Blocked) {
+      reject(spec,
+             "the validation testbenches assume the blocked flop-to-chain "
+             "assignment; interleaved assignment changes how bursts map onto "
+             "codewords (see bench_ablation_interleave) and would silently "
+             "misreport — use ChainAssignment::Blocked for validation kinds");
+    }
+    if (protection.crc_polynomial != 0x1021) {
+      reject(spec,
+             "the validation testbenches check with the CCITT CRC-16 "
+             "(0x1021); a custom crc_polynomial would silently not be the "
+             "one validated — use the default polynomial for validation kinds");
+    }
+    if (spec.tier == ValidationTier::Behavioral && spec.backend == Backend::Packed) {
+      reject(spec,
+             "the behavioral tier has no single-thread packed backend (it is "
+             "already word-parallel per trial); use Backend::Reference, "
+             "Backend::PackedParallel or Backend::Auto");
+    }
+    if (spec.kind == CampaignKind::Injection && spec.mode != InjectionMode::RushModel) {
+      reject(spec,
+             std::string("injection campaigns sample upsets from the electrical "
+                         "corruption model; spec.mode must be "
+                         "InjectionMode::RushModel (got ") +
+                 to_string(spec.mode) +
+                 ") — for LFSR injection modes use CampaignKind::Validation");
+    }
+    if (spec.mode == InjectionMode::MultipleBurst && spec.burst_size == 0) {
+      reject(spec, "burst_size must be > 0 for InjectionMode::MultipleBurst");
+    }
+    if (spec.tier == ValidationTier::Structural && spec.shard_size != 0 &&
+        spec.shard_size % PackedSim::lane_count() != 0) {
+      reject(spec,
+             "shard_size = " + std::to_string(spec.shard_size) +
+                 " is not a multiple of the 64-lane batch width — gate-level "
+                 "shards run whole PackedSim batches, and silent rounding would "
+                 "change the shard plan (and the statistics) behind your back");
+    }
+  } else {
+    if (spec.atpg.random_patterns == 0 && !spec.atpg.run_podem) {
+      reject(spec,
+             "atpg.random_patterns == 0 with run_podem == false generates an "
+             "empty pattern set — enable one of the two ATPG phases");
+    }
+    if (spec.kind == CampaignKind::ScanTest) {
+      if (spec.patterns_per_shard == 0) {
+        reject(spec,
+               "patterns_per_shard must be > 0 (it is floored to whole "
+               "64-lane batches, minimum one batch)");
+      }
+      if (spec.access == ScanAccess::FullWidth) {
+        reject(spec,
+               "full-width scan access only applies to plain scanned netlists — "
+               "in a ProtectedDesign the per-chain si ports are superseded by "
+               "the monitor feedback muxes, so responses would mismatch; use "
+               "ScanAccess::TestMode (the Fig. 5(b) tsi/tso concatenation), or "
+               "drive apply_scan_test on a pre-monitor netlist directly");
+      }
+    } else if (spec.kind == CampaignKind::FaultCoverage && spec.shard_size != 0 &&
+               (spec.backend == Backend::Reference || spec.backend == Backend::Packed)) {
+      reject(spec,
+             "shard_size only applies to the pooled fault simulator; "
+             "Backend::Reference and Backend::Packed run the serial path — "
+             "drop shard_size or pick Backend::PackedParallel");
+    }
+  }
+}
+
+Backend resolve_backend(const CampaignSpec& spec, const Session& session) {
+  validate(spec, session);
+  if (spec.backend != Backend::Auto) {
+    return spec.backend;
+  }
+  return Backend::PackedParallel;
+}
+
+namespace {
+
+/// Campaign runner honouring a per-spec thread override: the session's
+/// shared pool when the spec doesn't insist, a private pool otherwise.
+/// (Results are thread-count invariant either way; this is throughput only.)
+parallel::CampaignRunner& select_runner(
+    Session& session, const CampaignSpec& spec,
+    std::unique_ptr<parallel::CampaignRunner>& local) {
+  if (spec.threads == 0 || spec.threads == session.threads()) {
+    return session.runner();
+  }
+  parallel::CampaignOptions options;
+  options.threads = spec.threads;
+  local = std::make_unique<parallel::CampaignRunner>(options);
+  return *local;
+}
+
+void run_validation(Session& session, const CampaignSpec& spec, Backend backend,
+                    CampaignResult& result) {
+  const ValidationConfig config = validation_config(session, spec);
+  const bool behavioral = spec.tier == ValidationTier::Behavioral;
+  switch (backend) {
+    case Backend::Reference:
+      result.validation = behavioral
+                              ? FastTestbench(config).run(spec.sequences)
+                              : StructuralTestbench(config).run(spec.sequences);
+      result.threads = 1;
+      result.shard_count = 1;
+      break;
+    case Backend::Packed:
+      result.validation = StructuralTestbench(config).run_packed(spec.sequences);
+      result.threads = 1;
+      result.shard_count = 1;
+      break;
+    case Backend::PackedParallel:
+    default: {
+      std::unique_ptr<parallel::CampaignRunner> local;
+      parallel::CampaignRunner& runner = select_runner(session, spec, local);
+      const parallel::CampaignReport report =
+          behavioral
+              ? runner.run_fast(config, spec.sequences, spec.shard_size)
+              : runner.run_structural_packed(config, spec.sequences, spec.shard_size);
+      result.validation = report.stats;
+      result.threads = report.threads;
+      result.shard_count = report.shard_count;
+      break;
+    }
+  }
+}
+
+void run_fault_coverage(Session& session, const CampaignSpec& spec, Backend backend,
+                        CampaignResult& result) {
+  AtpgOptions options = spec.atpg;
+  options.seed = spec.seed;
+  result.atpg = run_atpg(session.frame(), session.faults(), options);
+  if (backend == Backend::PackedParallel) {
+    std::unique_ptr<parallel::CampaignRunner> local;
+    parallel::CampaignRunner& runner = select_runner(session, spec, local);
+    const std::size_t fault_shard = spec.shard_size != 0 ? spec.shard_size : 128;
+    result.faults = fault_simulate(session.frame(), session.faults(),
+                                   result.atpg.patterns, runner.pool(), fault_shard);
+    result.threads = runner.threads();
+    result.shard_count =
+        (session.faults().size() + fault_shard - 1) / fault_shard;
+  } else {
+    // Reference and Packed coincide here: the serial fault simulator IS the
+    // 64-lane cone path (the oracle detect_mask_full stays a frame method).
+    result.faults =
+        fault_simulate(session.frame(), session.faults(), result.atpg.patterns);
+    result.threads = 1;
+    result.shard_count = 1;
+  }
+}
+
+void run_scan_test_campaign(Session& session, const CampaignSpec& spec,
+                            Backend backend, CampaignResult& result) {
+  AtpgOptions options = spec.atpg;
+  options.seed = spec.seed;
+  result.atpg = run_atpg(session.frame(), session.faults(), options);
+  if (backend == Backend::PackedParallel) {
+    // Routed directly (not via Session::run_scan_test, which always uses the
+    // session's shared pool) so the spec's threads knob is honored here too.
+    std::unique_ptr<parallel::CampaignRunner> local;
+    parallel::CampaignRunner& runner = select_runner(session, spec, local);
+    result.scan_test =
+        apply_test_mode_scan_test_packed(session.design(), session.frame(),
+                                         result.atpg.patterns, runner.pool(),
+                                         spec.patterns_per_shard);
+    const std::size_t per_shard =
+        test_mode_patterns_per_shard(spec.patterns_per_shard);
+    result.threads = runner.threads();
+    result.shard_count =
+        (result.atpg.patterns.size() + per_shard - 1) / per_shard;
+  } else {
+    ScanTestOptions delivery;
+    delivery.access = spec.access;
+    delivery.backend = backend;
+    delivery.patterns_per_shard = spec.patterns_per_shard;
+    result.scan_test = session.run_scan_test(result.atpg.patterns, delivery);
+    result.threads = 1;
+    result.shard_count = 1;
+  }
+}
+
+}  // namespace
+
+CampaignResult run(Session& session, const CampaignSpec& spec) {
+  const Backend backend = resolve_backend(spec, session);
+  CampaignResult result;
+  result.kind = spec.kind;
+  result.backend = backend;
+  const auto start = std::chrono::steady_clock::now();
+  switch (spec.kind) {
+    case CampaignKind::Validation:
+    case CampaignKind::Injection:
+      run_validation(session, spec, backend, result);
+      break;
+    case CampaignKind::FaultCoverage:
+      run_fault_coverage(session, spec, backend, result);
+      break;
+    case CampaignKind::ScanTest:
+      run_scan_test_campaign(session, spec, backend, result);
+      break;
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+// --- campaign spec files ----------------------------------------------------
+
+namespace {
+
+std::string trim(std::string text) {
+  const auto first = text.find_first_not_of(" \t\r");
+  const auto last = text.find_last_not_of(" \t\r");
+  if (first == std::string::npos) {
+    return "";
+  }
+  return text.substr(first, last - first + 1);
+}
+
+[[noreturn]] void spec_error(int line, const std::string& why) {
+  throw Error("spec line " + std::to_string(line) + ": " + why);
+}
+
+std::uint64_t parse_spec_u64(const std::string& value, int line) {
+  const std::optional<std::uint64_t> parsed = parse_u64(value);
+  if (!parsed) {
+    spec_error(line, "'" + value + "' is not a non-negative integer");
+  }
+  return *parsed;
+}
+
+/// Narrowing guard for keys stored in sub-64-bit fields: values past `max`
+/// are spec errors, never silent truncations.
+std::uint64_t parse_spec_bounded(const std::string& value, int line,
+                                 std::uint64_t max, const char* what) {
+  const std::uint64_t parsed = parse_spec_u64(value, line);
+  if (parsed > max) {
+    spec_error(line, "'" + value + "' is out of range for " + what + " (max " +
+                         std::to_string(max) + ")");
+  }
+  return parsed;
+}
+
+double parse_spec_double(const std::string& value, int line) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) {
+      throw std::invalid_argument("trailing junk");
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    spec_error(line, "'" + value + "' is not a number");
+  }
+}
+
+bool parse_spec_bool(const std::string& value, int line) {
+  if (value == "true" || value == "1" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no" || value == "off") {
+    return false;
+  }
+  spec_error(line, "'" + value + "' is not a boolean (true/false)");
+}
+
+template <typename Enum>
+Enum parse_spec_enum(const std::string& value, int line, const char* expected) {
+  Enum out{};
+  if (!from_string(value, out)) {
+    spec_error(line, "'" + value + "' is not one of: " + expected);
+  }
+  return out;
+}
+
+CodeKind parse_code_kind(const std::string& value, int line) {
+  if (value == "crc") {
+    return CodeKind::CrcDetect;
+  }
+  if (value == "hamming") {
+    return CodeKind::HammingCorrect;
+  }
+  if (value == "hamming+crc") {
+    return CodeKind::HammingPlusCrc;
+  }
+  spec_error(line, "'" + value + "' is not one of: crc, hamming, hamming+crc");
+}
+
+ChainAssignment parse_assignment(const std::string& value, int line) {
+  if (value == "blocked") {
+    return ChainAssignment::Blocked;
+  }
+  if (value == "interleaved") {
+    return ChainAssignment::Interleaved;
+  }
+  spec_error(line, "'" + value + "' is not one of: blocked, interleaved");
+}
+
+void apply_spec_key(SpecFile& file, const std::string& key, const std::string& value,
+                    int line) {
+  CampaignSpec& c = file.campaign;
+  // clang-format off
+  if      (key == "fifo.depth")                  file.fifo.depth = parse_spec_u64(value, line);
+  else if (key == "fifo.width")                  file.fifo.width = parse_spec_u64(value, line);
+  else if (key == "protection.kind")             file.protection.kind = parse_code_kind(value, line);
+  else if (key == "protection.hamming_r")        file.protection.hamming_r = static_cast<unsigned>(parse_spec_bounded(value, line, 16, "protection.hamming_r"));
+  else if (key == "protection.secded")           file.protection.secded = parse_spec_bool(value, line);
+  else if (key == "protection.chain_count")      file.protection.chain_count = parse_spec_u64(value, line);
+  else if (key == "protection.crc_group_width")  file.protection.crc_group_width = parse_spec_u64(value, line);
+  else if (key == "protection.test_width")       file.protection.test_width = parse_spec_u64(value, line);
+  else if (key == "protection.assignment")       file.protection.assignment = parse_assignment(value, line);
+  else if (key == "campaign.kind")               c.kind = parse_spec_enum<CampaignKind>(value, line, "validation, injection, fault-coverage, scan-test");
+  else if (key == "campaign.backend")            c.backend = parse_spec_enum<Backend>(value, line, "auto, reference, packed, packed-parallel");
+  else if (key == "campaign.seed")               c.seed = parse_spec_u64(value, line);
+  else if (key == "campaign.threads")            c.threads = static_cast<unsigned>(parse_spec_bounded(value, line, 4096, "campaign.threads"));
+  else if (key == "campaign.shard_size")         c.shard_size = parse_spec_u64(value, line);
+  else if (key == "campaign.sequences")          c.sequences = parse_spec_u64(value, line);
+  else if (key == "campaign.tier")               c.tier = parse_spec_enum<ValidationTier>(value, line, "behavioral, structural");
+  else if (key == "campaign.mode")               c.mode = parse_spec_enum<InjectionMode>(value, line, "none, single-random, multiple-burst, rush-model");
+  else if (key == "campaign.burst_size")         c.burst_size = parse_spec_u64(value, line);
+  else if (key == "campaign.burst_spread")       c.burst_spread = parse_spec_u64(value, line);
+  else if (key == "campaign.access")             c.access = parse_spec_enum<ScanAccess>(value, line, "test-mode, full-width");
+  else if (key == "campaign.patterns_per_shard") c.patterns_per_shard = parse_spec_u64(value, line);
+  else if (key == "campaign.atpg.random_patterns") c.atpg.random_patterns = parse_spec_u64(value, line);
+  else if (key == "campaign.atpg.max_backtracks")  c.atpg.max_backtracks = parse_spec_u64(value, line);
+  else if (key == "campaign.atpg.run_podem")       c.atpg.run_podem = parse_spec_bool(value, line);
+  else if (key == "corruption.noise_margin_volts") c.corruption.noise_margin_volts = parse_spec_double(value, line);
+  else if (key == "corruption.margin_sigma_volts") c.corruption.margin_sigma_volts = parse_spec_double(value, line);
+  else if (key == "corruption.vulnerability")      c.corruption.vulnerability = parse_spec_double(value, line);
+  else if (key == "corruption.cluster_spread")     c.corruption.cluster_spread = parse_spec_u64(value, line);
+  else if (key == "corruption.cluster_fraction")   c.corruption.cluster_fraction = parse_spec_double(value, line);
+  else if (key == "rush.vdd_volts")                c.rush.vdd_volts = parse_spec_double(value, line);
+  else if (key == "rush.resistance_ohm")           c.rush.resistance_ohm = parse_spec_double(value, line);
+  else if (key == "rush.inductance_nh")            c.rush.inductance_nh = parse_spec_double(value, line);
+  else if (key == "rush.capacitance_nf")           c.rush.capacitance_nf = parse_spec_double(value, line);
+  else if (key == "rush.stagger_stages")           c.rush.stagger_stages = parse_spec_u64(value, line);
+  else spec_error(line, "unknown key '" + key + "' (see examples/validation.spec for the key reference)");
+  // clang-format on
+}
+
+}  // namespace
+
+SpecFile parse_spec(std::istream& in) {
+  SpecFile file;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) {
+      line.resize(comment);
+    }
+    line = trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      spec_error(lineno, "expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      spec_error(lineno, "empty key before '='");
+    }
+    if (value.empty()) {
+      spec_error(lineno, "empty value for key '" + key + "'");
+    }
+    apply_spec_key(file, key, value, lineno);
+  }
+  return file;
+}
+
+SpecFile parse_spec_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_spec(in);
+}
+
+SpecFile load_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("cannot open spec file '" + path + "'");
+  }
+  return parse_spec(in);
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  // std::stoull would silently wrap negatives to huge values; require the
+  // text to be plain decimal digits, fully consumed.
+  if (text.empty() || text[0] < '0' || text[0] > '9') {
+    return std::nullopt;
+  }
+  const std::string copy(text);
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long parsed = std::stoull(copy, &consumed, 10);
+    if (consumed != copy.size()) {
+      return std::nullopt;
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace retscan

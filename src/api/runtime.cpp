@@ -1,0 +1,82 @@
+#include "retscan/runtime.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace retscan {
+
+namespace {
+
+/// Strict positive-decimal-integer parse shared by both knobs: the whole
+/// string must be consumed, the value must be > 0 and fit without overflow.
+std::optional<unsigned long long> parse_positive(const char* text) {
+  if (text == nullptr || *text == '\0') {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || value <= 0) {
+    return std::nullopt;
+  }
+  return static_cast<unsigned long long>(value);
+}
+
+unsigned hardware_fallback() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+unsigned threads_override() {
+  const char* env = std::getenv("RETSCAN_THREADS");
+  if (env == nullptr) {
+    return 0;
+  }
+  const auto value = parse_positive(env);
+  if (value && *value <= 4096) {
+    return static_cast<unsigned>(*value);
+  }
+  std::fprintf(stderr,
+               "[retscan] warning: invalid RETSCAN_THREADS='%s' (want 1..4096); "
+               "using %u\n",
+               env, hardware_fallback());
+  return 0;
+}
+
+std::optional<std::size_t> sequences_override() {
+  const char* env = std::getenv("RETSCAN_SEQUENCES");
+  if (env == nullptr) {
+    return std::nullopt;
+  }
+  const auto value = parse_positive(env);
+  if (value) {
+    return static_cast<std::size_t>(*value);
+  }
+  std::fprintf(stderr,
+               "[retscan] warning: invalid RETSCAN_SEQUENCES='%s' (want a "
+               "positive integer); using the built-in default\n",
+               env);
+  return std::nullopt;
+}
+
+}  // namespace
+
+RuntimeConfig runtime_config() {
+  RuntimeConfig config;
+  config.threads = threads_override();
+  config.sequences = sequences_override();
+  return config;
+}
+
+unsigned runtime_threads() {
+  const unsigned override = threads_override();
+  return override != 0 ? override : hardware_fallback();
+}
+
+std::size_t runtime_sequences(std::size_t default_count) {
+  return sequences_override().value_or(default_count);
+}
+
+}  // namespace retscan

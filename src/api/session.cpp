@@ -1,0 +1,180 @@
+// The Session facade's backends route onto the pre-v1 entry points; calling
+// them here must not trip their deprecation attributes.
+#ifndef RETSCAN_SUPPRESS_DEPRECATED
+#define RETSCAN_SUPPRESS_DEPRECATED
+#endif
+
+#include "retscan/session.hpp"
+
+#include <string>
+
+#include "atpg/atpg.hpp"
+#include "atpg/scan_test.hpp"
+#include "circuits/fifo.hpp"
+#include "util/error.hpp"
+
+namespace retscan {
+
+namespace {
+
+/// The primary inputs a capture pattern must hold quiescent: scan-enable,
+/// retention and every monitor control. Designs built with the hardware
+/// controller own some of these internally (they are nets, not ports), so
+/// each is constrained only where it exists as a primary input.
+constexpr const char* kCaptureControls[] = {
+    "se",        "retain",      "mon_en",      "mon_decode",
+    "mon_clear", "sig_capture", "sig_compare", "test_mode",
+};
+
+/// Geometry sanity with actionable messages, paid at Session construction
+/// (before any synthesis) so a misconfigured spec fails fast.
+void check_geometry(std::size_t flops, const ProtectionConfig& protection) {
+  RETSCAN_CHECK(protection.chain_count > 0,
+                "Session: ProtectionConfig.chain_count must be > 0 — a protected "
+                "design needs at least one retention scan chain");
+  RETSCAN_CHECK(flops > 0, "Session: the base design has no flip-flops to protect");
+  if (flops % protection.chain_count != 0) {
+    throw Error("Session: " + std::to_string(flops) +
+                " flip-flops cannot split into " +
+                std::to_string(protection.chain_count) +
+                " equal scan chains; pick a chain_count dividing the flop count");
+  }
+}
+
+}  // namespace
+
+Session::Session(const FifoSpec& fifo, const ProtectionConfig& protection,
+                 const SessionOptions& options)
+    : options_(options), protection_(protection), fifo_(fifo), has_fifo_(true) {
+  check_geometry(fifo.flop_count(), protection);
+}
+
+Session::Session(Netlist base, const ProtectionConfig& protection,
+                 const SessionOptions& options)
+    : options_(options), protection_(protection) {
+  check_geometry(base.flops().size(), protection);
+  base_.emplace(std::move(base));
+}
+
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+
+const FifoSpec& Session::fifo() const {
+  RETSCAN_CHECK(has_fifo_,
+                "Session::fifo: this session wraps an arbitrary netlist, not a "
+                "FIFO — construct it from a FifoSpec to run validation campaigns");
+  return fifo_;
+}
+
+const ProtectedDesign& Session::design() {
+  if (!design_) {
+    Netlist base = has_fifo_ ? make_fifo(fifo_) : std::move(*base_);
+    base_.reset();
+    design_ = std::make_unique<ProtectedDesign>(std::move(base), protection_);
+  }
+  return *design_;
+}
+
+CombinationalFrame& Session::frame() {
+  if (!frame_) {
+    const Netlist& nl = design().netlist();
+    frame_ = std::make_unique<CombinationalFrame>(nl);
+    for (const char* name : kCaptureControls) {
+      if (!nl.has_net(name)) {
+        continue;
+      }
+      const NetId net = nl.find_net(name);
+      for (const NetId pi : frame_->pi_nets()) {
+        if (pi == net) {
+          frame_->constrain(name, false);
+          break;
+        }
+      }
+    }
+  }
+  return *frame_;
+}
+
+const std::vector<Fault>& Session::faults() {
+  if (!faults_) {
+    faults_ = std::make_unique<std::vector<Fault>>(
+        collapse_faults(netlist(), enumerate_faults(netlist())));
+  }
+  return *faults_;
+}
+
+RetentionSession& Session::retention() {
+  if (!retention_) {
+    retention_ = std::make_unique<RetentionSession>(design());
+  }
+  return *retention_;
+}
+
+parallel::CampaignRunner& Session::runner() {
+  if (!runner_) {
+    parallel::CampaignOptions options;
+    options.threads = options_.threads;
+    runner_ = std::make_unique<parallel::CampaignRunner>(options);
+  }
+  return *runner_;
+}
+
+unsigned Session::threads() const {
+  if (runner_) {
+    return runner_->threads();
+  }
+  return options_.threads != 0 ? options_.threads
+                               : ThreadPool::default_thread_count();
+}
+
+CampaignResult Session::run(const CampaignSpec& spec) {
+  return ::retscan::run(*this, spec);
+}
+
+ScanTestResult Session::run_scan_test(const std::vector<BitVec>& patterns,
+                                      const ScanTestOptions& options) {
+  if (options.access == ScanAccess::FullWidth) {
+    throw Error(
+        "Session::run_scan_test: full-width scan access only applies to plain "
+        "scanned netlists — in a ProtectedDesign the per-chain si ports are "
+        "superseded by the monitor feedback muxes, so responses would "
+        "mismatch; use ScanAccess::TestMode (the Fig. 5(b) tsi/tso "
+        "concatenation), or drive apply_scan_test on a pre-monitor netlist "
+        "directly");
+  }
+  Backend backend = options.backend;
+  if (backend == Backend::Auto) {
+    backend = Backend::PackedParallel;
+  }
+  RETSCAN_CHECK(options.patterns_per_shard > 0,
+                "Session::run_scan_test: patterns_per_shard must be > 0 (it is "
+                "floored to whole 64-lane batches, minimum one batch)");
+  CombinationalFrame& test_frame = frame();
+  for (const BitVec& pattern : patterns) {
+    if (pattern.size() != test_frame.pattern_width()) {
+      throw Error("Session::run_scan_test: pattern width " +
+                  std::to_string(pattern.size()) + " does not match the frame's " +
+                  std::to_string(test_frame.pattern_width()) +
+                  " (PIs + scan flops) — generate patterns with run_atpg() or "
+                  "CombinationalFrame::random_pattern()");
+    }
+  }
+
+  switch (backend) {
+    case Backend::Reference:
+      return apply_test_mode_scan_test(retention(), design(), test_frame, patterns);
+    case Backend::Packed:
+      return apply_test_mode_scan_test_packed(design(), test_frame, patterns);
+    case Backend::PackedParallel:
+    default:
+      return apply_test_mode_scan_test_packed(design(), test_frame, patterns,
+                                              pool(), options.patterns_per_shard);
+  }
+}
+
+AtpgResult Session::run_atpg(const AtpgOptions& options) {
+  return ::retscan::run_atpg(frame(), faults(), options);
+}
+
+}  // namespace retscan

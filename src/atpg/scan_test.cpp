@@ -318,8 +318,7 @@ ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
                                                 std::size_t patterns_per_shard) {
   // Shards must be whole 64-lane batches so the pooled pass forms exactly
   // the same batches as the serial one.
-  const std::size_t lanes = PackedSim::lane_count();
-  patterns_per_shard = std::max<std::size_t>(lanes, patterns_per_shard / lanes * lanes);
+  patterns_per_shard = test_mode_patterns_per_shard(patterns_per_shard);
   const std::size_t shard_count =
       (patterns.size() + patterns_per_shard - 1) / patterns_per_shard;
   std::vector<ScanTestResult> partial(shard_count);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -17,6 +18,28 @@ namespace retscan {
 /// each response against the good machine. This is how the library proves
 /// the Section III claim: the monitoring chain configuration, concatenated
 /// per Fig. 5(b), delivers exactly the same manufacturing test.
+///
+/// The five apply_* overloads below are the pre-v1 delivery entry points;
+/// new code should route through Session::run_scan_test (retscan/session.hpp
+/// and the migration map in retscan/legacy.hpp), which picks among them
+/// from one options struct. They remain supported as the facade's backends;
+/// the attribute below warns external callers unless
+/// RETSCAN_SUPPRESS_DEPRECATED is defined before any retscan include.
+#if defined(RETSCAN_SUPPRESS_DEPRECATED)
+#define RETSCAN_DEPRECATED_DELIVERY
+#else
+#define RETSCAN_DEPRECATED_DELIVERY \
+  [[deprecated("route deliveries through retscan::Session::run_scan_test")]]
+#endif
+
+/// Shard geometry of the pooled test-mode delivery: `requested` patterns
+/// per shard, floored to whole 64-lane batches (minimum one batch). The
+/// pooled delivery and CampaignResult::shard_count both derive their shard
+/// plan from this one function.
+inline std::size_t test_mode_patterns_per_shard(std::size_t requested) {
+  const std::size_t lanes = PackedSim::lane_count();
+  return std::max<std::size_t>(lanes, requested / lanes * lanes);
+}
 
 /// Result of applying a pattern set through scan.
 struct ScanTestResult {
@@ -27,6 +50,7 @@ struct ScanTestResult {
 
 /// Apply patterns to a plain scanned design through its per-chain si/so
 /// ports (full-width scan access).
+RETSCAN_DEPRECATED_DELIVERY
 ScanTestResult apply_scan_test(Simulator& sim, const ScanChains& chains,
                                const CombinationalFrame& frame,
                                const std::vector<BitVec>& patterns);
@@ -34,6 +58,7 @@ ScanTestResult apply_scan_test(Simulator& sim, const ScanChains& chains,
 /// 64-way parallel-pattern variant: each PackedSim lane shifts, captures and
 /// checks a different pattern, so a whole 64-pattern batch costs one scan
 /// load plus one capture cycle. This is the coverage-run workhorse.
+RETSCAN_DEPRECATED_DELIVERY
 ScanTestResult apply_scan_test(PackedSim& sim, const ScanChains& chains,
                                const CombinationalFrame& frame,
                                const std::vector<BitVec>& patterns);
@@ -41,6 +66,7 @@ ScanTestResult apply_scan_test(PackedSim& sim, const ScanChains& chains,
 /// Apply patterns to a ProtectedDesign through the narrow manufacturing
 /// test ports tsi/tso with test_mode asserted, exercising the Fig. 5(b)
 /// concatenation muxes. Shift depth is (W/T) * l per load/unload.
+RETSCAN_DEPRECATED_DELIVERY
 ScanTestResult apply_test_mode_scan_test(RetentionSession& session,
                                          const ProtectedDesign& design,
                                          const CombinationalFrame& frame,
@@ -48,6 +74,7 @@ ScanTestResult apply_test_mode_scan_test(RetentionSession& session,
 
 /// 64-way parallel-pattern test-mode delivery: one lane per pattern through
 /// the same tsi/tso concatenation. Builds its own PackedSim over the design.
+RETSCAN_DEPRECATED_DELIVERY
 ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
                                                 const CombinationalFrame& frame,
                                                 const std::vector<BitVec>& patterns);
@@ -57,6 +84,7 @@ ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
 /// own PackedSim over the design (scan loading fully overwrites the state
 /// each batch, so shards are independent and the merged result is
 /// identical to the single-threaded packed pass at any thread count).
+RETSCAN_DEPRECATED_DELIVERY
 ScanTestResult apply_test_mode_scan_test_packed(const ProtectedDesign& design,
                                                 const CombinationalFrame& frame,
                                                 const std::vector<BitVec>& patterns,

@@ -1,7 +1,6 @@
 #include "util/thread_pool.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include "retscan/runtime.hpp"
 
 namespace retscan {
 
@@ -12,20 +11,9 @@ thread_local const ThreadPool* tl_pool = nullptr;
 }  // namespace
 
 unsigned ThreadPool::default_thread_count() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  const unsigned fallback = hw == 0 ? 1 : hw;
-  if (const char* env = std::getenv("RETSCAN_THREADS")) {
-    char* end = nullptr;
-    const unsigned long value = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && value > 0 && value <= 4096) {
-      return static_cast<unsigned>(value);
-    }
-    std::fprintf(stderr,
-                 "[retscan] warning: invalid RETSCAN_THREADS='%s' (want 1..4096); "
-                 "using %u\n",
-                 env, fallback);
-  }
-  return fallback;
+  // Env parsing (and its strict-parse warning) lives in retscan::runtime —
+  // the one interpreter of RETSCAN_* for the whole library.
+  return runtime_threads();
 }
 
 ThreadPool::ThreadPool(unsigned threads) {

@@ -1,0 +1,556 @@
+// The retscan v1 public API: Session/CampaignSpec routing must reproduce
+// every legacy entry point bit-identically for the same seed (the facade is
+// a router, not a reimplementation), spec validation must reject unrunnable
+// campaigns with actionable messages, and the spec-file parser + runtime
+// env helpers must parse strictly.
+//
+// This TU deliberately includes ONLY the public include/retscan/ surface —
+// it doubles as a compile test that the v1 headers are self-contained.
+
+#define RETSCAN_SUPPRESS_DEPRECATED  // legacy entry points are the oracles here
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "retscan/retscan.hpp"
+
+using namespace retscan;
+
+namespace {
+
+/// The paper's Section IV geometry (behavioral tier: no synthesis cost).
+Session paper_session() {
+  ProtectionConfig protection;
+  protection.kind = CodeKind::HammingPlusCrc;
+  protection.hamming_r = 3;
+  protection.chain_count = 80;
+  return Session(FifoSpec{32, 32}, protection);
+}
+
+ValidationConfig paper_config(std::uint64_t seed, InjectionMode mode) {
+  ValidationConfig config;
+  config.fifo = FifoSpec{32, 32};
+  config.chain_count = 80;
+  config.kind = CodeKind::HammingPlusCrc;
+  config.hamming_r = 3;
+  config.mode = mode;
+  config.seed = seed;
+  return config;
+}
+
+/// Small gate-level geometry (the 32-word x 2-bit FIFO slice the benches use).
+Session gate_session() {
+  ProtectionConfig protection;
+  protection.kind = CodeKind::HammingPlusCrc;
+  protection.hamming_r = 3;
+  protection.chain_count = 8;
+  protection.test_width = 4;
+  return Session(FifoSpec{32, 2}, protection);
+}
+
+ValidationConfig gate_config(std::uint64_t seed, InjectionMode mode) {
+  ValidationConfig config;
+  config.fifo = FifoSpec{32, 2};
+  config.chain_count = 8;
+  config.kind = CodeKind::HammingPlusCrc;
+  config.hamming_r = 3;
+  config.mode = mode;
+  config.seed = seed;
+  return config;
+}
+
+std::string error_message(const std::function<void()>& action) {
+  try {
+    action();
+  } catch (const Error& error) {
+    return error.what();
+  }
+  return "";
+}
+
+}  // namespace
+
+// --- Session-routed campaigns vs legacy entry points ------------------------
+
+TEST(ApiValidation, BehavioralReferenceMatchesFastTestbench) {
+  const std::size_t sequences = 5000;
+  Session session = paper_session();
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Validation;
+  spec.backend = Backend::Reference;
+  spec.seed = 2024;
+  spec.sequences = sequences;
+  const CampaignResult result = session.run(spec);
+
+  FastTestbench legacy(paper_config(2024, InjectionMode::SingleRandom));
+  EXPECT_EQ(result.validation, legacy.run(sequences));
+  EXPECT_EQ(result.backend, Backend::Reference);
+  EXPECT_EQ(result.threads, 1u);
+  EXPECT_TRUE(result.passed());
+}
+
+TEST(ApiValidation, BehavioralPooledMatchesCampaignRunner) {
+  const std::size_t sequences = 20000;
+  Session session = paper_session();
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Validation;
+  spec.backend = Backend::PackedParallel;
+  spec.mode = InjectionMode::MultipleBurst;
+  spec.burst_size = 4;
+  spec.burst_spread = 1;
+  spec.seed = 99;
+  spec.sequences = sequences;
+  const CampaignResult result = session.run(spec);
+
+  parallel::CampaignRunner runner;
+  ValidationConfig config = paper_config(99, InjectionMode::MultipleBurst);
+  config.burst_size = 4;
+  config.burst_spread = 1;
+  const parallel::CampaignReport legacy = runner.run_fast(config, sequences);
+  EXPECT_EQ(result.validation, legacy.stats);
+  EXPECT_EQ(result.shard_count, legacy.shard_count);
+  EXPECT_EQ(result.threads, legacy.threads);
+}
+
+TEST(ApiValidation, AutoResolvesToPackedParallelAndMatchesExplicit) {
+  Session session = paper_session();
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Validation;
+  spec.seed = 7;
+  spec.sequences = 4000;
+  EXPECT_EQ(resolve_backend(spec, session), Backend::PackedParallel);
+  const CampaignResult auto_run = session.run(spec);
+  spec.backend = Backend::PackedParallel;
+  const CampaignResult pinned = session.run(spec);
+  EXPECT_EQ(auto_run.validation, pinned.validation);
+  EXPECT_EQ(auto_run.backend, Backend::PackedParallel);
+}
+
+TEST(ApiValidation, ThreadCountInvariance) {
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Validation;
+  spec.seed = 11;
+  spec.sequences = 12000;
+  spec.shard_size = 2048;
+  Session session = paper_session();
+  const CampaignResult pooled = session.run(spec);
+  spec.threads = 1;
+  const CampaignResult serial = session.run(spec);
+  EXPECT_EQ(pooled.validation, serial.validation);
+  EXPECT_EQ(serial.threads, 1u);
+}
+
+TEST(ApiValidation, StructuralBackendsMatchTestbenches) {
+  const std::uint64_t seed = 7;
+  Session session = gate_session();
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Validation;
+  spec.tier = ValidationTier::Structural;
+  spec.seed = seed;
+
+  spec.backend = Backend::Reference;
+  spec.sequences = 6;
+  const CampaignResult reference = session.run(spec);
+  EXPECT_EQ(reference.validation,
+            StructuralTestbench(gate_config(seed, InjectionMode::SingleRandom)).run(6));
+
+  spec.backend = Backend::Packed;
+  spec.sequences = 64;
+  const CampaignResult packed = session.run(spec);
+  EXPECT_EQ(packed.validation,
+            StructuralTestbench(gate_config(seed, InjectionMode::SingleRandom))
+                .run_packed(64));
+
+  spec.backend = Backend::PackedParallel;
+  spec.sequences = 128;
+  spec.shard_size = 64;
+  const CampaignResult pooled = session.run(spec);
+  parallel::CampaignRunner runner;
+  const parallel::CampaignReport legacy = runner.run_structural_packed(
+      gate_config(seed, InjectionMode::SingleRandom), 128, 64);
+  EXPECT_EQ(pooled.validation, legacy.stats);
+  EXPECT_EQ(pooled.shard_count, 2u);
+  EXPECT_TRUE(pooled.passed());
+}
+
+TEST(ApiInjection, RushModelMatchesLegacyRunner) {
+  RushParameters rush;
+  rush.resistance_ohm = 0.2;
+  CorruptionParameters corruption;
+  corruption.vulnerability = 0.02;
+
+  Session session = paper_session();
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Injection;
+  spec.mode = InjectionMode::RushModel;
+  spec.seed = 201;
+  spec.sequences = 8000;
+  spec.rush = rush;
+  spec.corruption = corruption;
+  const CampaignResult result = session.run(spec);
+
+  ValidationConfig config = paper_config(201, InjectionMode::RushModel);
+  config.rush = rush;
+  config.corruption = corruption;
+  parallel::CampaignRunner runner;
+  EXPECT_EQ(result.validation, runner.run_fast(config, 8000).stats);
+  EXPECT_GT(result.validation.sequences_with_errors, 0u);
+  EXPECT_TRUE(result.passed());
+}
+
+TEST(ApiFaultCoverage, MatchesLegacyAtpgPlusFaultSim) {
+  Session session = gate_session();
+  CampaignSpec spec;
+  spec.kind = CampaignKind::FaultCoverage;
+  spec.backend = Backend::PackedParallel;
+  spec.seed = 5;
+  spec.atpg.random_patterns = 256;
+  spec.atpg.max_backtracks = 200;
+  const CampaignResult result = session.run(spec);
+
+  // Legacy flow: hand-built frame with the same capture constraints.
+  ProtectionConfig protection;
+  protection.kind = CodeKind::HammingPlusCrc;
+  protection.chain_count = 8;
+  protection.test_width = 4;
+  const ProtectedDesign design(make_fifo(FifoSpec{32, 2}), protection);
+  CombinationalFrame frame(design.netlist());
+  for (const char* name : {"se", "retain", "mon_en", "mon_decode", "mon_clear",
+                           "sig_capture", "sig_compare", "test_mode"}) {
+    frame.constrain(name, false);
+  }
+  const auto faults = collapse_faults(design.netlist(), enumerate_faults(design.netlist()));
+  AtpgOptions options;
+  options.random_patterns = 256;
+  options.max_backtracks = 200;
+  options.seed = 5;
+  const AtpgResult atpg = run_atpg(frame, faults, options);
+
+  EXPECT_EQ(result.atpg.patterns, atpg.patterns);
+  EXPECT_EQ(result.atpg.detected_random, atpg.detected_random);
+  EXPECT_EQ(result.atpg.detected_podem, atpg.detected_podem);
+  EXPECT_EQ(result.atpg.untestable, atpg.untestable);
+
+  const FaultSimResult serial = fault_simulate(frame, faults, atpg.patterns);
+  EXPECT_EQ(result.faults.detected, serial.detected);
+  EXPECT_EQ(result.faults.detected_by, serial.detected_by);
+  EXPECT_GT(result.atpg.coverage(), 0.9);
+  EXPECT_TRUE(result.passed());
+}
+
+TEST(ApiScanTest, AllBackendsMatchLegacyDeliveries) {
+  Session session = gate_session();
+  AtpgOptions options;
+  options.random_patterns = 128;
+  options.max_backtracks = 100;
+  const AtpgResult atpg = session.run_atpg(options);
+  ASSERT_GT(atpg.patterns.size(), 0u);
+
+  CombinationalFrame& frame = session.frame();
+  const ProtectedDesign& design = session.design();
+
+  // Test-mode access, all three backends vs the three legacy entry points.
+  const ScanTestResult reference = session.run_scan_test(
+      atpg.patterns, {.access = ScanAccess::TestMode, .backend = Backend::Reference});
+  RetentionSession legacy_session(design);
+  const ScanTestResult legacy_reference =
+      apply_test_mode_scan_test(legacy_session, design, frame, atpg.patterns);
+  EXPECT_EQ(reference.patterns_applied, legacy_reference.patterns_applied);
+  EXPECT_EQ(reference.mismatches, legacy_reference.mismatches);
+  EXPECT_TRUE(reference.all_passed());
+
+  const ScanTestResult packed = session.run_scan_test(
+      atpg.patterns, {.access = ScanAccess::TestMode, .backend = Backend::Packed});
+  const ScanTestResult legacy_packed =
+      apply_test_mode_scan_test_packed(design, frame, atpg.patterns);
+  EXPECT_EQ(packed.patterns_applied, legacy_packed.patterns_applied);
+  EXPECT_EQ(packed.mismatches, legacy_packed.mismatches);
+
+  const ScanTestResult pooled = session.run_scan_test(
+      atpg.patterns, {.access = ScanAccess::TestMode,
+                      .backend = Backend::PackedParallel,
+                      .patterns_per_shard = 128});
+  const ScanTestResult legacy_pooled = apply_test_mode_scan_test_packed(
+      design, frame, atpg.patterns, session.pool(), 128);
+  EXPECT_EQ(pooled.patterns_applied, legacy_pooled.patterns_applied);
+  EXPECT_EQ(pooled.mismatches, legacy_pooled.mismatches);
+  EXPECT_TRUE(pooled.all_passed());
+
+  // Full-width si/so access is rejected on protected designs: those ports
+  // are superseded by the monitor feedback muxes, so silently delivering
+  // through them would report phantom mismatches.
+  EXPECT_NE(error_message([&] {
+              session.run_scan_test(atpg.patterns,
+                                    {.access = ScanAccess::FullWidth});
+            }).find("monitor feedback muxes"),
+            std::string::npos);
+}
+
+TEST(ApiScanTest, CampaignKindRunsAtpgAndDelivery) {
+  Session session = gate_session();
+  CampaignSpec spec;
+  spec.kind = CampaignKind::ScanTest;
+  spec.seed = 1;
+  spec.atpg.random_patterns = 128;
+  spec.atpg.max_backtracks = 100;
+  const CampaignResult result = session.run(spec);
+  EXPECT_EQ(result.backend, Backend::PackedParallel);
+  EXPECT_EQ(result.scan_test.patterns_applied, result.atpg.patterns.size());
+  EXPECT_EQ(result.scan_test.mismatches, 0u);
+  EXPECT_TRUE(result.passed());
+
+  // The uniform threads knob applies to scan-test campaigns too: the
+  // delivery runs on a pool of spec.threads workers, with identical results.
+  spec.threads = 2;
+  const CampaignResult two_threads = session.run(spec);
+  EXPECT_EQ(two_threads.threads, 2u);
+  EXPECT_EQ(two_threads.scan_test.patterns_applied,
+            result.scan_test.patterns_applied);
+  EXPECT_EQ(two_threads.scan_test.mismatches, result.scan_test.mismatches);
+}
+
+// --- spec validation --------------------------------------------------------
+
+TEST(ApiValidate, RejectsUnrunnableSpecs) {
+  Session session = paper_session();
+
+  CampaignSpec zero;
+  zero.kind = CampaignKind::Validation;
+  zero.sequences = 0;
+  EXPECT_NE(error_message([&] { validate(zero, session); }).find("sequences must be > 0"),
+            std::string::npos);
+
+  CampaignSpec packed_behavioral;
+  packed_behavioral.kind = CampaignKind::Validation;
+  packed_behavioral.sequences = 10;
+  packed_behavioral.backend = Backend::Packed;
+  EXPECT_NE(error_message([&] { validate(packed_behavioral, session); })
+                .find("behavioral tier"),
+            std::string::npos);
+
+  CampaignSpec bad_injection;
+  bad_injection.kind = CampaignKind::Injection;
+  bad_injection.sequences = 10;
+  bad_injection.mode = InjectionMode::SingleRandom;
+  EXPECT_NE(error_message([&] { validate(bad_injection, session); })
+                .find("RushModel"),
+            std::string::npos);
+
+  CampaignSpec bad_shard;
+  bad_shard.kind = CampaignKind::Validation;
+  bad_shard.tier = ValidationTier::Structural;
+  bad_shard.sequences = 100;
+  bad_shard.shard_size = 100;  // not a multiple of 64
+  EXPECT_NE(error_message([&] { validate(bad_shard, session); })
+                .find("multiple of the 64-lane"),
+            std::string::npos);
+
+  // Protection features the Fig. 8 testbenches cannot model are rejected
+  // instead of silently running on a reduced architecture.
+  ProtectionConfig secded_protection;
+  secded_protection.kind = CodeKind::HammingPlusCrc;
+  secded_protection.chain_count = 80;
+  secded_protection.secded = true;
+  Session secded_session(FifoSpec{32, 32}, secded_protection);
+  CampaignSpec secded_campaign;
+  secded_campaign.kind = CampaignKind::Validation;
+  secded_campaign.sequences = 10;
+  EXPECT_NE(error_message([&] { validate(secded_campaign, secded_session); })
+                .find("SEC-DED"),
+            std::string::npos);
+
+  CampaignSpec packed_shard;
+  packed_shard.kind = CampaignKind::FaultCoverage;
+  packed_shard.backend = Backend::Packed;
+  packed_shard.shard_size = 4096;
+  EXPECT_NE(error_message([&] { validate(packed_shard, session); })
+                .find("shard_size"),
+            std::string::npos);
+
+  CampaignSpec no_patterns;
+  no_patterns.kind = CampaignKind::FaultCoverage;
+  no_patterns.atpg.random_patterns = 0;
+  no_patterns.atpg.run_podem = false;
+  EXPECT_NE(error_message([&] { validate(no_patterns, session); })
+                .find("empty pattern set"),
+            std::string::npos);
+
+  CampaignSpec full_width;
+  full_width.kind = CampaignKind::ScanTest;
+  full_width.access = ScanAccess::FullWidth;
+  EXPECT_NE(error_message([&] { validate(full_width, session); })
+                .find("monitor feedback muxes"),
+            std::string::npos);
+
+  // Netlist-backed sessions cannot run validation campaigns...
+  ProtectionConfig protection;
+  protection.chain_count = 4;
+  Session counter(make_counter(16), protection);
+  CampaignSpec validation;
+  validation.kind = CampaignKind::Validation;
+  validation.sequences = 10;
+  EXPECT_NE(error_message([&] { validate(validation, counter); })
+                .find("golden FIFO model"),
+            std::string::npos);
+  // ...but fault-coverage kinds are fine.
+  CampaignSpec coverage;
+  coverage.kind = CampaignKind::FaultCoverage;
+  coverage.atpg.random_patterns = 64;
+  coverage.atpg.run_podem = false;
+  EXPECT_NO_THROW(validate(coverage, counter));
+}
+
+TEST(ApiSession, ConstructionRejectsBadGeometry) {
+  ProtectionConfig zero_chains;
+  zero_chains.chain_count = 0;
+  EXPECT_THROW(Session(FifoSpec{32, 2}, zero_chains), Error);
+
+  ProtectionConfig indivisible;
+  indivisible.chain_count = 7;  // 80 flops % 7 != 0
+  EXPECT_NE(error_message([&] { Session session(FifoSpec{32, 2}, indivisible); })
+                .find("equal scan chains"),
+            std::string::npos);
+}
+
+TEST(ApiSession, RunScanTestRejectsBadPatternsAndOptions) {
+  Session session = gate_session();
+  EXPECT_THROW(session.run_scan_test({BitVec(3)}, {}), Error);
+  ScanTestOptions bad_shard;
+  bad_shard.patterns_per_shard = 0;
+  EXPECT_THROW(session.run_scan_test({}, bad_shard), Error);
+  ScanTestOptions full_width;
+  full_width.access = ScanAccess::FullWidth;
+  EXPECT_THROW(session.run_scan_test({}, full_width), Error);
+}
+
+// --- spec files -------------------------------------------------------------
+
+TEST(ApiSpecFile, ParsesFullSpec) {
+  const SpecFile file = parse_spec_text(R"(
+# the paper's validation campaign
+fifo.depth = 32
+fifo.width = 32
+protection.kind = hamming+crc
+protection.hamming_r = 3
+protection.chain_count = 80
+
+campaign.kind = validation
+campaign.backend = packed-parallel
+campaign.seed = 2024        # campaign master seed
+campaign.sequences = 200000
+campaign.mode = multiple-burst
+campaign.burst_size = 4
+campaign.burst_spread = 1
+)");
+  EXPECT_EQ(file.fifo.depth, 32u);
+  EXPECT_EQ(file.fifo.width, 32u);
+  EXPECT_EQ(file.protection.kind, CodeKind::HammingPlusCrc);
+  EXPECT_EQ(file.protection.chain_count, 80u);
+  EXPECT_EQ(file.campaign.kind, CampaignKind::Validation);
+  EXPECT_EQ(file.campaign.backend, Backend::PackedParallel);
+  EXPECT_EQ(file.campaign.seed, 2024u);
+  EXPECT_EQ(file.campaign.sequences, 200000u);
+  EXPECT_EQ(file.campaign.mode, InjectionMode::MultipleBurst);
+  EXPECT_EQ(file.campaign.burst_size, 4u);
+}
+
+TEST(ApiSpecFile, ErrorsNameTheLine) {
+  EXPECT_NE(error_message([] { parse_spec_text("fifo.depth = 32\nbogus.key = 1\n"); })
+                .find("spec line 2"),
+            std::string::npos);
+  EXPECT_NE(error_message([] { parse_spec_text("fifo.depth == 32"); })
+                .find("not a non-negative integer"),
+            std::string::npos);
+  // Negative values must not wrap through stoull into huge geometries.
+  EXPECT_NE(error_message([] { parse_spec_text("fifo.depth = -1"); })
+                .find("not a non-negative integer"),
+            std::string::npos);
+  // Values past a narrow field's range must not silently truncate.
+  EXPECT_NE(error_message([] { parse_spec_text("campaign.threads = 4294967298"); })
+                .find("out of range"),
+            std::string::npos);
+  EXPECT_NE(error_message([] { parse_spec_text("protection.hamming_r = 999"); })
+                .find("out of range"),
+            std::string::npos);
+  EXPECT_NE(error_message([] { parse_spec_text("fifo.depth\n"); })
+                .find("expected 'key = value'"),
+            std::string::npos);
+  EXPECT_NE(error_message([] { parse_spec_text("campaign.mode = sideways\n"); })
+                .find("sideways"),
+            std::string::npos);
+  EXPECT_NE(error_message([] { parse_spec_text("campaign.atpg.run_podem = maybe\n"); })
+                .find("not a boolean"),
+            std::string::npos);
+  EXPECT_NE(error_message([] { (void)load_spec_file("/nonexistent/x.spec"); })
+                .find("cannot open"),
+            std::string::npos);
+}
+
+TEST(ApiSpecFile, ParseU64IsStrict) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), ~std::uint64_t{0});
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("+1").has_value());
+  EXPECT_FALSE(parse_u64("10abc").has_value());
+  EXPECT_FALSE(parse_u64(" 10").has_value());
+  EXPECT_FALSE(parse_u64("99999999999999999999").has_value());  // overflow
+}
+
+TEST(ApiSpecFile, EnumRoundTrips) {
+  for (const auto kind : {CampaignKind::Validation, CampaignKind::Injection,
+                          CampaignKind::FaultCoverage, CampaignKind::ScanTest}) {
+    CampaignKind out{};
+    EXPECT_TRUE(from_string(to_string(kind), out));
+    EXPECT_EQ(out, kind);
+  }
+  for (const auto backend : {Backend::Auto, Backend::Reference, Backend::Packed,
+                             Backend::PackedParallel}) {
+    Backend out{};
+    EXPECT_TRUE(from_string(to_string(backend), out));
+    EXPECT_EQ(out, backend);
+  }
+  Backend out{};
+  EXPECT_FALSE(from_string("warp-drive", out));
+}
+
+// --- runtime config ---------------------------------------------------------
+
+TEST(ApiRuntime, ParsesAndRejectsEnvOverrides) {
+  ::setenv("RETSCAN_THREADS", "3", 1);
+  ::setenv("RETSCAN_SEQUENCES", "12345", 1);
+  RuntimeConfig config = runtime_config();
+  EXPECT_EQ(config.threads, 3u);
+  ASSERT_TRUE(config.sequences.has_value());
+  EXPECT_EQ(*config.sequences, 12345u);
+  EXPECT_EQ(runtime_threads(), 3u);
+  EXPECT_EQ(runtime_sequences(10), 12345u);
+
+  ::setenv("RETSCAN_THREADS", "0", 1);
+  ::setenv("RETSCAN_SEQUENCES", "12x", 1);
+  config = runtime_config();
+  EXPECT_EQ(config.threads, 0u);  // invalid → unset
+  EXPECT_FALSE(config.sequences.has_value());
+  EXPECT_EQ(runtime_sequences(10), 10u);
+  EXPECT_GE(runtime_threads(), 1u);
+
+  ::setenv("RETSCAN_THREADS", "5000", 1);  // over the 4096 cap
+  EXPECT_EQ(runtime_config().threads, 0u);
+
+  ::unsetenv("RETSCAN_THREADS");
+  ::unsetenv("RETSCAN_SEQUENCES");
+  config = runtime_config();
+  EXPECT_EQ(config.threads, 0u);
+  EXPECT_FALSE(config.sequences.has_value());
+  EXPECT_EQ(runtime_sequences(42), 42u);
+}
+
+TEST(ApiVersion, ConstantsAgree) {
+  EXPECT_STREQ(version_string(), RETSCAN_VERSION_STRING);
+  EXPECT_EQ(RETSCAN_VERSION_NUMBER,
+            kVersionMajor * 10000 + kVersionMinor * 100 + kVersionPatch);
+  EXPECT_EQ(kVersionMajor, 1);
+}

@@ -1,3 +1,8 @@
+// This file deliberately exercises the pre-v1 delivery entry points
+// (they are the backends the Session facade routes onto), so the
+// deprecation attributes are suppressed here.
+#define RETSCAN_SUPPRESS_DEPRECATED
+
 // Cross-checks of the bit-parallel SimEngine facades: PackedSim lane 0 must
 // match the scalar Simulator bit-exactly over randomized netlists (including
 // power cycles and retention corruption), lanes must be fully independent,

@@ -1,0 +1,104 @@
+// Deprecation-shim contract: the pre-v1 entry points re-exported through
+// retscan/legacy.hpp must (a) still compile — carrying [[deprecated]]
+// attributes, silenced here with the diagnostic pragma rather than
+// RETSCAN_SUPPRESS_DEPRECATED so this TU proves the attributes are actually
+// present and ignorable — and (b) still produce bit-identical results to
+// their Session-routed replacements, per the migration map in legacy.hpp.
+
+#include <gtest/gtest.h>
+
+#include "retscan/legacy.hpp"
+#include "retscan/retscan.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+using namespace retscan;
+
+namespace {
+
+Session small_session() {
+  ProtectionConfig protection;
+  protection.kind = CodeKind::HammingPlusCrc;
+  protection.chain_count = 8;
+  protection.test_width = 4;
+  return Session(FifoSpec{32, 2}, protection);
+}
+
+}  // namespace
+
+TEST(LegacyShims, DeprecatedDeliveriesStillMatchTheFacade) {
+  Session session = small_session();
+  AtpgOptions options;
+  options.random_patterns = 96;
+  options.max_backtracks = 50;
+  const AtpgResult atpg = session.run_atpg(options);
+  ASSERT_GT(atpg.patterns.size(), 0u);
+
+  // Every deprecated spelling, called once — this is the compile test — and
+  // checked against the Session route.
+  const ProtectedDesign& design = session.design();
+  CombinationalFrame& frame = session.frame();
+
+  RetentionSession retention(design);
+  const ScanTestResult a =
+      apply_test_mode_scan_test(retention, design, frame, atpg.patterns);
+  const ScanTestResult b = apply_test_mode_scan_test_packed(design, frame, atpg.patterns);
+  const ScanTestResult c = apply_test_mode_scan_test_packed(design, frame, atpg.patterns,
+                                                            session.pool(), 128);
+
+  const ScanTestResult via_facade = session.run_scan_test(atpg.patterns);
+  for (const ScanTestResult& legacy : {a, b, c}) {
+    EXPECT_EQ(legacy.patterns_applied, via_facade.patterns_applied);
+    EXPECT_EQ(legacy.mismatches, via_facade.mismatches);
+  }
+  EXPECT_TRUE(via_facade.all_passed());
+}
+
+TEST(LegacyShims, FullWidthDeliveriesStillWorkOnPlainNetlists) {
+  // The two full-width apply_scan_test overloads have no Session equivalent
+  // (a ProtectedDesign's si ports are superseded by the monitor muxes);
+  // their contract on plain scanned netlists is unchanged.
+  Netlist nl = make_counter(12);
+  ScanInsertionOptions options;
+  options.chain_count = 3;
+  const ScanChains chains = insert_scan(nl, options);
+  CombinationalFrame frame(nl);
+  frame.constrain("se", false);
+  frame.constrain("retain", false);
+  const auto faults = collapse_faults(nl, enumerate_faults(nl));
+  AtpgOptions atpg_options;
+  atpg_options.random_patterns = 64;
+  atpg_options.run_podem = false;
+  const AtpgResult atpg = run_atpg(frame, faults, atpg_options);
+  ASSERT_GT(atpg.patterns.size(), 0u);
+
+  Simulator scalar(nl);
+  const ScanTestResult d = apply_scan_test(scalar, chains, frame, atpg.patterns);
+  PackedSim packed(nl);
+  const ScanTestResult e = apply_scan_test(packed, chains, frame, atpg.patterns);
+  EXPECT_EQ(d.patterns_applied, atpg.patterns.size());
+  EXPECT_EQ(e.patterns_applied, atpg.patterns.size());
+  EXPECT_TRUE(d.all_passed());
+  EXPECT_TRUE(e.all_passed());
+}
+
+TEST(LegacyShims, TestbenchStrategiesStillMatchTheFacade) {
+  ValidationConfig config;
+  config.fifo = FifoSpec{32, 32};
+  config.chain_count = 80;
+  config.kind = CodeKind::HammingPlusCrc;
+  config.seed = 31;
+
+  ProtectionConfig protection;
+  protection.kind = CodeKind::HammingPlusCrc;
+  protection.chain_count = 80;
+  Session session(FifoSpec{32, 32}, protection);
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Validation;
+  spec.backend = Backend::Reference;
+  spec.seed = 31;
+  spec.sequences = 2000;
+  EXPECT_EQ(session.run(spec).validation, FastTestbench(config).run(2000));
+}

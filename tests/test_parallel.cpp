@@ -1,3 +1,8 @@
+// This file deliberately exercises the pre-v1 delivery entry points
+// (they are the backends the Session facade routes onto), so the
+// deprecation attributes are suppressed here.
+#define RETSCAN_SUPPRESS_DEPRECATED
+
 // The retscan::parallel orchestration layer: work-stealing ThreadPool
 // semantics (completion, exception propagation, clean shutdown),
 // deterministic shard planning/seeding, and — the load-bearing contract —

@@ -1,0 +1,182 @@
+// retscan — command-line driver for declarative campaigns.
+//
+//   retscan run <campaign.spec> [overrides]   run a campaign spec file
+//   retscan describe <campaign.spec>          validate + print the plan only
+//   retscan --version                         print the library version
+//
+// Overrides (applied after the file is parsed):
+//   --seed N --threads N --sequences N --backend NAME
+//
+// The spec format is `key = value` lines with '#' comments; see
+// examples/validation.spec for the full key reference. Exit status: 0 when
+// the campaign's pass verdict holds (no silent corruptions / no delivery
+// mismatches), 1 otherwise, 2 on usage or spec errors.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "retscan/retscan.hpp"
+
+namespace {
+
+using namespace retscan;
+
+/// Strict override-value parse — the spec-file rules (retscan::parse_u64):
+/// '-1' and '10abc' are usage errors, not silently wrapped/truncated
+/// campaigns. `max` guards fields narrower than 64 bits.
+std::uint64_t parse_override_u64(const std::string& flag, const std::string& value,
+                                 std::uint64_t max = ~std::uint64_t{0}) {
+  const std::optional<std::uint64_t> parsed = parse_u64(value);
+  if (!parsed) {
+    throw Error(flag + " needs a non-negative integer, got '" + value + "'");
+  }
+  if (*parsed > max) {
+    throw Error(flag + " = " + value + " is out of range (max " +
+                std::to_string(max) + ")");
+  }
+  return *parsed;
+}
+
+int usage(std::ostream& out, int status) {
+  out << "usage: retscan run <campaign.spec> [--seed N] [--threads N]\n"
+         "                   [--sequences N] [--backend auto|reference|packed|"
+         "packed-parallel]\n"
+         "       retscan describe <campaign.spec>\n"
+         "       retscan --version | --help\n";
+  return status;
+}
+
+void print_plan(std::ostream& out, const SpecFile& file, Backend resolved,
+                unsigned threads) {
+  const CampaignSpec& c = file.campaign;
+  // depth x width — the repo-wide convention ("32x2 FIFO slice").
+  out << "design:   " << file.fifo.depth << "x" << file.fifo.width << " FIFO, "
+      << file.protection.chain_count << " chains, code ";
+  switch (file.protection.kind) {
+    case CodeKind::CrcDetect:      out << "crc"; break;
+    case CodeKind::HammingCorrect: out << "hamming(r=" << file.protection.hamming_r << ")"; break;
+    case CodeKind::HammingPlusCrc: out << "hamming(r=" << file.protection.hamming_r << ")+crc"; break;
+  }
+  out << (file.protection.secded ? " secded" : "") << "\n";
+  out << "campaign: " << to_string(c.kind) << ", seed " << c.seed << ", backend "
+      << to_string(c.backend);
+  if (c.backend == Backend::Auto) {
+    out << " -> " << to_string(resolved);
+  }
+  out << ", " << threads << " threads\n";
+  if (c.kind == CampaignKind::Validation || c.kind == CampaignKind::Injection) {
+    out << "workload: " << c.sequences << " sequences, tier " << to_string(c.tier)
+        << ", mode " << to_string(c.mode) << "\n";
+  } else {
+    out << "workload: atpg " << c.atpg.random_patterns << " random patterns, podem "
+        << (c.atpg.run_podem ? "on" : "off");
+    if (c.kind == CampaignKind::ScanTest) {
+      out << ", access " << to_string(c.access);
+    }
+    out << "\n";
+  }
+}
+
+void print_result(std::ostream& out, const CampaignResult& r) {
+  out << "ran:      " << to_string(r.kind) << " on " << to_string(r.backend) << ", "
+      << r.threads << " threads x " << r.shard_count << " shards, " << r.seconds
+      << " s\n";
+  switch (r.kind) {
+    case CampaignKind::Validation:
+    case CampaignKind::Injection: {
+      const ValidationStats& v = r.validation;
+      out << "result:   " << v.sequences << " sequences, " << v.sequences_with_errors
+          << " with errors, detection " << 100.0 * v.detection_rate()
+          << "%, correction " << 100.0 * v.correction_rate() << "%\n"
+          << "          flagged-uncorrectable " << v.flagged_uncorrectable
+          << ", silent corruptions " << v.silent_corruptions << "\n";
+      break;
+    }
+    case CampaignKind::FaultCoverage:
+      out << "result:   " << r.atpg.patterns.size() << " patterns, coverage "
+          << 100.0 * r.atpg.coverage() << "% (" << r.faults.detected << "/"
+          << r.faults.total_faults << " faults via fault-sim)\n";
+      break;
+    case CampaignKind::ScanTest:
+      out << "result:   " << r.scan_test.patterns_applied << " patterns delivered, "
+          << r.scan_test.mismatches << " mismatches (coverage "
+          << 100.0 * r.atpg.coverage() << "%)\n";
+      break;
+  }
+  out << "verdict:  " << (r.passed() ? "PASS" : "FAIL") << "\n";
+}
+
+int run_command(const std::string& command, int argc, char** argv) {
+  if (argc < 1) {
+    std::cerr << "retscan " << command << ": missing spec file\n";
+    return usage(std::cerr, 2);
+  }
+  SpecFile file = load_spec_file(argv[0]);
+  for (int i = 1; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::cerr << "retscan: " << flag << " needs a value\n";
+      return 2;
+    }
+    const std::string value = argv[i + 1];
+    if (flag == "--seed") {
+      file.campaign.seed = parse_override_u64(flag, value);
+    } else if (flag == "--threads") {
+      file.campaign.threads =
+          static_cast<unsigned>(parse_override_u64(flag, value, 4096));
+    } else if (flag == "--sequences") {
+      file.campaign.sequences = parse_override_u64(flag, value);
+    } else if (flag == "--backend") {
+      if (!from_string(value, file.campaign.backend)) {
+        std::cerr << "retscan: unknown backend '" << value << "'\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "retscan: unknown flag '" << flag << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  SessionOptions options;
+  options.threads = file.campaign.threads;
+  Session session(file.fifo, file.protection, options);
+  const Backend resolved = resolve_backend(file.campaign, session);  // validates
+  print_plan(std::cout, file, resolved, session.threads());
+  if (command == "describe") {
+    std::cout << "spec OK (describe only, nothing run)\n";
+    return 0;
+  }
+  const CampaignResult result = run(session, file.campaign);
+  print_result(std::cout, result);
+  return result.passed() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage(std::cerr, 2);
+  }
+  const std::string command = argv[1];
+  if (command == "--version" || command == "-v" || command == "version") {
+    std::cout << "retscan " << retscan::version_string() << "\n";
+    return 0;
+  }
+  if (command == "--help" || command == "-h" || command == "help") {
+    return usage(std::cout, 0);
+  }
+  if (command != "run" && command != "describe") {
+    std::cerr << "retscan: unknown command '" << command << "'\n";
+    return usage(std::cerr, 2);
+  }
+  try {
+    return run_command(command, argc - 2, argv + 2);
+  } catch (const retscan::Error& error) {
+    std::cerr << "retscan: " << error.what() << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "retscan: " << error.what() << "\n";
+    return 2;
+  }
+}
