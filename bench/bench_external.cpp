@@ -1,0 +1,192 @@
+// Imported-workload bench: the first externally-authored circuits retscan
+// runs. Every vendored ISCAS-style bench under bench/circuits/ is parsed by
+// the structural-Verilog frontend, lint-checked, and driven through a packed
+// fault-coverage campaign via the same Session/CampaignSpec pipeline the CLI
+// uses; the largest import additionally feeds the compiled-core full-sweep
+// and cone fault-evaluation throughput loops.
+//
+// BENCH_external.json records per-circuit coverage plus the aggregate
+// metrics; ci/check_bench_json.py gates min_coverage (deterministic for a
+// fixed seed) against bench/baselines/BENCH_external.json.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "retscan/netlist.hpp"
+#include "retscan/session.hpp"
+#include "retscan/sim.hpp"
+#include "retscan/test.hpp"
+
+#ifndef RETSCAN_CIRCUITS_DIR
+#define RETSCAN_CIRCUITS_DIR "bench/circuits"
+#endif
+
+using namespace retscan;
+
+namespace {
+
+struct Workload {
+  const char* file;
+  std::size_t random_patterns;
+  /// 0 = bare import; otherwise the circuit is wrapped in the protection
+  /// architecture with this many retention scan chains.
+  std::size_t chains;
+  CodeKind kind;
+  std::size_t test_width;
+};
+
+constexpr Workload kWorkloads[] = {
+    {"c17.v", 64, 0, CodeKind::CrcDetect, 0},
+    {"add432.v", 256, 0, CodeKind::CrcDetect, 0},
+    {"mul880.v", 256, 0, CodeKind::CrcDetect, 0},
+    {"s27.v", 64, 3, CodeKind::CrcDetect, 3},
+    {"ctrl344.v", 256, 4, CodeKind::HammingPlusCrc, 4},
+};
+
+std::string circuit_name(const std::string& file) {
+  return file.substr(0, file.find('.'));
+}
+
+/// Lint acceptance for an import: nothing structurally broken. Floating
+/// inputs are tolerated — the clock ports of the sequential benches are
+/// intentionally unread (retscan flops clock implicitly).
+bool lint_clean(const Netlist& netlist) {
+  const std::vector<LintIssue> issues = lint_netlist(netlist);
+  bool clean = true;
+  for (const LintIssue& issue : issues) {
+    if (issue.kind == LintKind::FloatingInput) {
+      continue;
+    }
+    std::cout << "  LINT: " << issue.message << "\n";
+    clean = false;
+  }
+  return clean;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Imported ISCAS-style workloads (structural-Verilog frontend)");
+  bench::JsonReport json("external");
+  bool ok = true;
+
+  const std::string dir = std::string(RETSCAN_CIRCUITS_DIR) + "/";
+  double min_coverage = 1.0;
+  double total_cells = 0.0;
+  unsigned threads = 1;
+
+  for (const Workload& work : kWorkloads) {
+    const std::string path = dir + work.file;
+    Netlist imported = Netlist::from_verilog(path);
+    const std::string name = circuit_name(work.file);
+    const std::size_t ports = imported.inputs().size() + imported.outputs().size();
+    const std::size_t cells = imported.cell_count() - ports;
+    const std::size_t flops = imported.flops().size();
+    total_cells += static_cast<double>(cells);
+    const bool clean = lint_clean(imported);
+    ok = ok && clean;
+
+    ProtectionConfig protection;
+    protection.kind = work.kind;
+    protection.chain_count = work.chains;
+    protection.test_width = work.test_width;
+    Session session = work.chains == 0
+                          ? Session::unprotected(std::move(imported))
+                          : Session(std::move(imported), protection);
+
+    CampaignSpec spec;
+    spec.kind = CampaignKind::FaultCoverage;
+    spec.backend = Backend::PackedParallel;
+    spec.seed = 7;
+    spec.atpg.random_patterns = work.random_patterns;
+    spec.atpg.max_backtracks = 300;
+    const CampaignResult result = session.run(spec);
+    const double coverage = result.atpg.coverage();
+    min_coverage = std::min(min_coverage, coverage);
+    threads = result.threads;
+
+    std::cout << name << ": " << cells << " cells, " << flops << " flops"
+              << (work.chains == 0 ? " (bare)" : " (protected)") << " — "
+              << result.atpg.patterns.size() << " patterns, coverage "
+              << 100.0 * coverage << "% (" << result.faults.detected << "/"
+              << result.faults.total_faults << "), " << result.seconds << " s\n";
+    json.set("coverage_" + name, coverage);
+    json.set("cells_" + name, static_cast<double>(cells));
+    ok = ok && result.passed();
+  }
+
+  // --- compiled-core throughput on the largest import ----------------------
+  bench::header("Compiled-core throughput on mul880 (imported)");
+  const Netlist mul = Netlist::from_verilog(dir + "mul880.v");
+  const std::shared_ptr<const CompiledNetlist> compiled = mul.compiled();
+  const std::size_t gates = compiled->instrs().size();
+  const std::size_t source_count = compiled->slot_count() - gates;
+
+  constexpr int kSweeps = 2000;
+  std::vector<LaneWord> slots(compiled->slot_count(), 0);
+  Rng stim_rng(1);
+  bench::Stopwatch timer;
+  LaneWord checksum = 0;
+  for (int s = 0; s < kSweeps; ++s) {
+    for (std::size_t i = 0; i < source_count; ++i) {
+      slots[i] = stim_rng.next_u64();
+    }
+    compiled->eval_full(slots.data());
+    checksum ^= slots[compiled->slot_count() - 1];
+  }
+  const double sweep_time = timer.seconds();
+  const double compiled_meps = static_cast<double>(gates) * kSweeps *
+                               static_cast<double>(kLaneCount) / sweep_time / 1e6;
+  ok = ok && checksum != 0;  // keeps the loop observable
+
+  // --- cone fault-evaluation throughput on the same import -----------------
+  CombinationalFrame frame(mul);
+  const auto faults = collapse_faults(mul, enumerate_faults(mul));
+  Rng pattern_rng(7);
+  std::vector<BitVec> patterns;
+  for (int i = 0; i < 256; ++i) {
+    patterns.push_back(frame.random_pattern(pattern_rng));
+  }
+  frame.warm_cones(faults);
+  std::vector<CombinationalFrame::LoadedPatternBatch> loaded;
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    loaded.push_back(frame.load_batch(
+        std::vector<BitVec>(patterns.begin() + base, patterns.begin() + base + count)));
+  }
+  CombinationalFrame::Workspace workspace;
+  constexpr int kRepeats = 20;
+  std::uint64_t mask_checksum = 0;
+  timer.restart();
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const auto& batch : loaded) {
+      for (const Fault& fault : faults) {
+        mask_checksum ^= frame.detect_mask(fault, batch, batch.good, workspace);
+      }
+    }
+  }
+  const double cone_time = timer.seconds() / kRepeats;
+  const double evals_per_sec =
+      static_cast<double>(faults.size()) * static_cast<double>(loaded.size()) / cone_time;
+  (void)mask_checksum;
+
+  std::cout << "full sweep: " << compiled_meps << " M lane-gate-evals/sec over "
+            << gates << " compiled gates\n"
+            << "cone path:  " << evals_per_sec << " fault-evals/sec over "
+            << faults.size() << " faults x " << loaded.size() << " batches\n"
+            << "min coverage across imports: " << 100.0 * min_coverage << "%\n";
+
+  json.set("circuits", static_cast<double>(std::size(kWorkloads)));
+  json.set("total_cells", total_cells);
+  json.set("min_coverage", min_coverage);
+  json.set("compiled_meps", compiled_meps);
+  json.set("faultsim_evals_per_sec", evals_per_sec);
+  json.set("threads", static_cast<double>(threads));
+  json.set("pass", ok ? 1.0 : 0.0);
+  json.write();
+  std::cout << (ok ? "\n[external] PASS\n" : "\n[external] FAIL\n");
+  return ok ? 0 : 1;
+}

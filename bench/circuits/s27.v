@@ -1,0 +1,26 @@
+// s27 — the smallest ISCAS-89 sequential benchmark: 3 flip-flops and 10
+// gates, transcribed from the canonical .bench description into the
+// structural subset read by retscan's Verilog frontend. CK feeds the DFF
+// clock pins; retscan flops share an implicit global clock, so the pin is
+// accepted and left unconnected (lint reports CK as a floating input, by
+// design — see docs/verilog-frontend.md).
+module s27 (CK, G0, G1, G2, G3, G17);
+  input CK, G0, G1, G2, G3;
+  output G17;
+  wire G5, G6, G7, G8, G9, G10, G11, G12, G13, G14, G15, G16;
+
+  DFFX1 dff_0 (.CK(CK), .D(G10), .Q(G5));
+  DFFX1 dff_1 (.CK(CK), .D(G11), .Q(G6));
+  DFFX1 dff_2 (.CK(CK), .D(G13), .Q(G7));
+
+  not  not_0  (G14, G0);
+  not  not_1  (G17, G11);
+  and  and_0  (G8, G14, G6);
+  or   or_0   (G15, G12, G8);
+  or   or_1   (G16, G3, G8);
+  nand nand_0 (G9, G16, G15);
+  nor  nor_0  (G10, G14, G11);
+  nor  nor_1  (G11, G5, G9);
+  nor  nor_2  (G12, G1, G7);
+  nor  nor_3  (G13, G2, G12);
+endmodule

@@ -46,6 +46,14 @@ REQUIRED_KEYS = {
         "full_fault_evals_per_sec",
         "cone_speedup",
     ],
+    "external": [
+        "circuits",
+        "total_cells",
+        "min_coverage",
+        "compiled_meps",
+        "faultsim_evals_per_sec",
+        "threads",
+    ],
 }
 
 # Ratio metrics gated against bench/baselines/BENCH_<name>.json.
@@ -53,6 +61,7 @@ GATED_KEYS = {
     "validation": ["gate_speedup"],
     "atpg": ["faultsim_speedup", "delivery_speedup"],
     "engine": ["compile_speedup", "cone_speedup"],
+    "external": ["min_coverage"],
 }
 
 

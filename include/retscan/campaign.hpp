@@ -163,12 +163,30 @@ CampaignResult run(Session& session, const CampaignSpec& spec);
 
 /// A parsed spec file: the design geometry plus the campaign. The textual
 /// format is `key = value` lines with '#' comments; see
-/// examples/validation.spec for the key reference.
+/// docs/spec-reference.md for the full key reference.
 struct SpecFile {
   FifoSpec fifo{32, 32};
   ProtectionConfig protection;
   CampaignSpec campaign;
+  /// `netlist = <path.v>`: import a structural-Verilog netlist instead of
+  /// generating the golden FIFO. load_spec_file resolves a relative path
+  /// against the spec file's directory, so specs can ship next to their
+  /// circuits. Empty = FIFO generator (the fifo.* keys).
+  std::string netlist_file;
 };
+
+/// The base netlist a spec describes, before protection: the imported
+/// Verilog file when `netlist =` is set, the generated FIFO otherwise.
+/// This is what `retscan describe` reports cell/flop counts from without
+/// synthesizing anything.
+Netlist spec_base_netlist(const SpecFile& file);
+
+/// Build the Session a spec file describes. FIFO specs stay lazy (no gate
+/// level is built until a campaign needs it); netlist specs import the file
+/// via Session::from_verilog — protected when the design has flip-flops,
+/// bare (fault-coverage only) when it is purely combinational. The spec's
+/// campaign.threads becomes the session's worker count.
+Session make_session(const SpecFile& file);
 
 /// Parse a spec from a stream / string / file. Errors (unknown keys,
 /// malformed values) are thrown as retscan::Error naming the line.

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "atpg/fault.hpp"
@@ -47,6 +48,24 @@ class Session {
   Session(Netlist base, const ProtectionConfig& protection,
           const SessionOptions& options = {});
 
+  /// Session over an imported structural-Verilog netlist
+  /// (Netlist::from_verilog). Lint issues that would make the import
+  /// unusable (undriven nets, combinational cycles) are rejected here with
+  /// the offending messages. Flop-bearing netlists are wrapped in the
+  /// protection architecture like the Netlist constructor; combinational
+  /// netlists have no state to retain, so `protection` does not apply and
+  /// the session is *bare* (see unprotected()).
+  static Session from_verilog(const std::string& path,
+                              const ProtectionConfig& protection = {},
+                              const SessionOptions& options = {});
+
+  /// Bare session: wraps `base` with no protection architecture at all —
+  /// no scan chains, no monitors, no retention flops. Supports exactly the
+  /// fault-coverage campaign kind (full-scan-assumed ATPG + packed fault
+  /// simulation over the raw netlist); every other workload is rejected by
+  /// validate() / design() with an explanatory error.
+  static Session unprotected(Netlist base, const SessionOptions& options = {});
+
   ~Session();
   Session(Session&&) noexcept;
   Session& operator=(Session&&) noexcept;
@@ -54,11 +73,17 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   // --- owned design artifacts -------------------------------------------
-  /// The protected gate-level design (synthesized on first use).
+  /// The protected gate-level design (synthesized on first use). Throws for
+  /// bare sessions, which have no protection architecture to synthesize.
   const ProtectedDesign& design();
-  const Netlist& netlist() { return design().netlist(); }
+  /// The session's gate-level netlist: the protected design's netlist, or
+  /// the raw base netlist for bare sessions.
+  const Netlist& netlist();
   const ScanChains& chains() { return design().chains(); }
   const ProtectionConfig& protection() const { return protection_; }
+  /// False for bare sessions (unprotected() / combinational imports): no
+  /// scan fabric, no monitors — fault-coverage campaigns only.
+  bool is_protected() const { return protected_; }
   bool has_fifo() const { return has_fifo_; }
   /// The FIFO geometry; only valid when has_fifo().
   const FifoSpec& fifo() const;
@@ -98,11 +123,16 @@ class Session {
   AtpgResult run_atpg(const AtpgOptions& options = {});
 
  private:
+  struct BareTag {};
+  Session(BareTag, Netlist base, const SessionOptions& options);
+
   SessionOptions options_;
   ProtectionConfig protection_;
   FifoSpec fifo_{};
   bool has_fifo_ = false;
+  bool protected_ = true;
   std::optional<Netlist> base_;  ///< pending base until design() is built
+                                 ///< (kept for good on bare sessions)
   std::unique_ptr<ProtectedDesign> design_;
   std::unique_ptr<CombinationalFrame> frame_;
   std::unique_ptr<std::vector<Fault>> faults_;

@@ -8,12 +8,14 @@
 #include "retscan/campaign.hpp"
 
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "atpg/atpg.hpp"
 #include "atpg/scan_test.hpp"
+#include "circuits/fifo.hpp"
 #include "retscan/session.hpp"
 #include "sim/packed_sim.hpp"
 #include "util/error.hpp"
@@ -230,6 +232,13 @@ void validate(const CampaignSpec& spec, const Session& session) {
                  "change the shard plan (and the statistics) behind your back");
     }
   } else {
+    if (spec.kind == CampaignKind::ScanTest && !session.is_protected()) {
+      reject(spec,
+             "this session wraps a bare (unprotected) netlist with no scan "
+             "fabric to deliver patterns through — wrap the netlist in a "
+             "ProtectionConfig (it needs flip-flops), or run a fault-coverage "
+             "campaign instead");
+    }
     if (spec.atpg.random_patterns == 0 && !spec.atpg.run_podem) {
       reject(spec,
              "atpg.random_patterns == 0 with run_podem == false generates an "
@@ -526,7 +535,8 @@ void apply_spec_key(SpecFile& file, const std::string& key, const std::string& v
   else if (key == "rush.inductance_nh")            c.rush.inductance_nh = parse_spec_double(value, line);
   else if (key == "rush.capacitance_nf")           c.rush.capacitance_nf = parse_spec_double(value, line);
   else if (key == "rush.stagger_stages")           c.rush.stagger_stages = parse_spec_u64(value, line);
-  else spec_error(line, "unknown key '" + key + "' (see examples/validation.spec for the key reference)");
+  else if (key == "netlist")                       file.netlist_file = value;
+  else spec_error(line, "unknown key '" + key + "' (see docs/spec-reference.md for the key reference)");
   // clang-format on
 }
 
@@ -573,7 +583,34 @@ SpecFile load_spec_file(const std::string& path) {
   if (!in) {
     throw Error("cannot open spec file '" + path + "'");
   }
-  return parse_spec(in);
+  SpecFile file = parse_spec(in);
+  if (!file.netlist_file.empty()) {
+    // Relative circuit paths travel with the spec, not with the caller's
+    // working directory, so `retscan run examples/external.spec` works from
+    // anywhere.
+    const std::filesystem::path netlist_path(file.netlist_file);
+    if (netlist_path.is_relative()) {
+      file.netlist_file =
+          (std::filesystem::path(path).parent_path() / netlist_path).string();
+    }
+  }
+  return file;
+}
+
+Netlist spec_base_netlist(const SpecFile& file) {
+  if (!file.netlist_file.empty()) {
+    return Netlist::from_verilog(file.netlist_file);
+  }
+  return make_fifo(file.fifo);
+}
+
+Session make_session(const SpecFile& file) {
+  SessionOptions options;
+  options.threads = file.campaign.threads;
+  if (!file.netlist_file.empty()) {
+    return Session::from_verilog(file.netlist_file, file.protection, options);
+  }
+  return Session(file.fifo, file.protection, options);
 }
 
 std::optional<std::uint64_t> parse_u64(std::string_view text) {

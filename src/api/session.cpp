@@ -11,6 +11,8 @@
 #include "atpg/atpg.hpp"
 #include "atpg/scan_test.hpp"
 #include "circuits/fifo.hpp"
+#include "netlist/lint.hpp"
+#include "netlist/verilog_reader.hpp"
 #include "util/error.hpp"
 
 namespace retscan {
@@ -56,6 +58,39 @@ Session::Session(Netlist base, const ProtectionConfig& protection,
   base_.emplace(std::move(base));
 }
 
+Session::Session(BareTag, Netlist base, const SessionOptions& options)
+    : options_(options), protected_(false) {
+  base_.emplace(std::move(base));
+}
+
+Session Session::unprotected(Netlist base, const SessionOptions& options) {
+  return Session(BareTag{}, std::move(base), options);
+}
+
+Session Session::from_verilog(const std::string& path,
+                              const ProtectionConfig& protection,
+                              const SessionOptions& options) {
+  Netlist imported = Netlist::from_verilog(path);
+  // The parser already guarantees driven nets and acyclic logic; the lint
+  // pass adds the structural checks a synthesis handoff would insist on.
+  // Dangling/unreachable logic and floating inputs (e.g. an unread clock
+  // port) are tolerated — they waste area but simulate fine.
+  const std::vector<LintIssue> issues = lint_netlist(imported);
+  std::string hard;
+  for (const LintIssue& issue : issues) {
+    if (issue.kind == LintKind::UndrivenNet || issue.kind == LintKind::CombinationalLoop) {
+      hard += (hard.empty() ? "" : "; ") + issue.message;
+    }
+  }
+  if (!hard.empty()) {
+    throw Error("Session::from_verilog: " + path + " fails lint: " + hard);
+  }
+  if (imported.flops().empty()) {
+    return unprotected(std::move(imported), options);
+  }
+  return Session(std::move(imported), protection, options);
+}
+
 Session::~Session() = default;
 Session::Session(Session&&) noexcept = default;
 Session& Session::operator=(Session&&) noexcept = default;
@@ -68,6 +103,13 @@ const FifoSpec& Session::fifo() const {
 }
 
 const ProtectedDesign& Session::design() {
+  if (!protected_) {
+    throw Error(
+        "Session::design: this is a bare session (unprotected netlist import) "
+        "— there is no protection architecture to synthesize; construct the "
+        "Session with a ProtectionConfig over a flop-bearing netlist for "
+        "scan/retention workloads");
+  }
   if (!design_) {
     Netlist base = has_fifo_ ? make_fifo(fifo_) : std::move(*base_);
     base_.reset();
@@ -76,19 +118,28 @@ const ProtectedDesign& Session::design() {
   return *design_;
 }
 
+const Netlist& Session::netlist() {
+  return protected_ ? design().netlist() : *base_;
+}
+
 CombinationalFrame& Session::frame() {
   if (!frame_) {
-    const Netlist& nl = design().netlist();
+    const Netlist& nl = netlist();
     frame_ = std::make_unique<CombinationalFrame>(nl);
-    for (const char* name : kCaptureControls) {
-      if (!nl.has_net(name)) {
-        continue;
-      }
-      const NetId net = nl.find_net(name);
-      for (const NetId pi : frame_->pi_nets()) {
-        if (pi == net) {
-          frame_->constrain(name, false);
-          break;
+    // Capture constraints only apply to the protected fabric's control
+    // inputs; a bare netlist's ports are all fair game for ATPG (an imported
+    // design may even name a port "se" — it is not ours to pin).
+    if (protected_) {
+      for (const char* name : kCaptureControls) {
+        if (!nl.has_net(name)) {
+          continue;
+        }
+        const NetId net = nl.find_net(name);
+        for (const NetId pi : frame_->pi_nets()) {
+          if (pi == net) {
+            frame_->constrain(name, false);
+            break;
+          }
         }
       }
     }
@@ -134,6 +185,12 @@ CampaignResult Session::run(const CampaignSpec& spec) {
 
 ScanTestResult Session::run_scan_test(const std::vector<BitVec>& patterns,
                                       const ScanTestOptions& options) {
+  if (!protected_) {
+    throw Error(
+        "Session::run_scan_test: bare sessions have no scan fabric to deliver "
+        "patterns through — wrap the netlist in a ProtectionConfig (it needs "
+        "flip-flops), or run a fault-coverage campaign instead");
+  }
   if (options.access == ScanAccess::FullWidth) {
     throw Error(
         "Session::run_scan_test: full-width scan access only applies to plain "

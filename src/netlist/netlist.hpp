@@ -44,6 +44,14 @@ class Netlist {
  public:
   explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
 
+  /// Import a structural (gate-level) Verilog file — primitive gates,
+  /// techlib cell instantiations and DFF cells; see
+  /// netlist/verilog_reader.hpp for the accepted subset and the
+  /// `file:line:` diagnostic contract. The returned netlist is structurally
+  /// sound (every read net driven, no combinational cycles) and flows
+  /// straight into lint_netlist(), compiled() and the simulation stack.
+  static Netlist from_verilog(const std::string& path);
+
   const std::string& name() const { return name_; }
 
   // --- nets -------------------------------------------------------------

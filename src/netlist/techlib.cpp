@@ -6,7 +6,99 @@ namespace retscan {
 
 namespace {
 constexpr std::size_t index_of(CellType type) { return static_cast<std::size_t>(type); }
+
+// The frontend's cell vocabulary. Aliases map the generic lowercase names
+// (cell_type_name spellings, and the INV/TLAT industry spellings) onto the
+// same rows; lookup normalizes case and strips the X<digits> drive suffix.
+constexpr TechCellSpec kTechCells[] = {
+    {CellType::Const0, "TIELO",  "Y", {}},
+    {CellType::Const1, "TIEHI",  "Y", {}},
+    {CellType::Buf,    "BUFX1",  "Y", {"A"}},
+    {CellType::Not,    "INVX1",  "Y", {"A"}},
+    {CellType::And2,   "AND2X1", "Y", {"A", "B"}},
+    {CellType::Or2,    "OR2X1",  "Y", {"A", "B"}},
+    {CellType::Xor2,   "XOR2X1", "Y", {"A", "B"}},
+    {CellType::Nand2,  "NAND2X1","Y", {"A", "B"}},
+    {CellType::Nor2,   "NOR2X1", "Y", {"A", "B"}},
+    {CellType::Xnor2,  "XNOR2X1","Y", {"A", "B"}},
+    // Mux2 fanin order is {sel, lo, hi}: Y = S ? B : A.
+    {CellType::Mux2,   "MUX2X1", "Y", {"S", "A", "B"}},
+    {CellType::Dff,    "DFFX1",  "Q", {"D"}},
+    {CellType::Sdff,   "SDFFX1", "Q", {"D", "SI", "SE"}},
+    {CellType::Rdff,   "RDFFX1", "Q", {"D", "SI", "SE", "RET"}},
+    {CellType::LatchL, "TLATX1", "Q", {"D", "EN"}},
+};
+
+// name (already normalized) -> additional aliases beyond the canonical rows.
+struct TechCellAlias {
+  const char* alias;
+  CellType type;
+};
+constexpr TechCellAlias kTechAliases[] = {
+    {"CONST0", CellType::Const0}, {"TIE0", CellType::Const0},
+    {"CONST1", CellType::Const1}, {"TIE1", CellType::Const1},
+    {"BUF", CellType::Buf},
+    {"INV", CellType::Not},       {"NOT", CellType::Not},
+    {"AND2", CellType::And2},     {"OR2", CellType::Or2},
+    {"XOR2", CellType::Xor2},     {"NAND2", CellType::Nand2},
+    {"NOR2", CellType::Nor2},     {"XNOR2", CellType::Xnor2},
+    {"MUX2", CellType::Mux2},
+    {"DFF", CellType::Dff},       {"SDFF", CellType::Sdff},
+    {"RDFF", CellType::Rdff},
+    {"TLAT", CellType::LatchL},   {"LATCHL", CellType::LatchL},
+};
+
+std::string upper_name(std::string_view name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (const char c : name) {
+    upper.push_back(c >= 'a' && c <= 'z' ? static_cast<char>(c - 'a' + 'A') : c);
+  }
+  return upper;
+}
+
+const TechCellSpec* lookup_exact(const std::string& upper) {
+  for (const TechCellSpec& spec : kTechCells) {
+    if (upper == spec.name) {
+      return &spec;
+    }
+  }
+  for (const TechCellAlias& alias : kTechAliases) {
+    if (upper == alias.alias) {
+      return &techlib_cell_for(alias.type);
+    }
+  }
+  return nullptr;
+}
 }  // namespace
+
+const TechCellSpec* techlib_cell(std::string_view name) {
+  const std::string upper = upper_name(name);
+  // Exact names (canonical rows and aliases) win before drive-suffix
+  // stripping: MUX2's real name ends in X<digit>, so stripping first would
+  // mangle it to "MU" and make the generic mux2 spelling unreachable.
+  if (const TechCellSpec* spec = lookup_exact(upper)) {
+    return spec;
+  }
+  std::size_t end = upper.size();
+  while (end > 0 && upper[end - 1] >= '0' && upper[end - 1] <= '9') {
+    --end;
+  }
+  if (end > 0 && end < upper.size() && upper[end - 1] == 'X') {
+    return lookup_exact(upper.substr(0, end - 1));
+  }
+  return nullptr;
+}
+
+const TechCellSpec& techlib_cell_for(CellType type) {
+  for (const TechCellSpec& spec : kTechCells) {
+    if (spec.type == type) {
+      return spec;
+    }
+  }
+  throw Error("techlib_cell_for: " + std::string(cell_type_name(type)) +
+              " is a port pseudo-cell, not a library cell");
+}
 
 TechLibrary TechLibrary::st120() {
   TechLibrary lib;

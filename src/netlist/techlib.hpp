@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "netlist/cell_type.hpp"
 #include "netlist/netlist.hpp"
@@ -22,6 +23,30 @@ struct AreaReport {
   std::size_t cell_count = 0;
   std::size_t flop_count = 0;
 };
+
+/// One standard cell the structural-Verilog frontend can instantiate (and
+/// write_verilog emits): the canonical library name, the gate semantics it
+/// lowers to, and its pin names. `input_pins` lists pins in Cell::fanin
+/// order; sequential cells additionally accept an optional CK/CLK pin
+/// (ignored — every flop shares the library's implicit global clock).
+struct TechCellSpec {
+  CellType type;
+  const char* name;          ///< canonical Verilog cell name, e.g. "NAND2X1"
+  const char* output_pin;    ///< "Y" for gates, "Q" for sequential cells
+  const char* input_pins[4]; ///< fanin-order pin names; unused slots null
+};
+
+/// Look up a techlib cell by the module name used in a Verilog
+/// instantiation. Matching is case-insensitive and ignores a trailing
+/// `X<digits>` drive-strength suffix, so "NAND2X1", "nand2x4" and "nand2"
+/// all resolve to the Nand2 row. Returns nullptr for unknown names (the
+/// frontend then reports an unknown-module diagnostic).
+const TechCellSpec* techlib_cell(std::string_view name);
+
+/// The canonical techlib row for a cell type — what write_verilog emits.
+/// Throws for the port pseudo-cells (Input/Output), which render as module
+/// ports, not instances.
+const TechCellSpec& techlib_cell_for(CellType type);
 
 /// A standard-cell technology characterization used in place of the paper's
 /// STMicroelectronics 120 nm library. Values are representative of a

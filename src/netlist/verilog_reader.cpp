@@ -1,0 +1,755 @@
+#include "netlist/verilog_reader.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netlist/techlib.hpp"
+#include "util/error.hpp"
+
+namespace retscan {
+
+namespace {
+
+// --- lexing -----------------------------------------------------------------
+
+struct Token {
+  enum class Kind { Ident, Literal, Punct, End };
+  Kind kind = Kind::End;
+  std::string text;
+  int line = 0;
+};
+
+[[noreturn]] void fail_at(const std::string& filename, int line, const std::string& message) {
+  throw Error(filename + ":" + std::to_string(line) + ": " + message);
+}
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+std::vector<Token> tokenize(const std::string& text, const std::string& filename) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  int line = 1;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (c == '\n') {
+      ++line;
+      ++pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '/' && pos + 1 < text.size() && text[pos + 1] == '/') {
+      while (pos < text.size() && text[pos] != '\n') {
+        ++pos;
+      }
+      continue;
+    }
+    if (c == '/' && pos + 1 < text.size() && text[pos + 1] == '*') {
+      const int start_line = line;
+      pos += 2;
+      while (pos + 1 < text.size() && !(text[pos] == '*' && text[pos + 1] == '/')) {
+        if (text[pos] == '\n') {
+          ++line;
+        }
+        ++pos;
+      }
+      if (pos + 1 >= text.size()) {
+        fail_at(filename, start_line, "unterminated block comment");
+      }
+      pos += 2;
+      continue;
+    }
+    if (c == '\\') {
+      fail_at(filename, line, "escaped identifiers (\\name) are unsupported");
+    }
+    if (ident_start(c)) {
+      std::size_t end = pos;
+      while (end < text.size() && ident_char(text[end])) {
+        ++end;
+      }
+      tokens.push_back({Token::Kind::Ident, text.substr(pos, end - pos), line});
+      pos = end;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Decimal digits, optionally a based literal tail: 1'b0, 4'hF, ...
+      std::size_t end = pos;
+      while (end < text.size() && std::isdigit(static_cast<unsigned char>(text[end]))) {
+        ++end;
+      }
+      if (end < text.size() && text[end] == '\'') {
+        ++end;
+        if (end < text.size() && std::isalpha(static_cast<unsigned char>(text[end]))) {
+          ++end;
+        }
+        while (end < text.size() && std::isalnum(static_cast<unsigned char>(text[end]))) {
+          ++end;
+        }
+      }
+      tokens.push_back({Token::Kind::Literal, text.substr(pos, end - pos), line});
+      pos = end;
+      continue;
+    }
+    const std::string punct = "(),;.=#[]:";
+    if (punct.find(c) != std::string::npos) {
+      tokens.push_back({Token::Kind::Punct, std::string(1, c), line});
+      ++pos;
+      continue;
+    }
+    fail_at(filename, line, std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back({Token::Kind::End, "", line});
+  return tokens;
+}
+
+// --- parsing ----------------------------------------------------------------
+
+/// One pin/net connection of an instantiation, before name resolution.
+struct Connection {
+  std::string pin;   ///< empty for positional connections
+  std::string net;   ///< identifier, or empty when constant >= 0
+  int constant = -1; ///< 0 / 1 for 1'b0 / 1'b1 connections
+  int line = 0;
+};
+
+struct Instance {
+  std::string type_name;
+  std::string name;  ///< optional instance name
+  std::vector<Connection> connections;
+  bool named = false;  ///< named (.pin(net)) vs positional connections
+  int line = 0;
+};
+
+enum class DeclKind { Input, Output, Wire };
+
+struct Declaration {
+  std::string name;
+  DeclKind kind;
+  int line;
+};
+
+/// Recursive-descent parser over the token stream; collects declarations and
+/// instances first, then builds the Netlist so that declaration order in the
+/// file does not matter (standard Verilog allows use-before-declare).
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string filename)
+      : tokens_(std::move(tokens)), filename_(std::move(filename)) {}
+
+  Netlist parse() {
+    parse_module();
+    return build();
+  }
+
+ private:
+  const Token& peek() const { return tokens_[index_]; }
+  Token advance() { return tokens_[index_++]; }
+
+  [[noreturn]] void fail(int line, const std::string& message) const {
+    fail_at(filename_, line, message);
+  }
+
+  Token expect_ident(const std::string& what) {
+    if (peek().kind != Token::Kind::Ident) {
+      fail(peek().line, "expected " + what + ", got '" + describe(peek()) + "'");
+    }
+    return advance();
+  }
+
+  void expect_punct(char c, const std::string& context) {
+    if (peek().kind != Token::Kind::Punct || peek().text[0] != c) {
+      fail(peek().line, "expected '" + std::string(1, c) + "' " + context + ", got '" +
+                            describe(peek()) + "'");
+    }
+    advance();
+  }
+
+  bool accept_punct(char c) {
+    if (peek().kind == Token::Kind::Punct && peek().text[0] == c) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  static std::string describe(const Token& token) {
+    return token.kind == Token::Kind::End ? "end of file" : token.text;
+  }
+
+  void parse_module() {
+    const Token keyword = expect_ident("'module'");
+    if (keyword.text != "module") {
+      fail(keyword.line, "expected 'module', got '" + keyword.text + "'");
+    }
+    module_line_ = keyword.line;
+    module_name_ = expect_ident("module name").text;
+    if (accept_punct('(')) {
+      if (!accept_punct(')')) {
+        while (true) {
+          const Token port = expect_ident("port name in module header");
+          if (port.text == "input" || port.text == "output" || port.text == "wire" ||
+              port.text == "reg") {
+            fail(port.line,
+                 "ANSI-style port declarations are unsupported — list plain port "
+                 "names in the header and declare directions in the module body");
+          }
+          header_ports_.emplace_back(port.text, port.line);
+          if (accept_punct(')')) {
+            break;
+          }
+          expect_punct(',', "between header ports");
+        }
+      }
+    }
+    expect_punct(';', "after the module header");
+
+    while (true) {
+      const Token item = expect_ident("a declaration, an instantiation or 'endmodule'");
+      if (item.text == "endmodule") {
+        break;
+      }
+      if (item.text == "input" || item.text == "output" || item.text == "wire") {
+        parse_declaration(item);
+      } else if (item.text == "assign") {
+        fail(item.line,
+             "continuous 'assign' is unsupported — instantiate a buf/primitive "
+             "gate instead (structural gate-level subset, see "
+             "docs/verilog-frontend.md)");
+      } else if (item.text == "reg" || item.text == "always" || item.text == "initial" ||
+                 item.text == "parameter" || item.text == "specify" ||
+                 item.text == "supply0" || item.text == "supply1" ||
+                 item.text == "tri" || item.text == "integer" || item.text == "function" ||
+                 item.text == "task" || item.text == "generate") {
+        fail(item.line, "'" + item.text +
+                            "' is unsupported — only the structural gate-level "
+                            "subset is accepted (see docs/verilog-frontend.md)");
+      } else {
+        parse_instantiation(item);
+      }
+    }
+    if (peek().kind != Token::Kind::End) {
+      if (peek().kind == Token::Kind::Ident && peek().text == "module") {
+        fail(peek().line, "multiple modules per file are unsupported");
+      }
+      fail(peek().line, "unexpected '" + describe(peek()) + "' after endmodule");
+    }
+  }
+
+  void parse_declaration(const Token& keyword) {
+    const DeclKind kind = keyword.text == "input"    ? DeclKind::Input
+                          : keyword.text == "output" ? DeclKind::Output
+                                                     : DeclKind::Wire;
+    if (peek().kind == Token::Kind::Punct && peek().text[0] == '[') {
+      fail(peek().line,
+           "vector/bus declarations are unsupported — the gate-level subset is "
+           "scalar; expand buses to one net per bit (see docs/verilog-frontend.md)");
+    }
+    while (true) {
+      const Token name = expect_ident("net name in " + keyword.text + " declaration");
+      declarations_.push_back({name.text, kind, name.line});
+      if (accept_punct(';')) {
+        break;
+      }
+      expect_punct(',', "between declared nets");
+    }
+  }
+
+  Connection parse_net_ref(const std::string& context) {
+    Connection conn;
+    conn.line = peek().line;
+    if (peek().kind == Token::Kind::Literal) {
+      const Token literal = advance();
+      if (literal.text == "1'b0" || literal.text == "1'B0") {
+        conn.constant = 0;
+      } else if (literal.text == "1'b1" || literal.text == "1'B1") {
+        conn.constant = 1;
+      } else {
+        fail(literal.line, "unsupported literal '" + literal.text +
+                               "' — only the 1'b0 / 1'b1 constants are accepted");
+      }
+      return conn;
+    }
+    conn.net = expect_ident("net name " + context).text;
+    return conn;
+  }
+
+  void parse_instantiation(const Token& type_token) {
+    while (true) {
+      Instance inst;
+      inst.type_name = type_token.text;
+      inst.line = type_token.line;
+      if (peek().kind == Token::Kind::Ident) {
+        inst.name = advance().text;
+      }
+      expect_punct('(', "to open the connection list");
+      if (accept_punct(')')) {
+        fail(type_token.line, "instance of '" + inst.type_name + "' has no connections");
+      }
+      inst.named = peek().kind == Token::Kind::Punct && peek().text[0] == '.';
+      while (true) {
+        if (inst.named) {
+          expect_punct('.', "before a pin name");
+          Connection conn;
+          const Token pin = expect_ident("pin name after '.'");
+          conn.pin = pin.text;
+          conn.line = pin.line;
+          expect_punct('(', "after pin name");
+          if (peek().kind == Token::Kind::Punct && peek().text[0] == ')') {
+            fail(pin.line, "pin ." + conn.pin + " is unconnected — every listed pin "
+                               "must name a net");
+          }
+          const Connection ref = parse_net_ref("inside .(...)");
+          conn.net = ref.net;
+          conn.constant = ref.constant;
+          expect_punct(')', "after the pin's net");
+          inst.connections.push_back(std::move(conn));
+        } else {
+          inst.connections.push_back(parse_net_ref("in the connection list"));
+        }
+        if (accept_punct(')')) {
+          break;
+        }
+        expect_punct(',', "between connections");
+      }
+      instances_.push_back(std::move(inst));
+      if (accept_punct(';')) {
+        break;
+      }
+      expect_punct(',', "between instances (or ';' to end the statement)");
+    }
+  }
+
+  // --- netlist construction -------------------------------------------------
+
+  struct NetRecord {
+    NetId net = kNullNet;
+    DeclKind kind = DeclKind::Wire;
+    int decl_line = 0;
+    int driver_line = -1;  ///< line of the instance driving it, -1 if undriven
+    int first_read_line = -1;
+  };
+
+  NetRecord& resolve(const std::string& name, int line) {
+    const auto it = nets_.find(name);
+    if (it == nets_.end()) {
+      fail(line, "undeclared net '" + name + "' — declare it with `wire " + name +
+                     ";` (or as a port)");
+    }
+    return it->second;
+  }
+
+  NetId read_net(Netlist& nl, const Connection& conn) {
+    if (conn.constant >= 0) {
+      NetId& cache = const_nets_[conn.constant];
+      if (cache == kNullNet) {
+        cache = nl.n_const(conn.constant == 1);
+      }
+      return cache;
+    }
+    NetRecord& record = resolve(conn.net, conn.line);
+    if (record.first_read_line < 0) {
+      record.first_read_line = conn.line;
+    }
+    return record.net;
+  }
+
+  NetId claim_output(const Connection& conn, const std::string& inst_label) {
+    if (conn.constant >= 0) {
+      fail(conn.line, "a constant cannot be an output connection (" + inst_label + ")");
+    }
+    NetRecord& record = resolve(conn.net, conn.line);
+    if (record.kind == DeclKind::Input) {
+      fail(conn.line, "gate output cannot drive input port '" + conn.net + "'");
+    }
+    if (record.driver_line >= 0) {
+      fail(conn.line, "net '" + conn.net + "' is already driven (first driver at line " +
+                          std::to_string(record.driver_line) + ")");
+    }
+    record.driver_line = conn.line;
+    return record.net;
+  }
+
+  /// Primitive gate table: the Verilog gate name, the 2-input fold cell and
+  /// the cell of the final stage (they differ for the inverting gates:
+  /// nand(a,b,c) = ~(a&b&c) folds with And2 and finishes with Nand2).
+  struct Primitive {
+    const char* name;
+    CellType fold;
+    CellType final;
+    bool unary;
+  };
+  static const Primitive* primitive(const std::string& name) {
+    static const Primitive table[] = {
+        {"and", CellType::And2, CellType::And2, false},
+        {"or", CellType::Or2, CellType::Or2, false},
+        {"xor", CellType::Xor2, CellType::Xor2, false},
+        {"nand", CellType::And2, CellType::Nand2, false},
+        {"nor", CellType::Or2, CellType::Nor2, false},
+        {"xnor", CellType::Xor2, CellType::Xnor2, false},
+        {"not", CellType::Not, CellType::Not, true},
+        {"buf", CellType::Buf, CellType::Buf, true},
+    };
+    for (const Primitive& p : table) {
+      if (name == p.name) {
+        return &p;
+      }
+    }
+    return nullptr;
+  }
+
+  void build_primitive(Netlist& nl, const Instance& inst, const Primitive& prim) {
+    if (inst.named) {
+      fail(inst.line, "primitive gate '" + inst.type_name +
+                          "' uses positional connections (output first), not "
+                          "named pins");
+    }
+    const std::string label = inst.name.empty() ? inst.type_name : inst.name;
+    if (prim.unary) {
+      if (inst.connections.size() != 2) {
+        fail(inst.line, "'" + inst.type_name + "' takes exactly (out, in); got " +
+                            std::to_string(inst.connections.size()) + " connections");
+      }
+    } else if (inst.connections.size() < 3) {
+      fail(inst.line, "'" + inst.type_name + "' needs an output and at least two "
+                          "inputs; got " + std::to_string(inst.connections.size()) +
+                          " connections");
+    }
+    const NetId out = claim_output(inst.connections[0], label);
+    std::vector<NetId> inputs;
+    for (std::size_t i = 1; i < inst.connections.size(); ++i) {
+      inputs.push_back(read_net(nl, inst.connections[i]));
+    }
+    if (prim.unary) {
+      nl.add_cell_bound(prim.final, {inputs[0]}, out, inst.name);
+      return;
+    }
+    // Left-fold all but the last input with the non-inverting cell, then a
+    // single final-stage cell onto the declared output net: Verilog's
+    // reduction semantics for every arity, with inversion only at the end.
+    NetId acc = inputs[0];
+    for (std::size_t i = 1; i + 1 < inputs.size(); ++i) {
+      acc = nl.cell(nl.add_cell(prim.fold, {acc, inputs[i]})).out;
+    }
+    nl.add_cell_bound(prim.final, {acc, inputs.back()}, out, inst.name);
+  }
+
+  void build_techlib(Netlist& nl, const Instance& inst, const TechCellSpec& spec) {
+    if (!inst.named) {
+      fail(inst.line, "techlib cell '" + inst.type_name +
+                          "' needs named pin connections (." +
+                          (spec.input_pins[0] ? spec.input_pins[0] : spec.output_pin) +
+                          "(net), ...) — positional order is tool-specific");
+    }
+    const std::string label = inst.name.empty() ? inst.type_name : inst.name;
+    const std::size_t fanin_count = cell_fanin_count(spec.type);
+    std::vector<const Connection*> fanin(fanin_count, nullptr);
+    const Connection* output = nullptr;
+    for (const Connection& conn : inst.connections) {
+      std::string pin;
+      for (const char c : conn.pin) {
+        pin.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+      }
+      if (pin == spec.output_pin) {
+        if (output != nullptr) {
+          fail(conn.line, "pin ." + conn.pin + " connected twice on '" + label + "'");
+        }
+        output = &conn;
+        continue;
+      }
+      if ((pin == "CK" || pin == "CLK") && cell_is_sequential(spec.type)) {
+        // Every flop/latch shares the library's implicit global clock; the
+        // pin is accepted (and the net must exist) but connects to nothing.
+        read_net(nl, conn);
+        continue;
+      }
+      bool matched = false;
+      for (std::size_t i = 0; i < fanin_count; ++i) {
+        if (pin == spec.input_pins[i]) {
+          if (fanin[i] != nullptr) {
+            fail(conn.line, "pin ." + conn.pin + " connected twice on '" + label + "'");
+          }
+          fanin[i] = &conn;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        std::string expected = std::string(".") + spec.output_pin;
+        for (std::size_t i = 0; i < fanin_count; ++i) {
+          expected += std::string(" .") + spec.input_pins[i];
+        }
+        fail(conn.line, "cell '" + std::string(spec.name) + "' has no pin ." + conn.pin +
+                            " (pins: " + expected + ")");
+      }
+    }
+    if (output == nullptr) {
+      fail(inst.line, "instance '" + label + "' of " + spec.name + " leaves output pin ." +
+                          spec.output_pin + " unconnected");
+    }
+    std::vector<NetId> fanin_nets;
+    for (std::size_t i = 0; i < fanin_count; ++i) {
+      if (fanin[i] == nullptr) {
+        fail(inst.line, "instance '" + label + "' of " + spec.name + " leaves input pin ." +
+                            spec.input_pins[i] + " unconnected");
+      }
+      fanin_nets.push_back(read_net(nl, *fanin[i]));
+    }
+    const NetId out = claim_output(*output, label);
+    nl.add_cell_bound(spec.type, std::move(fanin_nets), out, inst.name);
+  }
+
+  Netlist build() {
+    Netlist nl(module_name_);
+
+    std::unordered_set<std::string> header_names;
+    for (const auto& [name, line] : header_ports_) {
+      if (!header_names.insert(name).second) {
+        fail(line, "port '" + name + "' listed twice in the module header");
+      }
+    }
+    for (const Declaration& decl : declarations_) {
+      if (nets_.contains(decl.name)) {
+        fail(decl.line, "'" + decl.name + "' is declared twice (first at line " +
+                            std::to_string(nets_.at(decl.name).decl_line) + ")");
+      }
+      if (decl.kind != DeclKind::Wire && !header_ports_.empty() &&
+          !header_names.contains(decl.name)) {
+        fail(decl.line, "port '" + decl.name + "' is missing from the module header");
+      }
+      NetRecord record;
+      record.kind = decl.kind;
+      record.decl_line = decl.line;
+      if (decl.kind == DeclKind::Input) {
+        record.net = nl.add_input(decl.name);
+        record.driver_line = decl.line;  // driven by the Input port cell
+      } else {
+        record.net = nl.add_net(decl.name);
+      }
+      nets_.emplace(decl.name, record);
+    }
+    for (const auto& [name, line] : header_ports_) {
+      const auto it = nets_.find(name);
+      if (it == nets_.end() || it->second.kind == DeclKind::Wire) {
+        fail(line, "header port '" + name + "' has no input/output declaration");
+      }
+    }
+
+    for (const Instance& inst : instances_) {
+      if (const Primitive* prim = primitive(inst.type_name)) {
+        build_primitive(nl, inst, *prim);
+      } else if (const TechCellSpec* spec = techlib_cell(inst.type_name)) {
+        build_techlib(nl, inst, *spec);
+      } else {
+        fail(inst.line,
+             "unknown gate or cell '" + inst.type_name +
+                 "' — supported: the and/or/nand/nor/xor/xnor/not/buf primitives "
+                 "and the techlib cells (INVX1, NAND2X1, DFFX1, ... — see "
+                 "docs/verilog-frontend.md for the full table)");
+      }
+    }
+
+    // Structural soundness with source locations, so downstream consumers
+    // (lint, compile, SimEngine) never see an unbuildable import.
+    for (const Declaration& decl : declarations_) {
+      const NetRecord& record = nets_.at(decl.name);
+      if (record.kind == DeclKind::Output && record.driver_line < 0) {
+        fail(decl.line, "output port '" + decl.name + "' is never driven");
+      }
+      if (record.kind == DeclKind::Wire && record.driver_line < 0 &&
+          record.first_read_line >= 0) {
+        fail(record.first_read_line,
+             "wire '" + decl.name + "' is read here but never driven");
+      }
+    }
+    for (const Declaration& decl : declarations_) {
+      if (decl.kind == DeclKind::Output) {
+        nl.add_output(decl.name, nets_.at(decl.name).net);
+      }
+    }
+    try {
+      (void)nl.combinational_order();
+    } catch (const Error&) {
+      fail(module_line_, "combinational cycle detected in module '" + module_name_ +
+                             "' — feedback must go through a flip-flop");
+    }
+    return nl;
+  }
+
+  std::vector<Token> tokens_;
+  std::string filename_;
+  std::size_t index_ = 0;
+
+  int module_line_ = 1;
+  std::string module_name_;
+  std::vector<std::pair<std::string, int>> header_ports_;
+  std::vector<Declaration> declarations_;
+  std::vector<Instance> instances_;
+  std::unordered_map<std::string, NetRecord> nets_;
+  NetId const_nets_[2] = {kNullNet, kNullNet};
+};
+
+}  // namespace
+
+Netlist read_verilog(std::istream& in, const std::string& filename) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parser(tokenize(buffer.str(), filename), filename).parse();
+}
+
+Netlist read_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("cannot open Verilog file '" + path + "'");
+  }
+  return read_verilog(in, path);
+}
+
+Netlist read_verilog_text(const std::string& text, const std::string& filename) {
+  return Parser(tokenize(text, filename), filename).parse();
+}
+
+Netlist Netlist::from_verilog(const std::string& path) {
+  return read_verilog_file(path);
+}
+
+// --- export -----------------------------------------------------------------
+
+namespace {
+
+bool verilog_ident(const std::string& name) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "module", "endmodule", "input",  "output", "wire",   "assign", "and",
+      "or",     "nand",      "nor",    "xor",    "xnor",   "not",    "buf",
+      "reg",    "always",    "initial", "parameter"};
+  if (name.empty() || !ident_start(name[0])) {
+    return false;
+  }
+  for (const char c : name) {
+    if (!ident_char(c)) {
+      return false;
+    }
+  }
+  return !kKeywords.contains(name);
+}
+
+std::string unique_name(std::string candidate, std::unordered_set<std::string>& used) {
+  while (used.contains(candidate)) {
+    candidate += "_";
+  }
+  used.insert(candidate);
+  return candidate;
+}
+
+}  // namespace
+
+void write_verilog(std::ostream& os, const Netlist& netlist) {
+  // Resolve a Verilog-safe, collision-free name for every net (named nets
+  // keep their name when it is a legal identifier; everything else becomes
+  // n<id>) and every instance (u<id> fallback).
+  std::unordered_set<std::string> used;
+  std::vector<std::string> net_names(netlist.net_count());
+  for (NetId net = 0; net < netlist.net_count(); ++net) {
+    const std::string& name = netlist.net_name(net);
+    if (verilog_ident(name) && !used.contains(name)) {
+      net_names[net] = name;
+      used.insert(name);
+    }
+  }
+  for (NetId net = 0; net < netlist.net_count(); ++net) {
+    if (net_names[net].empty()) {
+      net_names[net] = unique_name("n" + std::to_string(net), used);
+    }
+  }
+
+  // Output ports are named nets in Verilog: when the port name differs from
+  // the net feeding it, a buffer bridges the two.
+  struct PortBuffer {
+    std::string port;
+    NetId source;
+  };
+  std::vector<std::string> output_ports;
+  std::vector<PortBuffer> buffers;
+  for (const CellId id : netlist.outputs()) {
+    const Cell& cell = netlist.cell(id);
+    const NetId source = cell.fanin[0];
+    if (!cell.name.empty() && cell.name == net_names[source]) {
+      output_ports.push_back(net_names[source]);
+    } else {
+      const std::string port = unique_name(
+          verilog_ident(cell.name) ? cell.name : "po" + std::to_string(id), used);
+      output_ports.push_back(port);
+      buffers.push_back({port, source});
+    }
+  }
+
+  const std::string module_name =
+      verilog_ident(netlist.name()) ? netlist.name() : "top";
+  os << "// exported by retscan write_verilog — structural gate-level subset\n";
+  os << "module " << module_name << " (";
+  bool first = true;
+  for (const CellId id : netlist.inputs()) {
+    os << (first ? "" : ", ") << net_names[netlist.cell(id).out];
+    first = false;
+  }
+  for (const std::string& port : output_ports) {
+    os << (first ? "" : ", ") << port;
+    first = false;
+  }
+  os << ");\n";
+
+  std::unordered_set<std::string> port_nets;
+  for (const CellId id : netlist.inputs()) {
+    os << "  input " << net_names[netlist.cell(id).out] << ";\n";
+    port_nets.insert(net_names[netlist.cell(id).out]);
+  }
+  for (const std::string& port : output_ports) {
+    os << "  output " << port << ";\n";
+    port_nets.insert(port);
+  }
+  for (NetId net = 0; net < netlist.net_count(); ++net) {
+    const CellId driver = netlist.driver(net);
+    if (driver == kNullCell && netlist.fanouts()[net].empty()) {
+      continue;  // orphaned net: nothing would reference the wire
+    }
+    if (!port_nets.contains(net_names[net])) {
+      os << "  wire " << net_names[net] << ";\n";
+    }
+  }
+
+  // Verilog puts nets and instances in one module namespace, so instance
+  // names are made unique against the net/port names too — external tools
+  // reject the clash even though retscan's own reader tolerates it.
+  std::unordered_set<std::string> instance_names = used;
+  for (CellId id = 0; id < netlist.cell_count(); ++id) {
+    const Cell& cell = netlist.cell(id);
+    if (cell.type == CellType::Input || cell.type == CellType::Output) {
+      continue;
+    }
+    const TechCellSpec& spec = techlib_cell_for(cell.type);
+    const std::string inst = unique_name(
+        verilog_ident(cell.name) ? cell.name : "u" + std::to_string(id),
+        instance_names);
+    os << "  " << spec.name << " " << inst << " (";
+    for (std::size_t pin = 0; pin < cell.fanin.size(); ++pin) {
+      os << "." << spec.input_pins[pin] << "(" << net_names[cell.fanin[pin]] << "), ";
+    }
+    os << "." << spec.output_pin << "(" << net_names[cell.out] << "));\n";
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    os << "  BUFX1 " << unique_name("ob" + std::to_string(i), instance_names)
+       << " (.A(" << net_names[buffers[i].source] << "), .Y(" << buffers[i].port
+       << "));\n";
+  }
+  os << "endmodule\n";
+}
+
+}  // namespace retscan

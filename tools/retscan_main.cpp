@@ -47,18 +47,42 @@ int usage(std::ostream& out, int status) {
   return status;
 }
 
-void print_plan(std::ostream& out, const SpecFile& file, Backend resolved,
-                unsigned threads) {
-  const CampaignSpec& c = file.campaign;
-  // depth x width — the repo-wide convention ("32x2 FIFO slice").
-  out << "design:   " << file.fifo.depth << "x" << file.fifo.width << " FIFO, "
-      << file.protection.chain_count << " chains, code ";
-  switch (file.protection.kind) {
-    case CodeKind::CrcDetect:      out << "crc"; break;
-    case CodeKind::HammingCorrect: out << "hamming(r=" << file.protection.hamming_r << ")"; break;
-    case CodeKind::HammingPlusCrc: out << "hamming(r=" << file.protection.hamming_r << ")+crc"; break;
+/// The spec's base netlist provenance + size — generator vs. imported file,
+/// cell/flop counts — so spec debugging never needs a rebuild. `base` is
+/// null when the caller skipped loading it (plain FIFO `run`).
+void print_netlist_line(std::ostream& out, const SpecFile& file, const Netlist* base) {
+  out << "netlist:  ";
+  if (file.netlist_file.empty()) {
+    // depth x width — the repo-wide convention ("32x2 FIFO slice").
+    out << "generated " << file.fifo.depth << "x" << file.fifo.width << " FIFO";
+  } else {
+    out << "imported " << file.netlist_file;
   }
-  out << (file.protection.secded ? " secded" : "") << "\n";
+  if (base != nullptr) {
+    const std::size_t ports = base->inputs().size() + base->outputs().size();
+    out << " (module " << base->name() << ": " << base->cell_count() - ports
+        << " cells, " << base->flops().size() << " flops, "
+        << base->inputs().size() << " in / " << base->outputs().size() << " out)";
+  }
+  out << "\n";
+}
+
+void print_plan(std::ostream& out, const SpecFile& file, const Netlist* base,
+                bool is_protected, Backend resolved, unsigned threads) {
+  const CampaignSpec& c = file.campaign;
+  print_netlist_line(out, file, base);
+  if (!is_protected) {
+    out << "design:   bare — no protection architecture (combinational import; "
+           "fault-coverage campaigns only)\n";
+  } else {
+    out << "design:   " << file.protection.chain_count << " chains, code ";
+    switch (file.protection.kind) {
+      case CodeKind::CrcDetect:      out << "crc"; break;
+      case CodeKind::HammingCorrect: out << "hamming(r=" << file.protection.hamming_r << ")"; break;
+      case CodeKind::HammingPlusCrc: out << "hamming(r=" << file.protection.hamming_r << ")+crc"; break;
+    }
+    out << (file.protection.secded ? " secded" : "") << "\n";
+  }
   out << "campaign: " << to_string(c.kind) << ", seed " << c.seed << ", backend "
       << to_string(c.backend);
   if (c.backend == Backend::Auto) {
@@ -138,11 +162,21 @@ int run_command(const std::string& command, int argc, char** argv) {
     }
   }
 
-  SessionOptions options;
-  options.threads = file.campaign.threads;
-  Session session(file.fifo, file.protection, options);
+  Session session = make_session(file);
   const Backend resolved = resolve_backend(file.campaign, session);  // validates
-  print_plan(std::cout, file, resolved, session.threads());
+  // describe always reports the base netlist's provenance and size; runs
+  // over imported circuits get it too. This re-parses the Verilog file the
+  // session already consumed — deliberate: the session only exposes the
+  // *protected* netlist (and building it would trigger synthesis), while
+  // this line reports the pre-protection base. Frontend parses are
+  // milliseconds even on c880-scale files. Plain FIFO runs skip the extra
+  // generator pass.
+  std::optional<Netlist> base;
+  if (command == "describe" || !file.netlist_file.empty()) {
+    base.emplace(spec_base_netlist(file));
+  }
+  print_plan(std::cout, file, base ? &*base : nullptr, session.is_protected(),
+             resolved, session.threads());
   if (command == "describe") {
     std::cout << "spec OK (describe only, nothing run)\n";
     return 0;
