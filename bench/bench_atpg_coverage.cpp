@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "retscan/test.hpp"
 #include "bench_util.hpp"
@@ -30,8 +31,9 @@ namespace {
 
 /// Full fault-dictionary workload (no fault dropping): every fault is
 /// simulated against every pattern, so the measured cost is pure
-/// pattern-evaluation throughput. `batch_size` 64 is the bit-parallel
-/// compiled cone path; with `reference` set, each fault instead pays a full
+/// pattern-evaluation throughput. `batch_size` kLaneBlockBits is the
+/// block-parallel compiled cone path (256 patterns per pass at the default
+/// lane width); with `reference` set, each fault instead pays a full
 /// interpreted circuit evaluation per pattern pass (the seed's
 /// one-fault-at-a-time flow), which is the scalar baseline.
 std::size_t fault_dictionary_detects(const CombinationalFrame& frame,
@@ -39,21 +41,30 @@ std::size_t fault_dictionary_detects(const CombinationalFrame& frame,
                                      const std::vector<BitVec>& patterns,
                                      std::size_t batch_size, bool reference = false) {
   std::size_t detected = 0;
-  std::vector<std::uint64_t> masks(faults.size(), 0);
+  std::vector<char> hit(faults.size(), 0);
   CombinationalFrame::Workspace workspace;
   for (std::size_t base = 0; base < patterns.size(); base += batch_size) {
     const std::size_t count = std::min(batch_size, patterns.size() - base);
     const std::vector<BitVec> batch(patterns.begin() + base,
                                     patterns.begin() + base + count);
+    if (reference) {
+      const auto good_words = frame.good_response_words(batch);
+      for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        if (frame.detect_mask_full(faults[fi], batch, good_words) != 0) {
+          hit[fi] = 1;
+        }
+      }
+      continue;
+    }
     const CombinationalFrame::LoadedPatternBatch loaded = frame.load_batch(batch);
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-      masks[fi] |= reference
-                       ? frame.detect_mask_full(faults[fi], batch, loaded.good)
-                       : frame.detect_mask(faults[fi], loaded, loaded.good, workspace);
+      if (block_any(frame.detect_block(faults[fi], loaded, loaded.good, workspace))) {
+        hit[fi] = 1;
+      }
     }
   }
-  for (const std::uint64_t mask : masks) {
-    detected += mask != 0 ? 1 : 0;
+  for (const char h : hit) {
+    detected += h != 0 ? 1 : 0;
   }
   return detected;
 }
@@ -96,14 +107,15 @@ int main() {
   // --- fault-simulation throughput: packed (64 patterns/pass) vs scalar ---
   // Timed on the full fault-dictionary workload (no dropping) so both sides
   // evaluate every fault against every pattern.
-  bench::header("Fault-simulation throughput (word-parallel vs scalar baseline)");
+  bench::header("Fault-simulation throughput (block-parallel vs scalar baseline)");
   const double nominal_evals =
       static_cast<double>(faults.size()) * static_cast<double>(atpg.patterns.size());
   bench::Stopwatch timer;
   constexpr int kPackedRepeats = 5;
   std::size_t packed_detects = 0;
   for (int r = 0; r < kPackedRepeats; ++r) {
-    packed_detects = fault_dictionary_detects(frame, faults, atpg.patterns, 64);
+    packed_detects =
+        fault_dictionary_detects(frame, faults, atpg.patterns, kLaneBlockBits);
   }
   const double packed_fs_time = timer.seconds() / kPackedRepeats;
   timer.restart();
@@ -141,6 +153,27 @@ int main() {
   json.set("threads", static_cast<double>(pool.size()));
   json.set("faultsim_threaded_speedup", threaded_speedup);
 
+  // --- thread scaling curve (1/2/4/8) -------------------------------------
+  // Same workload per point; speedup is against the serial run above, and
+  // efficiency = speedup / threads. Results must stay identical per point.
+  bench::header("Fault-simulation thread scaling curve");
+  bool scaling_matches = true;
+  for (const unsigned n : {1u, 2u, 4u, 8u}) {
+    ThreadPool curve_pool(n);
+    timer.restart();
+    const FaultSimResult curve_sim =
+        fault_simulate(frame, faults, atpg.patterns, curve_pool);
+    const double curve_time = timer.seconds();
+    scaling_matches = scaling_matches && curve_sim.detected_by == serial_sim.detected_by;
+    const double speedup = serial_sim_time / curve_time;
+    const double efficiency = speedup / static_cast<double>(n);
+    std::cout << n << " thread(s): " << curve_time << " s, speedup " << speedup
+              << "x, efficiency " << efficiency << "\n";
+    const std::string suffix = "_t" + std::to_string(n);
+    json.set("faultsim_speedup" + suffix, speedup);
+    json.set("scaling_efficiency" + suffix, efficiency);
+  }
+
   // --- test-mode delivery throughput: one lane per pattern vs one load ----
   bench::header("Test-mode delivery throughput (64-lane vs scalar tester)");
   timer.restart();
@@ -177,7 +210,8 @@ int main() {
   const bool ok = atpg.coverage() > 0.90 && scalar_applied.all_passed() &&
                   packed_applied.all_passed() && pooled_applied.all_passed() &&
                   pooled_applied.patterns_applied == packed_applied.patterns_applied &&
-                  pooled_matches && packed_detects == scalar_detects &&
+                  pooled_matches && scaling_matches &&
+                  packed_detects == scalar_detects &&
                   faultsim_speedup >= 10.0 && delivery_speedup >= 10.0;
   json.set("pass", ok ? 1.0 : 0.0);
   json.write();

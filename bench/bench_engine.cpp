@@ -3,14 +3,17 @@
 //
 //  * full-sweep kernel — million gate-evals/sec (MEPS) of the compiled flat
 //    instruction stream vs the retained per-Cell reference interpreter, on
-//    the protected FIFO netlist (64 lanes per word, both sides);
-//  * fanout-cone incremental fault simulation — per-fault cone passes vs
-//    full-circuit interpreted passes on the same fault dictionary, with
-//    bit-identical detect masks required.
+//    the protected FIFO netlist. The compiled side runs the lane-block
+//    datapath (kLaneBlockBits lanes per sweep, AVX2 when compiled in); a
+//    single-word sweep is also timed so laneblock_speedup isolates the
+//    block-vs-word win on the same host and binary;
+//  * fanout-cone incremental fault simulation — per-fault cone passes over
+//    lane-block batches vs full-circuit interpreted passes on the same
+//    fault dictionary, with bit-identical detect masks required.
 //
-// Both ratios (compile_speedup, cone_speedup) are same-host comparisons and
-// land in BENCH_engine.json, where ci/check_bench_json.py gates them against
-// bench/baselines/BENCH_engine.json.
+// The ratios (compile_speedup, laneblock_speedup, cone_speedup) are
+// same-host comparisons and land in BENCH_engine.json, where
+// ci/check_bench_json.py gates them against bench/baselines/BENCH_engine.json.
 
 #include <cstdint>
 #include <iostream>
@@ -27,6 +30,9 @@ int main() {
   bench::header("Compiled simulation core vs reference interpreter");
   bench::JsonReport json("engine");
   bool ok = true;
+  std::cout << "lane width: " << kLaneWords << " words (" << kLaneBlockBits
+            << " lanes/block), AVX2 kernels "
+            << (lane_block_simd_compiled() ? "on" : "off") << "\n";
 
   ProtectionConfig config;
   config.kind = CodeKind::HammingPlusCrc;
@@ -40,41 +46,57 @@ int main() {
             << " nets, " << gates << " compiled gates\n";
 
   // --- full-sweep throughput ----------------------------------------------
-  // Randomize every source slot, settle, repeat; each sweep is gates x 64
-  // lane-parallel gate evaluations. The interpreter runs the identical
-  // stimulus on NetId-indexed values; both sides feed a checksum so the
-  // loops cannot be elided, and every sweep's results must agree net-for-net.
+  // Randomize every source slot, settle, repeat. The block sweep evaluates
+  // gates x kLaneBlockBits lanes per pass with independent stimulus in every
+  // word of every block; the word sweep and the interpreter run the stimulus
+  // of word 0. All sides feed a checksum so the loops cannot be elided, and
+  // the final sweep's results must agree net-for-net across all three paths.
   constexpr int kSweeps = 400;
+  std::vector<LaneBlock> slot_blocks(compiled->slot_count(), LaneBlock{});
   std::vector<LaneWord> slot_values(compiled->slot_count(), 0);
   std::vector<LaneWord> net_values(nl.net_count(), 0);
   const std::size_t source_count = compiled->slot_count() - gates;
 
   Rng stim_rng(1);
-  std::vector<std::vector<LaneWord>> stimulus(kSweeps,
-                                              std::vector<LaneWord>(source_count));
+  std::vector<std::vector<LaneBlock>> stimulus(
+      kSweeps, std::vector<LaneBlock>(source_count));
   for (auto& sweep : stimulus) {
-    for (LaneWord& word : sweep) {
-      word = stim_rng.next_u64();
+    for (LaneBlock& block : sweep) {
+      for (std::size_t w = 0; w < kLaneWords; ++w) {
+        block.w[w] = stim_rng.next_u64();
+      }
     }
   }
 
   bench::Stopwatch timer;
-  LaneWord compiled_sum = 0;
+  LaneWord block_sum = 0;
   for (int s = 0; s < kSweeps; ++s) {
     // Source slots are the first source_count slots by construction.
     for (std::size_t i = 0; i < source_count; ++i) {
-      slot_values[i] = stimulus[s][i];
+      slot_blocks[i] = stimulus[s][i];
+    }
+    compiled->eval_full(slot_blocks.data());
+    block_sum ^= slot_blocks[compiled->slot_count() - 1].w[0];
+  }
+  const double block_time = timer.seconds();
+
+  timer.restart();
+  LaneWord compiled_sum = 0;
+  for (int s = 0; s < kSweeps; ++s) {
+    for (std::size_t i = 0; i < source_count; ++i) {
+      slot_values[i] = stimulus[s][i].w[0];
     }
     compiled->eval_full(slot_values.data());
     compiled_sum ^= slot_values[compiled->slot_count() - 1];
   }
-  const double compiled_time = timer.seconds();
+  const double word_time = timer.seconds();
 
   timer.restart();
   LaneWord interp_sum = 0;
   for (int s = 0; s < kSweeps; ++s) {
     for (std::size_t i = 0; i < source_count; ++i) {
-      net_values[compiled->net_of_slot(static_cast<std::uint32_t>(i))] = stimulus[s][i];
+      net_values[compiled->net_of_slot(static_cast<std::uint32_t>(i))] =
+          stimulus[s][i].w[0];
     }
     CompiledNetlist::reference_eval(nl, net_values);
     interp_sum ^= net_values[compiled->net_of_slot(
@@ -82,28 +104,42 @@ int main() {
   }
   const double interp_time = timer.seconds();
 
-  // Equivalence of the final sweep, every net.
+  // Equivalence of the final sweep, every net: word 0 of the block sweep,
+  // the word sweep, and the interpreter must agree bit-for-bit.
   std::size_t sweep_mismatches = 0;
   for (NetId net = 0; net < nl.net_count(); ++net) {
-    if (slot_values[compiled->slot(net)] != net_values[net]) {
+    const std::uint32_t slot = compiled->slot(net);
+    if (slot_values[slot] != net_values[net] ||
+        slot_blocks[slot].w[0] != net_values[net]) {
       ++sweep_mismatches;
     }
   }
-  ok = ok && sweep_mismatches == 0 && compiled_sum == interp_sum;
+  ok = ok && sweep_mismatches == 0 && compiled_sum == interp_sum &&
+       block_sum == interp_sum;
 
-  const double lane_evals =
+  const double word_lane_evals =
       static_cast<double>(gates) * kSweeps * static_cast<double>(kLaneCount);
-  const double compiled_meps = lane_evals / compiled_time / 1e6;
-  const double interp_meps = lane_evals / interp_time / 1e6;
+  const double block_lane_evals =
+      static_cast<double>(gates) * kSweeps * static_cast<double>(kLaneBlockBits);
+  const double compiled_meps = block_lane_evals / block_time / 1e6;
+  const double word_meps = word_lane_evals / word_time / 1e6;
+  const double interp_meps = word_lane_evals / interp_time / 1e6;
   const double compile_speedup = compiled_meps / interp_meps;
-  std::cout << "compiled:    " << compiled_meps << " M gate-evals/sec\n"
+  const double laneblock_speedup = compiled_meps / word_meps;
+  std::cout << "block:       " << compiled_meps << " M gate-evals/sec ("
+            << kLaneBlockBits << " lanes)\n"
+            << "word:        " << word_meps << " M gate-evals/sec ("
+            << kLaneCount << " lanes)\n"
             << "interpreted: " << interp_meps << " M gate-evals/sec\n"
-            << "speedup:     " << compile_speedup << "x ("
-            << sweep_mismatches << " mismatching nets)\n";
+            << "compile speedup:   " << compile_speedup << "x ("
+            << sweep_mismatches << " mismatching nets)\n"
+            << "laneblock speedup: " << laneblock_speedup << "x\n";
   json.set("gates", static_cast<double>(gates));
   json.set("compiled_meps", compiled_meps);
+  json.set("word_meps", word_meps);
   json.set("interp_meps", interp_meps);
   json.set("compile_speedup", compile_speedup);
+  json.set("laneblock_speedup", laneblock_speedup);
 
   // --- cone-incremental vs full-circuit fault simulation ------------------
   bench::header("Fanout-cone incremental vs full-circuit fault simulation");
@@ -121,49 +157,79 @@ int main() {
   frame.warm_cones(faults);
 
   // Preload batches so both timed loops measure pure per-fault evaluation.
+  // The cone path consumes kLaneBlockBits patterns per loaded block; the
+  // interpreted baseline keeps the historical 64-pattern batches so
+  // cone_fault_evals_per_sec stays in faults x (patterns/64) units across PRs.
   std::vector<std::vector<BitVec>> batches;
-  std::vector<CombinationalFrame::LoadedPatternBatch> loaded;
-  for (std::size_t base = 0; base < patterns.size(); base += 64) {
-    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+  std::vector<std::vector<std::uint64_t>> batch_good;
+  for (std::size_t base = 0; base < patterns.size(); base += kLaneCount) {
+    const std::size_t count =
+        std::min<std::size_t>(kLaneCount, patterns.size() - base);
     batches.emplace_back(patterns.begin() + base, patterns.begin() + base + count);
-    loaded.push_back(frame.load_batch(batches.back()));
+    batch_good.push_back(frame.good_response_words(batches.back()));
+  }
+  std::vector<CombinationalFrame::LoadedPatternBatch> loaded;
+  for (std::size_t base = 0; base < patterns.size(); base += kLaneBlockBits) {
+    const std::size_t count =
+        std::min<std::size_t>(kLaneBlockBits, patterns.size() - base);
+    const std::vector<BitVec> chunk(patterns.begin() + base,
+                                    patterns.begin() + base + count);
+    loaded.push_back(frame.load_batch(chunk));
   }
 
   const double fault_evals =
-      static_cast<double>(faults.size()) * static_cast<double>(loaded.size());
+      static_cast<double>(faults.size()) * static_cast<double>(batches.size());
   constexpr int kConeRepeats = 5;
   CombinationalFrame::Workspace workspace;
-  std::vector<std::uint64_t> cone_masks(faults.size() * loaded.size(), 0);
+  std::vector<LaneBlock> cone_blocks(faults.size() * loaded.size(), LaneBlock{});
   timer.restart();
   for (int r = 0; r < kConeRepeats; ++r) {
     for (std::size_t b = 0; b < loaded.size(); ++b) {
       for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-        cone_masks[b * faults.size() + fi] =
-            frame.detect_mask(faults[fi], loaded[b], loaded[b].good, workspace);
+        cone_blocks[b * faults.size() + fi] =
+            frame.detect_block(faults[fi], loaded[b], loaded[b].good, workspace);
       }
     }
   }
   const double cone_time = timer.seconds() / kConeRepeats;
 
-  std::vector<std::uint64_t> full_masks(faults.size() * loaded.size(), 0);
+  std::vector<std::uint64_t> full_masks(faults.size() * batches.size(), 0);
   timer.restart();
-  for (std::size_t b = 0; b < loaded.size(); ++b) {
+  for (std::size_t b = 0; b < batches.size(); ++b) {
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
       full_masks[b * faults.size() + fi] =
-          frame.detect_mask_full(faults[fi], batches[b], loaded[b].good);
+          frame.detect_mask_full(faults[fi], batches[b], batch_good[b]);
     }
   }
   const double full_time = timer.seconds();
 
-  ok = ok && cone_masks == full_masks;
+  // Word w of cone block b covers the same 64 patterns as interpreted batch
+  // b * kLaneWords + w; every lane must agree.
+  std::size_t mask_mismatches = 0;
+  for (std::size_t b = 0; b < loaded.size(); ++b) {
+    for (std::size_t w = 0; w < kLaneWords; ++w) {
+      const std::size_t wb = b * kLaneWords + w;
+      if (wb >= batches.size()) {
+        break;
+      }
+      for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        if (cone_blocks[b * faults.size() + fi].w[w] !=
+            full_masks[wb * faults.size() + fi]) {
+          ++mask_mismatches;
+        }
+      }
+    }
+  }
+  ok = ok && mask_mismatches == 0;
   const double cone_rate = fault_evals / cone_time;
   const double full_rate = fault_evals / full_time;
   const double cone_speedup = cone_rate / full_rate;
   std::cout << "cone:    " << cone_rate << " fault-evals/sec over "
-            << faults.size() << " faults x " << loaded.size() << " batches\n"
+            << faults.size() << " faults x " << batches.size()
+            << " 64-pattern batches (" << loaded.size() << " lane blocks)\n"
             << "full:    " << full_rate << " fault-evals/sec\n"
             << "speedup: " << cone_speedup << "x (masks "
-            << (cone_masks == full_masks ? "identical" : "DIVERGED") << ")\n";
+            << (mask_mismatches == 0 ? "identical" : "DIVERGED") << ")\n";
   json.set("collapsed_faults", static_cast<double>(faults.size()));
   json.set("cone_fault_evals_per_sec", cone_rate);
   json.set("full_fault_evals_per_sec", full_rate);

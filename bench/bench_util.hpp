@@ -5,10 +5,18 @@
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "retscan/runtime.hpp"
+
+// Compiled lane width of the linked retscan library. RETSCAN_LANE_WORDS is a
+// PUBLIC compile definition of the retscan target, so it is visible here; the
+// fallback only guards headers parsed outside the build.
+#ifndef RETSCAN_LANE_WORDS
+#define RETSCAN_LANE_WORDS 4
+#endif
 
 namespace retscan::bench {
 
@@ -50,11 +58,29 @@ class Stopwatch {
 /// Machine-readable bench report: write() emits BENCH_<name>.json in the
 /// working directory so the perf trajectory (sequences/sec, fault-evals/sec,
 /// speedups) can be tracked across PRs alongside the human-readable lines.
+///
+/// Every report carries the execution-shape metadata that makes the numbers
+/// comparable across hosts and builds — resolved thread count, hardware
+/// concurrency, and the compiled lane width — seeded at construction so no
+/// bench can forget them. set() upserts, so benches may overwrite the
+/// defaults (e.g. with the thread count a specific experiment used).
 class JsonReport {
  public:
-  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  explicit JsonReport(std::string name) : name_(std::move(name)) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    set("threads", static_cast<double>(runtime_threads()));
+    set("hardware_concurrency", static_cast<double>(hw == 0 ? 1 : hw));
+    set("lane_words", static_cast<double>(RETSCAN_LANE_WORDS));
+    set("lane_bits", static_cast<double>(RETSCAN_LANE_WORDS) * 64.0);
+  }
 
   void set(const std::string& key, double value) {
+    for (auto& [existing_key, existing_value] : metrics_) {
+      if (existing_key == key) {
+        existing_value = value;
+        return;
+      }
+    }
     metrics_.emplace_back(key, value);
   }
 

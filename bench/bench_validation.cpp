@@ -16,6 +16,7 @@
 // BENCH_validation.json.
 
 #include <iostream>
+#include <string>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -90,8 +91,31 @@ int main() {
     json.set("fast_correction_rate", stats.correction_rate());
     json.set("threads", static_cast<double>(threads));
     json.set("shard_count", static_cast<double>(run.shard_count));
+    json.set("reference_sequences", static_cast<double>(reference_sequences));
     json.set("parallel_speedup", speedup);
     json.set("scaling_efficiency", efficiency);
+
+    // Thread scaling curve: the same campaign at 1/2/4/8 pool threads.
+    // Statistics must be bit-identical to the serial reference at every
+    // point (shard plan is thread-count independent); speedup is against
+    // the 1-thread wall clock measured above.
+    bench::header("Thread scaling curve (behavioral tier, fixed shard plan)");
+    for (const unsigned n : {1u, 2u, 4u, 8u}) {
+      parallel::CampaignRunner curve(parallel::CampaignOptions{.threads = n});
+      timer.restart();
+      const parallel::CampaignReport curve_run =
+          curve.run_fast(single, reference_sequences);
+      const double curve_seconds = timer.seconds();
+      const double curve_speedup = serial_seconds / curve_seconds;
+      const double curve_efficiency = curve_speedup / static_cast<double>(n);
+      std::cout << "  " << n << " thread(s): " << curve_seconds << " s, speedup "
+                << curve_speedup << "x, efficiency " << 100.0 * curve_efficiency
+                << "%\n";
+      const std::string suffix = "_t" + std::to_string(n);
+      json.set("parallel_speedup" + suffix, curve_speedup);
+      json.set("scaling_efficiency" + suffix, curve_efficiency);
+      ok = ok && curve_run.stats == serial_run.stats;
+    }
     ok = ok && stats.detection_rate() == 1.0 && stats.correction_rate() == 1.0 &&
          stats.silent_corruptions == 0;
     // Determinism across thread counts is part of the contract.

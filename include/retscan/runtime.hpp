@@ -11,9 +11,11 @@ namespace retscan {
 /// anything else (garbage, 0, negative, trailing junk, overflow) warns on
 /// stderr and is treated as unset, never silently accepted.
 struct RuntimeConfig {
-  /// RETSCAN_THREADS override; 0 means unset/invalid (use the hardware
-  /// default, see runtime_threads()).
-  unsigned threads = 0;
+  /// Resolved worker count: the RETSCAN_THREADS override when set and
+  /// valid, else hardware_concurrency() (else 1). Always >= 1 — campaigns
+  /// default to using every core now that the persistent-workspace runner
+  /// profiles profitable; RETSCAN_THREADS=1 is the explicit serial opt-out.
+  unsigned threads = 1;
   /// RETSCAN_SEQUENCES campaign-budget override; nullopt means
   /// unset/invalid (use the caller's default).
   std::optional<std::size_t> sequences;

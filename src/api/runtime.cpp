@@ -65,7 +65,7 @@ std::optional<std::size_t> sequences_override() {
 
 RuntimeConfig runtime_config() {
   RuntimeConfig config;
-  config.threads = threads_override();
+  config.threads = runtime_threads();
   config.sequences = sequences_override();
   return config;
 }

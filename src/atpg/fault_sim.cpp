@@ -82,30 +82,32 @@ BitVec CombinationalFrame::random_pattern(Rng& rng) const {
   return pattern;
 }
 
-void CombinationalFrame::load(std::vector<std::uint64_t>& slot_values,
+void CombinationalFrame::load(std::vector<LaneBlock>& slot_values,
                               const std::vector<BitVec>& patterns) const {
-  RETSCAN_CHECK(patterns.size() <= 64, "CombinationalFrame: batch larger than 64");
-  std::fill(slot_values.begin(), slot_values.end(), 0);
+  RETSCAN_CHECK(patterns.size() <= kLaneBlockBits,
+                "CombinationalFrame: batch larger than kLaneBlockBits");
+  std::fill(slot_values.begin(), slot_values.end(), LaneBlock{});
   for (std::size_t p = 0; p < patterns.size(); ++p) {
     RETSCAN_CHECK(patterns[p].size() == pattern_width(),
                   "CombinationalFrame: pattern width mismatch");
-    const std::uint64_t bit = std::uint64_t{1} << p;
+    const std::size_t word = p / kLaneCount;
+    const std::uint64_t bit = std::uint64_t{1} << (p % kLaneCount);
     for (std::size_t i = 0; i < pi_slots_.size(); ++i) {
       if (patterns[p].get(i)) {
-        slot_values[pi_slots_[i]] |= bit;
+        slot_values[pi_slots_[i]].w[word] |= bit;
       }
     }
     for (std::size_t i = 0; i < ppi_slots_.size(); ++i) {
       if (patterns[p].get(pi_slots_.size() + i)) {
-        slot_values[ppi_slots_[i]] |= bit;
+        slot_values[ppi_slots_[i]].w[word] |= bit;
       }
     }
   }
   for (const auto& [index, value] : constraints_) {
-    slot_values[pi_slots_[index]] = value ? ~std::uint64_t{0} : 0;
+    slot_values[pi_slots_[index]] = block_broadcast(value);
   }
   for (const std::uint32_t slot : const1_slots_) {
-    slot_values[slot] = ~std::uint64_t{0};
+    slot_values[slot] = block_broadcast(true);
   }
 }
 
@@ -130,7 +132,15 @@ BitVec CombinationalFrame::good_response(const BitVec& pattern) const {
 
 std::vector<std::uint64_t> CombinationalFrame::good_response_words(
     const std::vector<BitVec>& patterns) const {
-  return load_batch(patterns).good;
+  RETSCAN_CHECK(patterns.size() <= kLaneCount,
+                "CombinationalFrame::good_response_words: more than 64 patterns");
+  const LoadedPatternBatch batch = load_batch(patterns);
+  std::vector<std::uint64_t> words;
+  words.reserve(batch.good.size());
+  for (const LaneBlock& block : batch.good) {
+    words.push_back(block.w[0]);
+  }
+  return words;
 }
 
 const CombinationalFrame::FaultCone& CombinationalFrame::fault_cone(NetId net) const {
@@ -156,54 +166,81 @@ void CombinationalFrame::warm_cones(const std::vector<Fault>& faults) const {
   }
 }
 
-std::uint64_t CombinationalFrame::detect_mask(
+LaneBlock CombinationalFrame::detect_block(
     const Fault& fault, const LoadedPatternBatch& batch,
-    const std::vector<std::uint64_t>& good_words) const {
-  return detect_mask(fault, batch, good_words, scratch_);
+    const std::vector<LaneBlock>& good_blocks) const {
+  return detect_block(fault, batch, good_blocks, scratch_);
 }
 
-std::uint64_t CombinationalFrame::detect_mask(
+LaneBlock CombinationalFrame::detect_block(
     const Fault& fault, const LoadedPatternBatch& batch,
-    const std::vector<std::uint64_t>& good_words, Workspace& workspace) const {
-  return detect_mask(fault, fault_cone(fault.net), batch, good_words, workspace);
+    const std::vector<LaneBlock>& good_blocks, Workspace& workspace) const {
+  return detect_block(fault, fault_cone(fault.net), batch, good_blocks, workspace);
 }
 
-std::uint64_t CombinationalFrame::detect_mask(
+LaneBlock CombinationalFrame::detect_block(
     const Fault& fault, const FaultCone& fc, const LoadedPatternBatch& batch,
-    const std::vector<std::uint64_t>& good_words, Workspace& workspace) const {
-  RETSCAN_CHECK(good_words.size() == response_width(),
-                "CombinationalFrame::detect_mask: good responses missing");
+    const std::vector<LaneBlock>& good_blocks, Workspace& workspace) const {
+  RETSCAN_CHECK(good_blocks.size() == response_width(),
+                "CombinationalFrame::detect_block: good responses missing");
   // Sync the workspace to this batch's good machine once; every cone pass
   // below leaves it settled again, so consecutive faults pay no copy.
   if (workspace.synced_tag != batch.tag) {
     workspace.values = batch.settled;
     workspace.synced_tag = batch.tag;
   }
-  std::uint64_t* v = workspace.values.data();
-  const std::uint64_t fault_word = fault.stuck_at ? ~std::uint64_t{0} : 0;
-  v[fc.cone.source_slot] = fault_word;
+  LaneBlock* v = workspace.values.data();
+  v[fc.cone.source_slot] = block_broadcast(fault.stuck_at);
   const CompiledInstr* instrs = compiled_->instrs().data();
   for (const std::uint32_t i : fc.cone.instrs) {
     const CompiledInstr& in = instrs[i];
     v[in.out] = CompiledNetlist::eval_instr(in, v);
   }
-  // Word-wide good/faulty XOR over the reachable observables only: bit p of
-  // the result is set iff pattern p sees a difference somewhere.
-  std::uint64_t mask = 0;
+  // Block-wide good/faulty XOR over the reachable observables only: lane p
+  // of the result is set iff pattern p sees a difference somewhere.
+  LaneBlock mask{};
   for (const auto& [word, slot] : fc.observables) {
-    mask |= v[slot] ^ good_words[word];
+    mask = mask | (v[slot] ^ good_blocks[word]);
   }
   // Undo: restore exactly the touched slots to the good-machine values.
   for (const std::uint32_t slot : fc.cone.touched_slots) {
     v[slot] = batch.settled[slot];
   }
-  return mask & lane_mask(batch.count);
+  return mask & block_lane_mask(batch.count);
+}
+
+std::uint64_t CombinationalFrame::detect_mask(
+    const Fault& fault, const LoadedPatternBatch& batch,
+    const std::vector<LaneBlock>& good_blocks) const {
+  return detect_mask(fault, batch, good_blocks, scratch_);
+}
+
+std::uint64_t CombinationalFrame::detect_mask(
+    const Fault& fault, const LoadedPatternBatch& batch,
+    const std::vector<LaneBlock>& good_blocks, Workspace& workspace) const {
+  return detect_mask(fault, fault_cone(fault.net), batch, good_blocks, workspace);
+}
+
+std::uint64_t CombinationalFrame::detect_mask(
+    const Fault& fault, const FaultCone& fc, const LoadedPatternBatch& batch,
+    const std::vector<LaneBlock>& good_blocks, Workspace& workspace) const {
+  RETSCAN_CHECK(batch.count <= kLaneCount,
+                "CombinationalFrame::detect_mask: batch wider than one word");
+  return detect_block(fault, fc, batch, good_blocks, workspace).w[0];
 }
 
 std::uint64_t CombinationalFrame::detect_mask(
     const Fault& fault, const std::vector<BitVec>& patterns,
     const std::vector<std::uint64_t>& good_words) const {
-  return detect_mask(fault, load_batch(patterns), good_words);
+  RETSCAN_CHECK(patterns.size() <= kLaneCount,
+                "CombinationalFrame::detect_mask: more than 64 patterns");
+  // Widen the caller's good words (lanes 0..63) into blocks; lanes beyond
+  // the batch count are silenced by the final block mask.
+  std::vector<LaneBlock> good_blocks(good_words.size(), LaneBlock{});
+  for (std::size_t i = 0; i < good_words.size(); ++i) {
+    good_blocks[i].w[0] = good_words[i];
+  }
+  return detect_mask(fault, load_batch(patterns), good_blocks);
 }
 
 std::uint64_t CombinationalFrame::detect_mask(const Fault& fault,
@@ -289,8 +326,9 @@ FaultSimResult fault_simulate(const CombinationalFrame& frame,
     cones.push_back(&frame.fault_cone(fault.net));
   }
   CombinationalFrame::Workspace workspace;
-  for (std::size_t base = 0; base < patterns.size(); base += 64) {
-    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+  for (std::size_t base = 0; base < patterns.size(); base += kLaneBlockBits) {
+    const std::size_t count =
+        std::min<std::size_t>(kLaneBlockBits, patterns.size() - base);
     const std::vector<BitVec> batch(patterns.begin() + base,
                                     patterns.begin() + base + count);
     const CombinationalFrame::LoadedPatternBatch loaded = frame.load_batch(batch);
@@ -298,10 +336,10 @@ FaultSimResult fault_simulate(const CombinationalFrame& frame,
       if (result.detected_by[fi] != npos) {
         continue;  // fault dropping
       }
-      const std::uint64_t mask =
-          frame.detect_mask(faults[fi], *cones[fi], loaded, loaded.good, workspace);
-      if (mask != 0) {
-        result.detected_by[fi] = base + static_cast<std::size_t>(std::countr_zero(mask));
+      const LaneBlock mask =
+          frame.detect_block(faults[fi], *cones[fi], loaded, loaded.good, workspace);
+      if (block_any(mask)) {
+        result.detected_by[fi] = base + block_first_lane(mask);
         ++result.detected;
       }
     }
@@ -327,16 +365,17 @@ FaultSimResult fault_simulate(const CombinationalFrame& frame,
   // Build every fault cone on this thread so workers only take cache hits.
   frame.warm_cones(faults);
 
-  // Load and settle every 64-pattern batch once, up front, in parallel —
+  // Load and settle every block-wide batch once, up front, in parallel —
   // workers then share them read-only.
   struct Batch {
     std::size_t base = 0;
     CombinationalFrame::LoadedPatternBatch loaded;
   };
-  std::vector<Batch> batches((patterns.size() + 63) / 64);
+  std::vector<Batch> batches((patterns.size() + kLaneBlockBits - 1) / kLaneBlockBits);
   pool.parallel_for(batches.size(), [&](std::size_t b) {
-    const std::size_t base = b * 64;
-    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    const std::size_t base = b * kLaneBlockBits;
+    const std::size_t count =
+        std::min<std::size_t>(kLaneBlockBits, patterns.size() - base);
     const std::vector<BitVec> slice(patterns.begin() + base,
                                     patterns.begin() + base + count);
     batches[b].base = base;
@@ -369,11 +408,10 @@ FaultSimResult fault_simulate(const CombinationalFrame& frame,
       }
       std::size_t kept = 0;
       for (const std::size_t fi : live) {
-        const std::uint64_t mask = frame.detect_mask(
+        const LaneBlock mask = frame.detect_block(
             faults[fi], *cones[fi - first], batch.loaded, batch.loaded.good, workspace);
-        if (mask != 0) {
-          result.detected_by[fi] =
-              batch.base + static_cast<std::size_t>(std::countr_zero(mask));
+        if (block_any(mask)) {
+          result.detected_by[fi] = batch.base + block_first_lane(mask);
           ++shard_detected[s];
         } else {
           live[kept++] = fi;

@@ -59,16 +59,18 @@ class CombinationalFrame {
   /// Good-machine response of a single pattern.
   BitVec good_response(const BitVec& pattern) const;
 
-  /// Up to 64 patterns loaded AND settled: `settled` holds the slot-indexed
-  /// good-machine values after one full compiled sweep, `good` the
-  /// observable response words. Loading+settling is the per-batch cost; each
-  /// fault evaluation is then an incremental cone pass over `settled`, so
-  /// simulating F faults costs one settle + F cone evaluations.
+  /// Up to kLaneBlockBits patterns loaded AND settled: `settled` holds the
+  /// slot-indexed good-machine values (one lane-major LaneBlock per slot)
+  /// after one full compiled block sweep, `good` the observable response
+  /// blocks. Loading+settling is the per-batch cost; each fault evaluation
+  /// is then an incremental cone pass over `settled`, so simulating F faults
+  /// costs one settle + F cone evaluations — each now covering 256 patterns
+  /// at the default lane width.
   struct LoadedPatternBatch {
-    std::vector<std::uint64_t> settled;  // indexed by value slot
-    std::vector<std::uint64_t> good;     // response_width() observable words
-    std::size_t count = 0;               // patterns in the batch
-    std::uint64_t tag = 0;               // workspace-sync identity
+    std::vector<LaneBlock> settled;  // indexed by value slot
+    std::vector<LaneBlock> good;     // response_width() observable blocks
+    std::size_t count = 0;           // patterns in the batch
+    std::uint64_t tag = 0;           // workspace-sync identity
   };
   LoadedPatternBatch load_batch(const std::vector<BitVec>& patterns) const;
 
@@ -78,15 +80,16 @@ class CombinationalFrame {
   /// remembers which batch it mirrors (cone undo keeps it settled), so
   /// consecutive queries against the same batch skip the baseline copy.
   struct Workspace {
-    std::vector<std::uint64_t> values;
+    std::vector<LaneBlock> values;
     std::uint64_t synced_tag = 0;
   };
 
   /// Good-machine responses of up to 64 patterns in lane-word form: one word
   /// per observable (POs first, then flop D captures), lane p = pattern p.
-  /// This is the fast currency of the fault simulator — detection is a
-  /// word-wide XOR against these, with no per-pattern unpacking. For an
-  /// already-loaded batch, read LoadedPatternBatch::good directly.
+  /// Detection inside the frame is now a block-wide XOR (see detect_block);
+  /// this word view remains the currency of the scan-delivery comparators,
+  /// which shift 64 chains at a time. For an already-loaded batch it is word
+  /// 0 of each LoadedPatternBatch::good block.
   std::vector<std::uint64_t> good_response_words(const std::vector<BitVec>& patterns) const;
 
   /// Precomputed fanout cone of one fault site within this frame: the
@@ -106,20 +109,33 @@ class CombinationalFrame {
   /// large, detect_mask_full remains the O(1)-scratch path.
   const FaultCone& fault_cone(NetId net) const;
 
-  /// 64-way parallel-pattern single-fault propagation: returns the set of
-  /// pattern indices (bitmask) in the batch that detect `fault`, given the
-  /// precomputed good responses. Patterns beyond 64 must be batched by the
-  /// caller. Evaluates only the fault's fanout cone.
-  std::uint64_t detect_mask(const Fault& fault, const LoadedPatternBatch& batch,
-                            const std::vector<std::uint64_t>& good_words) const;
-  std::uint64_t detect_mask(const Fault& fault, const LoadedPatternBatch& batch,
-                            const std::vector<std::uint64_t>& good_words,
-                            Workspace& workspace) const;
+  /// Block-wide parallel-pattern single-fault propagation: lane p of the
+  /// returned LaneBlock is set iff pattern p in the batch detects `fault`,
+  /// given the precomputed good responses. Patterns beyond kLaneBlockBits
+  /// must be batched by the caller. Evaluates only the fault's fanout cone.
+  LaneBlock detect_block(const Fault& fault, const LoadedPatternBatch& batch,
+                         const std::vector<LaneBlock>& good_blocks) const;
+  LaneBlock detect_block(const Fault& fault, const LoadedPatternBatch& batch,
+                         const std::vector<LaneBlock>& good_blocks,
+                         Workspace& workspace) const;
   /// Hot-loop variant: the caller resolved `cone` (= fault_cone(fault.net))
   /// up front, so no cache lookup or lock is taken here.
+  LaneBlock detect_block(const Fault& fault, const FaultCone& cone,
+                         const LoadedPatternBatch& batch,
+                         const std::vector<LaneBlock>& good_blocks,
+                         Workspace& workspace) const;
+
+  /// Single-word wrappers over detect_block for batches of at most 64
+  /// patterns (the ATPG generation granularity): bit p of the returned word
+  /// is set iff pattern p detects the fault.
+  std::uint64_t detect_mask(const Fault& fault, const LoadedPatternBatch& batch,
+                            const std::vector<LaneBlock>& good_blocks) const;
+  std::uint64_t detect_mask(const Fault& fault, const LoadedPatternBatch& batch,
+                            const std::vector<LaneBlock>& good_blocks,
+                            Workspace& workspace) const;
   std::uint64_t detect_mask(const Fault& fault, const FaultCone& cone,
                             const LoadedPatternBatch& batch,
-                            const std::vector<std::uint64_t>& good_words,
+                            const std::vector<LaneBlock>& good_blocks,
                             Workspace& workspace) const;
   std::uint64_t detect_mask(const Fault& fault, const std::vector<BitVec>& patterns,
                             const std::vector<std::uint64_t>& good_words) const;
@@ -139,7 +155,7 @@ class CombinationalFrame {
   void warm_cones(const std::vector<Fault>& faults) const;
 
  private:
-  void load(std::vector<std::uint64_t>& slot_values,
+  void load(std::vector<LaneBlock>& slot_values,
             const std::vector<BitVec>& patterns) const;
 
   const Netlist* netlist_;

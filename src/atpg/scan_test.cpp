@@ -270,7 +270,7 @@ ScanTestResult run_test_mode_packed_range(const ProtectedDesign& design,
         std::min<std::size_t>(PackedSim::lane_count(), first + total - base);
     const std::vector<BitVec> batch(patterns.begin() + base,
                                     patterns.begin() + base + count);
-    const std::vector<std::uint64_t> good = frame.load_batch(batch).good;
+    const std::vector<std::uint64_t> good = frame.good_response_words(batch);
     const std::vector<LaneWord> pattern_words = pack_lanes(batch);
     const PackedPpiSplit split = packed_split_ppi(frame, chains, pattern_words);
 

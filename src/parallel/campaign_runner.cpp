@@ -1,5 +1,7 @@
 #include "parallel/campaign_runner.hpp"
 
+#include <mutex>
+
 #include "sim/packed_sim.hpp"
 #include "util/rng.hpp"
 
@@ -28,14 +30,85 @@ std::uint64_t shard_seed(std::uint64_t campaign_seed, std::uint64_t index) {
   return Rng::derive_stream(campaign_seed, index);
 }
 
+namespace {
+
+/// True when two campaign configurations differ only in seed — the
+/// condition under which a warm testbench can be reseeded instead of
+/// rebuilt. Every shape-defining field is compared explicitly; the seed is
+/// deliberately excluded (reseeding per shard is the whole point).
+bool same_campaign_shape(const ValidationConfig& a, const ValidationConfig& b) {
+  return a.fifo.depth == b.fifo.depth && a.fifo.width == b.fifo.width &&
+         a.chain_count == b.chain_count && a.kind == b.kind &&
+         a.hamming_r == b.hamming_r && a.mode == b.mode &&
+         a.burst_size == b.burst_size && a.burst_spread == b.burst_spread &&
+         a.corruption.noise_margin_volts == b.corruption.noise_margin_volts &&
+         a.corruption.margin_sigma_volts == b.corruption.margin_sigma_volts &&
+         a.corruption.vulnerability == b.corruption.vulnerability &&
+         a.corruption.cluster_spread == b.corruption.cluster_spread &&
+         a.corruption.cluster_fraction == b.corruption.cluster_fraction &&
+         a.rush.vdd_volts == b.rush.vdd_volts &&
+         a.rush.resistance_ohm == b.rush.resistance_ohm &&
+         a.rush.inductance_nh == b.rush.inductance_nh &&
+         a.rush.capacitance_nf == b.rush.capacitance_nf &&
+         a.rush.stagger_stages == b.rush.stagger_stages;
+}
+
+}  // namespace
+
+/// Free-lists of warm testbenches, one tier per campaign kind. acquire()
+/// hands out a reseeded warm instance when the shape matches (the steady
+/// state: one instance per pool thread), otherwise constructs fresh;
+/// release() returns it for the next shard. A shape change retires the old
+/// pool — campaigns against a different design rebuild once, as before.
+struct CampaignRunner::WorkspacePool {
+  template <typename Bench>
+  struct Tier {
+    std::mutex mutex;
+    bool shaped = false;
+    ValidationConfig shape;
+    std::vector<std::unique_ptr<Bench>> free_list;
+
+    std::unique_ptr<Bench> acquire(const ValidationConfig& config) {
+      std::unique_ptr<Bench> warm;
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!shaped || !same_campaign_shape(shape, config)) {
+          free_list.clear();
+          shape = config;
+          shaped = true;
+        } else if (!free_list.empty()) {
+          warm = std::move(free_list.back());
+          free_list.pop_back();
+        }
+      }
+      if (warm) {
+        warm->reseed(config.seed);  // outside the lock: resets a simulator
+        return warm;
+      }
+      return std::make_unique<Bench>(config);
+    }
+
+    void release(std::unique_ptr<Bench> bench) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      free_list.push_back(std::move(bench));
+    }
+  };
+
+  Tier<FastTestbench> fast;
+  Tier<StructuralTestbench> structural;
+};
+
 CampaignRunner::CampaignRunner(const CampaignOptions& options)
-    : options_(options), pool_(options.threads) {}
+    : options_(options), pool_(options.threads),
+      workspaces_(std::make_unique<WorkspacePool>()) {}
+
+CampaignRunner::~CampaignRunner() = default;
 
 namespace {
 
 /// Shared campaign driver on top of CampaignRunner::map_reduce — the one
 /// copy of the shard/merge logic: per-shard config with a derived seed
-/// stream, run_shard builds and runs the testbench tier.
+/// stream, run_shard runs a testbench tier against it.
 template <typename RunShard>
 CampaignReport run_campaign(CampaignRunner& runner, const ValidationConfig& config,
                             std::size_t count, std::size_t shard_size,
@@ -52,6 +125,18 @@ CampaignReport run_campaign(CampaignRunner& runner, const ValidationConfig& conf
   return report;
 }
 
+/// Run one shard on a pooled workspace: acquire (reseed or build), run,
+/// release. If the run throws, the instance is simply dropped — the pool
+/// never sees a half-run testbench.
+template <typename Tier, typename Run>
+ValidationStats run_on_tier(Tier& tier, const ValidationConfig& shard_config,
+                            Run&& run) {
+  auto bench = tier.acquire(shard_config);
+  ValidationStats stats = run(*bench);
+  tier.release(std::move(bench));
+  return stats;
+}
+
 }  // namespace
 
 CampaignReport CampaignRunner::run_fast(const ValidationConfig& config,
@@ -60,8 +145,9 @@ CampaignReport CampaignRunner::run_fast(const ValidationConfig& config,
     shard_size = options_.shard_size;
   }
   return run_campaign(*this, config, count, shard_size,
-                      [](const ValidationConfig& shard_config, std::size_t n) {
-                        return FastTestbench(shard_config).run(n);
+                      [this](const ValidationConfig& shard_config, std::size_t n) {
+                        return run_on_tier(workspaces_->fast, shard_config,
+                                           [n](FastTestbench& b) { return b.run(n); });
                       });
 }
 
@@ -73,10 +159,12 @@ CampaignReport CampaignRunner::run_structural_packed(const ValidationConfig& con
   }
   const std::size_t lanes = PackedSim::lane_count();
   shard_size = (shard_size + lanes - 1) / lanes * lanes;
-  return run_campaign(*this, config, count, shard_size,
-                      [](const ValidationConfig& shard_config, std::size_t n) {
-                        return StructuralTestbench(shard_config).run_packed(n);
-                      });
+  return run_campaign(
+      *this, config, count, shard_size,
+      [this](const ValidationConfig& shard_config, std::size_t n) {
+        return run_on_tier(workspaces_->structural, shard_config,
+                           [n](StructuralTestbench& b) { return b.run_packed(n); });
+      });
 }
 
 }  // namespace retscan::parallel

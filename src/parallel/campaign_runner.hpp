@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "testbench/harness.hpp"
@@ -54,6 +55,7 @@ struct CampaignReport {
 class CampaignRunner {
  public:
   explicit CampaignRunner(const CampaignOptions& options = {});
+  ~CampaignRunner();
 
   unsigned threads() const { return pool_.size(); }
   const CampaignOptions& options() const { return options_; }
@@ -87,8 +89,16 @@ class CampaignRunner {
                                        std::size_t shard_size = 0);
 
  private:
+  // Persistent per-thread workspaces: warm testbenches (compiled design +
+  // sessions + cone caches) kept across shards and campaigns, reseeded per
+  // shard instead of rebuilt. In the steady state one testbench per pool
+  // thread circulates; results stay bit-identical because reseed() restores
+  // the exact fresh-construction state (see StructuralTestbench::reseed).
+  struct WorkspacePool;
+
   CampaignOptions options_;
   ThreadPool pool_;
+  std::unique_ptr<WorkspacePool> workspaces_;
 };
 
 }  // namespace retscan::parallel

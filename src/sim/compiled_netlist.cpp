@@ -129,6 +129,19 @@ void CompiledNetlist::eval_full_clamped(LaneWord* values,
   }
 }
 
+void CompiledNetlist::eval_full(LaneBlock* values) const {
+  for (const CompiledInstr& in : instrs_) {
+    values[in.out] = eval_instr(in, values);
+  }
+}
+
+void CompiledNetlist::eval_full_clamped(LaneBlock* values,
+                                        const LaneWord* domain_clamps) const {
+  for (const CompiledInstr& in : instrs_) {
+    values[in.out] = eval_instr(in, values) & block_fill(domain_clamps[in.domain]);
+  }
+}
+
 CompiledNetlist::Cone CompiledNetlist::build_cone(NetId source) const {
   Cone cone;
   cone.source_slot = slot(source);

@@ -79,8 +79,12 @@ class CompiledNetlist {
   /// Number of power domains referenced by any cell (>= 1).
   std::size_t domain_count() const { return domain_count_; }
 
-  /// Evaluate one instruction against a slot-indexed value array.
-  static LaneWord eval_instr(const CompiledInstr& in, const LaneWord* v) {
+  /// Evaluate one instruction against a slot-indexed value array. Lanes is
+  /// either LaneWord (64 lanes, the cycle engines) or LaneBlock
+  /// (kLaneBlockBits lanes, the wide sweep/fault datapath); both share this
+  /// one kernel so gate semantics cannot diverge between widths.
+  template <typename Lanes>
+  static Lanes eval_instr(const CompiledInstr& in, const Lanes* v) {
     switch (in.op) {
       case CompiledOp::Buf: return v[in.in0];
       case CompiledOp::Not: return ~v[in.in0];
@@ -92,15 +96,21 @@ class CompiledNetlist {
       case CompiledOp::Xnor2: return ~(v[in.in0] ^ v[in.in1]);
       case CompiledOp::Mux2: return lane_mux(v[in.in0], v[in.in1], v[in.in2]);
     }
-    return 0;
+    return Lanes{};
   }
 
   /// Full-sweep settle: values must hold slot_count() lane words with every
   /// source slot already written.
   void eval_full(LaneWord* values) const;
+  /// Block-wide full sweep: values holds slot_count() LaneBlocks, lane-major
+  /// and contiguous, so one sweep walks kLaneBlockBits lanes per slot.
+  void eval_full(LaneBlock* values) const;
   /// Full-sweep settle with power-domain clamping: `domain_clamps` holds one
   /// word per domain (~0 = powered, 0 = isolation-clamped to 0).
   void eval_full_clamped(LaneWord* values, const LaneWord* domain_clamps) const;
+  /// Block-wide clamped sweep; the per-domain clamp word applies uniformly
+  /// to every word of each block.
+  void eval_full_clamped(LaneBlock* values, const LaneWord* domain_clamps) const;
 
   /// Fanout cone of a net: everything a stuck-at fault on `source` can
   /// disturb within the combinational frame.

@@ -5,37 +5,17 @@
 
 #include "netlist/netlist.hpp"
 #include "util/error.hpp"
+#include "util/lanes.hpp"  // LaneWord / LaneBlock lane primitives
 
 namespace retscan {
-
-/// One machine word of simulation lanes. Bit b of a LaneWord holds the value
-/// of net/state slot for lane b, so every bitwise gate operation evaluates 64
-/// independent pattern/seed slots at once — the classic word-level
-/// bit-parallel technique of industrial fault simulators.
-using LaneWord = std::uint64_t;
-
-inline constexpr std::size_t kLaneCount = 64;
-inline constexpr LaneWord kAllLanes = ~LaneWord{0};
-
-/// Replicate a scalar boolean across all lanes.
-constexpr LaneWord lane_broadcast(bool value) { return value ? kAllLanes : LaneWord{0}; }
-
-/// Mask selecting lanes [0, count).
-constexpr LaneWord lane_mask(std::size_t count) {
-  return count >= kLaneCount ? kAllLanes : (LaneWord{1} << count) - 1;
-}
-
-/// Lane-wise 2:1 select: sel ? b : a.
-constexpr LaneWord lane_mux(LaneWord sel, LaneWord a, LaneWord b) {
-  return (sel & b) | (~sel & a);
-}
 
 /// Word-parallel evaluation of one combinational cell over 64 lanes.
 /// `values` is indexed by NetId and holds one LaneWord per net. This is the
 /// single shared gate-evaluation kernel: the cycle simulators (scalar
 /// Simulator facade and PackedSim, via SimEngine) and the combinational
 /// fault-simulation frame all call it, so gate semantics are defined in
-/// exactly one place.
+/// exactly one place. The compiled block sweep (CompiledNetlist::eval_full
+/// over LaneBlock storage) widens the same semantics to kLaneBlockBits lanes.
 template <typename Values>
 inline LaneWord eval_comb_word(const Cell& cell, const Values& values) {
   const auto& f = cell.fanin;

@@ -29,6 +29,13 @@ FastTestbench::FastTestbench(const ValidationConfig& config)
                                               injector_seed(config_));
 }
 
+void FastTestbench::reseed(std::uint64_t seed) {
+  config_.seed = seed;
+  rng_ = Rng(seed);
+  injector_ = std::make_unique<ErrorInjector>(config_.chain_count, chain_length_,
+                                              injector_seed(config_));
+}
+
 ValidationStats FastTestbench::run(std::size_t count) {
   ValidationStats stats;
   const bool use_hamming = config_.kind != CodeKind::CrcDetect;
@@ -138,6 +145,25 @@ StructuralTestbench::StructuralTestbench(const ValidationConfig& config)
   if (config_.mode == InjectionMode::RushModel) {
     const RushCurrentModel rush(config_.rush);
     corruption_ = std::make_unique<CorruptionModel>(config_.corruption, rush);
+  }
+}
+
+void StructuralTestbench::reseed(std::uint64_t seed) {
+  config_.seed = seed;
+  rng_ = Rng(seed);
+  injector_ = std::make_unique<ErrorInjector>(
+      config_.chain_count, design_->chain_length(), injector_seed(config_));
+  if (config_.mode == InjectionMode::RushModel) {
+    const RushCurrentModel rush(config_.rush);
+    corruption_ = std::make_unique<CorruptionModel>(config_.corruption, rush);
+  }
+  // The session constructors perform nothing but a reset (controls low,
+  // inputs zero, one settle), so resetting the simulators restores the
+  // exact fresh-construction state without recompiling the design.
+  session_->sim().reset();
+  session_->reset_fsm();
+  if (packed_session_) {
+    packed_session_->sim().reset();
   }
 }
 

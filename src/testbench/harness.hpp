@@ -92,6 +92,13 @@ class FastTestbench {
   /// Run `count` test sequences and accumulate statistics.
   ValidationStats run(std::size_t count);
 
+  /// Rewind to the state of a freshly constructed testbench with the same
+  /// shape but `seed`. This is what makes persistent per-thread workspaces
+  /// possible: a pooled campaign reseeds a warm testbench per shard instead
+  /// of rebuilding it, with bit-identical results (asserted by
+  /// test_parallel's persistent-workspace case).
+  void reseed(std::uint64_t seed);
+
  private:
   ValidationConfig config_;
   std::size_t chain_length_;
@@ -119,6 +126,14 @@ class StructuralTestbench {
   /// Statistically equivalent to run() (same protocol, same injectors) at a
   /// fraction of the simulation cost; this is the paper-scale path.
   ValidationStats run_packed(std::size_t count);
+
+  /// Rewind to a freshly constructed testbench with the same shape but
+  /// `seed`: the simulators return to their power-on state (construction
+  /// writes nothing beyond a reset), the protocol FSM restarts, and the
+  /// random streams are re-derived. The expensive compiled design and
+  /// sessions are kept — this is the persistent-workspace fast path of the
+  /// pooled campaign runner.
+  void reseed(std::uint64_t seed);
 
  private:
   std::vector<ErrorLocation> sample_errors();

@@ -1,0 +1,7 @@
+#include "util/lanes.hpp"
+
+namespace retscan {
+
+bool lane_block_simd_compiled() { return RETSCAN_LANE_BLOCK_AVX2 != 0; }
+
+}  // namespace retscan

@@ -532,18 +532,26 @@ TEST(ApiRuntime, ParsesAndRejectsEnvOverrides) {
   ::setenv("RETSCAN_THREADS", "0", 1);
   ::setenv("RETSCAN_SEQUENCES", "12x", 1);
   config = runtime_config();
-  EXPECT_EQ(config.threads, 0u);  // invalid → unset
+  // Invalid override → the resolved hardware default (always >= 1).
+  EXPECT_EQ(config.threads, runtime_threads());
+  EXPECT_GE(config.threads, 1u);
   EXPECT_FALSE(config.sequences.has_value());
   EXPECT_EQ(runtime_sequences(10), 10u);
   EXPECT_GE(runtime_threads(), 1u);
 
-  ::setenv("RETSCAN_THREADS", "5000", 1);  // over the 4096 cap
-  EXPECT_EQ(runtime_config().threads, 0u);
+  ::setenv("RETSCAN_THREADS", "5000", 1);  // over the 4096 cap → hardware default
+  EXPECT_EQ(runtime_config().threads, runtime_threads());
+
+  // RETSCAN_THREADS=1 is the explicit serial opt-out.
+  ::setenv("RETSCAN_THREADS", "1", 1);
+  EXPECT_EQ(runtime_config().threads, 1u);
 
   ::unsetenv("RETSCAN_THREADS");
   ::unsetenv("RETSCAN_SEQUENCES");
   config = runtime_config();
-  EXPECT_EQ(config.threads, 0u);
+  // Unset → threads defaults to hardware concurrency, never 0.
+  EXPECT_EQ(config.threads, runtime_threads());
+  EXPECT_GE(config.threads, 1u);
   EXPECT_FALSE(config.sequences.has_value());
   EXPECT_EQ(runtime_sequences(42), 42u);
 }

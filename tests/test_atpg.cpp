@@ -132,12 +132,12 @@ TEST(FaultSim, ConeSimulationMatchesFullSimulationCoverage) {
     const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
     const std::vector<BitVec> batch(patterns.begin() + base,
                                     patterns.begin() + base + count);
-    const auto loaded = frame.load_batch(batch);
+    const auto good = frame.good_response_words(batch);
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
       if (reference[fi] != npos) {
         continue;
       }
-      const std::uint64_t mask = frame.detect_mask_full(faults[fi], batch, loaded.good);
+      const std::uint64_t mask = frame.detect_mask_full(faults[fi], batch, good);
       if (mask != 0) {
         reference[fi] = base + static_cast<std::size_t>(std::countr_zero(mask));
         ++reference_detected;

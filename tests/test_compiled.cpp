@@ -253,6 +253,10 @@ TEST(FaultCone, DetectMasksMatchFullReferenceOnRandomNetlists) {
     for (const auto& batch : batches) {
       loaded.push_back(frame.load_batch(batch));
     }
+    std::vector<std::vector<std::uint64_t>> good_words;
+    for (const auto& batch : batches) {
+      good_words.push_back(frame.good_response_words(batch));
+    }
     CombinationalFrame::Workspace workspace;
     for (const Fault& fault : faults) {
       // Alternate batches fault-major so the workspace resync path runs.
@@ -260,7 +264,7 @@ TEST(FaultCone, DetectMasksMatchFullReferenceOnRandomNetlists) {
         const std::uint64_t cone_mask =
             frame.detect_mask(fault, loaded[b], loaded[b].good, workspace);
         const std::uint64_t full_mask =
-            frame.detect_mask_full(fault, batches[b], loaded[b].good);
+            frame.detect_mask_full(fault, batches[b], good_words[b]);
         ASSERT_EQ(cone_mask, full_mask)
             << "trial " << trial << " fault " << fault_name(d.nl, fault)
             << " batch " << b;
@@ -287,10 +291,11 @@ TEST(FaultCone, DetectMasksMatchFullReferenceOnProtectedFifo) {
     patterns.push_back(frame.random_pattern(rng));
   }
   const auto loaded = frame.load_batch(patterns);
+  const auto good_words = frame.good_response_words(patterns);
   CombinationalFrame::Workspace workspace;
   for (const Fault& fault : faults) {
     ASSERT_EQ(frame.detect_mask(fault, loaded, loaded.good, workspace),
-              frame.detect_mask_full(fault, patterns, loaded.good))
+              frame.detect_mask_full(fault, patterns, good_words))
         << fault_name(design.netlist(), fault);
   }
 }
@@ -314,12 +319,12 @@ TEST(FaultCone, FaultSimulateMatchesReferenceCoverage) {
     const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
     const std::vector<BitVec> batch(patterns.begin() + base,
                                     patterns.begin() + base + count);
-    const auto loaded = frame.load_batch(batch);
+    const auto good_words = frame.good_response_words(batch);
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
       if (reference[fi] != npos) {
         continue;
       }
-      const std::uint64_t mask = frame.detect_mask_full(faults[fi], batch, loaded.good);
+      const std::uint64_t mask = frame.detect_mask_full(faults[fi], batch, good_words);
       if (mask != 0) {
         reference[fi] = base + static_cast<std::size_t>(std::countr_zero(mask));
       }
@@ -332,6 +337,205 @@ TEST(FaultCone, FaultSimulateMatchesReferenceCoverage) {
   const FaultSimResult pooled = fault_simulate(frame, faults, patterns, pool, 16);
   EXPECT_EQ(pooled.detected_by, reference);
   EXPECT_EQ(pooled.detected, serial.detected);
+}
+
+/// The lane-block kernel must agree with the single-word kernel and the
+/// reference interpreter on every word of every block, with independent
+/// stimulus in all kLaneWords words.
+TEST(LaneBlock, BlockSweepMatchesWordSweepAndReference) {
+  Rng rng(77);
+  for (int trial = 0; trial < 3; ++trial) {
+    const RandomDesign d = random_design(rng);
+    const auto compiled = d.nl.compiled();
+    for (int sweep = 0; sweep < 5; ++sweep) {
+      std::vector<LaneBlock> blocks(compiled->slot_count(), LaneBlock{});
+      for (LaneBlock& block : blocks) {
+        for (std::size_t w = 0; w < kLaneWords; ++w) {
+          block.w[w] = rng.next_u64();
+        }
+      }
+      // Word-kernel and interpreter copies of each block word's stimulus.
+      std::vector<std::vector<LaneWord>> by_slot(
+          kLaneWords, std::vector<LaneWord>(compiled->slot_count()));
+      std::vector<std::vector<LaneWord>> by_net(
+          kLaneWords, std::vector<LaneWord>(d.nl.net_count()));
+      for (std::size_t w = 0; w < kLaneWords; ++w) {
+        for (std::uint32_t slot = 0; slot < compiled->slot_count(); ++slot) {
+          by_slot[w][slot] = blocks[slot].w[w];
+          by_net[w][compiled->net_of_slot(slot)] = blocks[slot].w[w];
+        }
+      }
+      compiled->eval_full(blocks.data());
+      for (std::size_t w = 0; w < kLaneWords; ++w) {
+        compiled->eval_full(by_slot[w].data());
+        CompiledNetlist::reference_eval(d.nl, by_net[w]);
+        for (NetId net = 0; net < d.nl.net_count(); ++net) {
+          const std::uint32_t slot = compiled->slot(net);
+          ASSERT_EQ(blocks[slot].w[w], by_slot[w][slot])
+              << "trial " << trial << " sweep " << sweep << " word " << w
+              << " net " << net << " (block vs word kernel)";
+          ASSERT_EQ(blocks[slot].w[w], by_net[w][net])
+              << "trial " << trial << " sweep " << sweep << " word " << w
+              << " net " << net << " (block kernel vs interpreter)";
+        }
+      }
+    }
+  }
+}
+
+/// Same agreement through the clamped sweep: every word of a block sees the
+/// identical per-domain isolation clamp the word kernel applies.
+TEST(LaneBlock, ClampedBlockSweepMatchesWordSweep) {
+  Rng rng(78);
+  for (int trial = 0; trial < 3; ++trial) {
+    const RandomDesign d = random_design(rng);
+    const auto compiled = d.nl.compiled();
+    // Random designs place cells in domains 0 and 1; exercise powered,
+    // clamped and per-lane-mixed clamp words.
+    for (const LaneWord clamp1 : {kAllLanes, LaneWord{0}, rng.next_u64()}) {
+      const LaneWord clamps[2] = {kAllLanes, clamp1};
+      std::vector<LaneBlock> blocks(compiled->slot_count(), LaneBlock{});
+      for (LaneBlock& block : blocks) {
+        for (std::size_t w = 0; w < kLaneWords; ++w) {
+          block.w[w] = rng.next_u64();
+        }
+      }
+      std::vector<std::vector<LaneWord>> by_slot(
+          kLaneWords, std::vector<LaneWord>(compiled->slot_count()));
+      for (std::size_t w = 0; w < kLaneWords; ++w) {
+        for (std::uint32_t slot = 0; slot < compiled->slot_count(); ++slot) {
+          by_slot[w][slot] = blocks[slot].w[w];
+        }
+      }
+      compiled->eval_full_clamped(blocks.data(), clamps);
+      for (std::size_t w = 0; w < kLaneWords; ++w) {
+        compiled->eval_full_clamped(by_slot[w].data(), clamps);
+        for (std::uint32_t slot = 0; slot < compiled->slot_count(); ++slot) {
+          ASSERT_EQ(blocks[slot].w[w], by_slot[w][slot])
+              << "trial " << trial << " clamp " << clamp1 << " word " << w
+              << " slot " << slot;
+        }
+      }
+    }
+  }
+}
+
+/// detect_block over kLaneBlockBits-wide batches (shared workspace, cone
+/// replay + undo) must reproduce the full-circuit reference word-for-word,
+/// including partial last blocks at pattern counts that are not multiples
+/// of the block width — lanes beyond the count must read zero.
+TEST(LaneBlock, DetectBlockMatchesFullReferenceAtPartialCounts) {
+  Rng rng(79);
+  const RandomDesign d = random_design(rng);
+  const CombinationalFrame frame(d.nl);
+  const auto faults = collapse_faults(d.nl, enumerate_faults(d.nl));
+  ASSERT_GT(faults.size(), 0u);
+  std::vector<BitVec> all_patterns;
+  for (int p = 0; p < 300; ++p) {
+    all_patterns.push_back(frame.random_pattern(rng));
+  }
+  CombinationalFrame::Workspace workspace;
+  for (const std::size_t count : {std::size_t{100}, std::size_t{150},
+                                  std::size_t{300}}) {
+    const std::vector<BitVec> patterns(all_patterns.begin(),
+                                       all_patterns.begin() + count);
+    for (std::size_t base = 0; base < patterns.size(); base += kLaneBlockBits) {
+      const std::size_t chunk =
+          std::min<std::size_t>(kLaneBlockBits, patterns.size() - base);
+      const std::vector<BitVec> block_patterns(patterns.begin() + base,
+                                               patterns.begin() + base + chunk);
+      const auto loaded = frame.load_batch(block_patterns);
+      ASSERT_EQ(loaded.count, chunk);
+      for (const Fault& fault : faults) {
+        const LaneBlock mask =
+            frame.detect_block(fault, loaded, loaded.good, workspace);
+        for (std::size_t w = 0; w < kLaneWords; ++w) {
+          const std::size_t word_base = w * kLaneCount;
+          if (word_base >= chunk) {
+            // Lanes past the batch count must be silenced.
+            ASSERT_EQ(mask.w[w], 0u) << "count " << count << " word " << w;
+            continue;
+          }
+          const std::size_t word_count =
+              std::min<std::size_t>(kLaneCount, chunk - word_base);
+          const std::vector<BitVec> word_patterns(
+              block_patterns.begin() + word_base,
+              block_patterns.begin() + word_base + word_count);
+          const auto good_words = frame.good_response_words(word_patterns);
+          ASSERT_EQ(mask.w[w],
+                    frame.detect_mask_full(fault, word_patterns, good_words))
+              << "count " << count << " base " << base << " word " << w
+              << " fault " << fault_name(d.nl, fault);
+        }
+      }
+    }
+  }
+}
+
+/// pack_lane_blocks/unpack_lane_blocks round-trip losslessly at full and
+/// partial lane counts, and word 0 agrees with the single-word packer.
+TEST(LaneBlock, PackLaneBlocksRoundTripsAndAgreesWithPackLanes) {
+  Rng rng(80);
+  const std::size_t width = 23;
+  for (const std::size_t lanes :
+       {kLaneBlockBits, kLaneBlockBits / 2 + 3, std::size_t{1}}) {
+    std::vector<BitVec> rows;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      BitVec row(width);
+      for (std::size_t i = 0; i < width; ++i) {
+        row.set(i, rng.next_bool(0.5));
+      }
+      rows.push_back(row);
+    }
+    const std::vector<LaneBlock> blocks = pack_lane_blocks(rows);
+    ASSERT_EQ(blocks.size(), width);
+    const std::vector<BitVec> back = unpack_lane_blocks(blocks, lanes);
+    ASSERT_EQ(back.size(), rows.size());
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      EXPECT_EQ(back[lane], rows[lane]) << "lanes " << lanes << " lane " << lane;
+    }
+    const std::vector<BitVec> head(
+        rows.begin(), rows.begin() + std::min<std::size_t>(lanes, kLaneCount));
+    const std::vector<std::uint64_t> words = pack_lanes(head);
+    for (std::size_t i = 0; i < width; ++i) {
+      EXPECT_EQ(blocks[i].w[0], words[i]) << "lanes " << lanes << " bit " << i;
+    }
+  }
+}
+
+/// Block primitive semantics: lane masks, emptiness and first-lane index
+/// across word boundaries.
+TEST(LaneBlock, PrimitiveSemantics) {
+  EXPECT_EQ(block_lane_mask(0), LaneBlock{});
+  const LaneBlock full = block_lane_mask(kLaneBlockBits);
+  for (std::size_t w = 0; w < kLaneWords; ++w) {
+    EXPECT_EQ(full.w[w], kAllLanes);
+  }
+  // A partial mask fills whole words then a partial word, then zeros.
+  const std::size_t cut = kLaneCount / 2 + (kLaneWords > 1 ? kLaneCount : 0);
+  const LaneBlock partial = block_lane_mask(cut);
+  for (std::size_t w = 0; w < kLaneWords; ++w) {
+    const std::size_t lo = w * kLaneCount;
+    if (cut >= lo + kLaneCount) {
+      EXPECT_EQ(partial.w[w], kAllLanes) << "word " << w;
+    } else if (cut <= lo) {
+      EXPECT_EQ(partial.w[w], 0u) << "word " << w;
+    } else {
+      EXPECT_EQ(partial.w[w], (std::uint64_t{1} << (cut - lo)) - 1) << "word " << w;
+    }
+  }
+  EXPECT_FALSE(block_any(LaneBlock{}));
+  EXPECT_EQ(block_first_lane(LaneBlock{}), kLaneBlockBits);
+  for (const std::size_t lane :
+       {std::size_t{0}, std::size_t{5}, kLaneBlockBits - 1}) {
+    LaneBlock one{};
+    one.w[lane / kLaneCount] = std::uint64_t{1} << (lane % kLaneCount);
+    EXPECT_TRUE(block_any(one));
+    EXPECT_EQ(block_first_lane(one), lane) << "lane " << lane;
+    // With a later lane also set, the first one still wins.
+    one.w[kLaneWords - 1] |= std::uint64_t{1} << (kLaneCount - 1);
+    EXPECT_EQ(block_first_lane(one), lane) << "lane " << lane;
+  }
 }
 
 }  // namespace

@@ -215,6 +215,64 @@ struct FrameFixture {
 };
 }  // namespace
 
+// Persistent per-thread workspaces: a runner reuses compiled testbenches
+// across campaigns instead of rebuilding them per shard. Reuse must be
+// invisible — rerunning the same campaign on a warm runner, interleaving
+// other shapes in between, and changing only the seed must all reproduce a
+// cold runner's statistics bit-for-bit, on both tiers and at any thread
+// count.
+TEST(CampaignRunner, PersistentWorkspacesAreBitIdenticalAcrossReuse) {
+  const ValidationConfig config = fast_config();
+  ValidationConfig burst = fast_config();
+  burst.mode = InjectionMode::MultipleBurst;
+  burst.burst_size = 4;
+  burst.burst_spread = 1;
+  ValidationConfig reseeded = fast_config();
+  reseeded.seed = 1234;
+
+  parallel::CampaignRunner cold(parallel::CampaignOptions{.threads = 2});
+  const ValidationStats first = cold.run_fast(config, 1024, 128).stats;
+  const ValidationStats burst_cold = cold.run_fast(burst, 1024, 128).stats;
+  const ValidationStats reseeded_cold = cold.run_fast(reseeded, 1024, 128).stats;
+
+  // Warm reuse: same runner, same campaign again — workspaces recycled.
+  EXPECT_TRUE(cold.run_fast(config, 1024, 128).stats == first);
+  // Interleave a different shape, then return to the original: the pool is
+  // keyed by campaign shape, so neither run may contaminate the other.
+  EXPECT_TRUE(cold.run_fast(burst, 1024, 128).stats == burst_cold);
+  EXPECT_TRUE(cold.run_fast(config, 1024, 128).stats == first);
+  // Same shape, different seed: reseed of a recycled workspace must equal a
+  // fresh construction.
+  EXPECT_TRUE(cold.run_fast(reseeded, 1024, 128).stats == reseeded_cold);
+
+  // Warm runners at other thread counts agree with the cold baseline.
+  parallel::CampaignRunner wide(parallel::CampaignOptions{.threads = 8});
+  (void)wide.run_fast(burst, 1024, 128);  // warm the pool with another shape
+  EXPECT_TRUE(wide.run_fast(config, 1024, 128).stats == first);
+  EXPECT_TRUE(wide.run_fast(reseeded, 1024, 128).stats == reseeded_cold);
+
+  // Structural tier: same contract through the packed gate-level testbench.
+  ValidationConfig gate;
+  gate.fifo = FifoSpec{32, 2};
+  gate.chain_count = 8;
+  gate.mode = InjectionMode::SingleRandom;
+  gate.seed = 5;
+  ValidationConfig gate_reseeded = gate;
+  gate_reseeded.seed = 17;
+
+  parallel::CampaignRunner gate_cold(parallel::CampaignOptions{.threads = 3});
+  const ValidationStats gate_first =
+      gate_cold.run_structural_packed(gate, 128, 64).stats;
+  const ValidationStats gate_other =
+      gate_cold.run_structural_packed(gate_reseeded, 128, 64).stats;
+  EXPECT_TRUE(gate_cold.run_structural_packed(gate, 128, 64).stats == gate_first);
+  EXPECT_TRUE(
+      gate_cold.run_structural_packed(gate_reseeded, 128, 64).stats == gate_other);
+  parallel::CampaignRunner gate_warm(parallel::CampaignOptions{.threads = 1});
+  (void)gate_warm.run_structural_packed(gate_reseeded, 128, 64);
+  EXPECT_TRUE(gate_warm.run_structural_packed(gate, 128, 64).stats == gate_first);
+}
+
 TEST(FaultSimParallel, ShardMergeMatchesSerialFaultCoverage) {
   FrameFixture fixture;
   const auto all = enumerate_faults(fixture.design.netlist());
