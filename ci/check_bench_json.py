@@ -35,6 +35,9 @@ REQUIRED_KEYS = {
         "parallel_speedup",
         "scaling_efficiency",
         "gate_speedup",
+        "event_speedup",
+        "event_sweeps",
+        "avg_dirty_fraction",
     ]
     + [f"parallel_speedup_t{n}" for n in (1, 2, 4, 8)]
     + [f"scaling_efficiency_t{n}" for n in (1, 2, 4, 8)],
@@ -68,7 +71,7 @@ REQUIRED_KEYS = {
 
 # Ratio metrics gated against bench/baselines/BENCH_<name>.json.
 GATED_KEYS = {
-    "validation": ["gate_speedup"],
+    "validation": ["gate_speedup", "event_speedup"],
     "atpg": ["faultsim_speedup", "delivery_speedup"],
     "engine": ["compile_speedup", "cone_speedup"],
     "external": ["min_coverage"],
@@ -95,6 +98,10 @@ def conditional_gates(name, report):
                       f"lane_words={lane_words:.0f} >= 4"))
 
     if name == "validation":
+        # The dirty-net worklist must beat the full sweep by >= 2x on the
+        # low-activity retention workload (the PR7 tentpole contract). A
+        # pure same-binary same-host scheduling ratio, so no shape guard.
+        gates.append(("event_speedup", 2.0, "low-activity workload"))
         # Thread-scaling floors need real cores (>= 8 logical, i.e. ~4
         # physical with SMT) and a non-trivial budget — tiny smoke runs are
         # dominated by shard setup.

@@ -111,6 +111,14 @@ struct CampaignSpec {
   /// Sleep/wake trial count. Must be > 0 for validation kinds.
   std::size_t sequences = 0;
   ValidationTier tier = ValidationTier::Behavioral;
+  /// Settle schedule for gate-level simulation (sim/schedule.hpp): Sweep
+  /// evaluates the full compiled stream every settle, Event runs the
+  /// dirty-net worklist, Auto defers to RETSCAN_SCHEDULE and then to
+  /// per-engine activity probing. Statistics are bit-identical under every
+  /// schedule; only throughput differs. Explicit Event is rejected where no
+  /// gate-level sweep exists to schedule (behavioral tier, Reference
+  /// backend, non-validation kinds) — use Auto there.
+  Schedule schedule = Schedule::Auto;
   InjectionMode mode = InjectionMode::SingleRandom;
   std::size_t burst_size = 4;
   std::size_t burst_spread = 2;
@@ -130,9 +138,17 @@ struct CampaignSpec {
 struct CampaignResult {
   CampaignKind kind = CampaignKind::Validation;
   Backend backend = Backend::Reference; ///< resolved strategy actually run
+  /// Schedule the gate-level engines were asked to run (Auto means each
+  /// engine probed its own activity; see `activity` for what that chose).
+  Schedule schedule = Schedule::Sweep;
   unsigned threads = 1;
   std::size_t shard_count = 1;
   double seconds = 0.0; ///< wall-clock of the campaign body
+
+  /// Activity telemetry from the gate-level engines (avg_dirty_fraction(),
+  /// event_sweeps, full_sweep_fallbacks, ...) — why Auto chose what it
+  /// chose. All-zero for behavioral campaigns and non-validation kinds.
+  ScheduleTelemetry activity{};
 
   ValidationStats validation{}; ///< Validation / Injection
   AtpgResult atpg{};            ///< FaultCoverage / ScanTest

@@ -3,13 +3,16 @@
 #include <cstddef>
 #include <optional>
 
+#include "sim/schedule.hpp"
+
 namespace retscan {
 
 /// Parsed `RETSCAN_*` environment overrides — the one place the process
-/// environment is interpreted. Both knobs parse strictly: the value must be
-/// a plain positive decimal integer (threads additionally capped at 4096);
-/// anything else (garbage, 0, negative, trailing junk, overflow) warns on
-/// stderr and is treated as unset, never silently accepted.
+/// environment is interpreted. All knobs parse strictly: numeric values must
+/// be plain positive decimal integers (threads additionally capped at 4096)
+/// and RETSCAN_SCHEDULE must be one of auto/sweep/event; anything else
+/// (garbage, 0, negative, trailing junk, overflow) warns on stderr and is
+/// treated as unset, never silently accepted.
 struct RuntimeConfig {
   /// Resolved worker count: the RETSCAN_THREADS override when set and
   /// valid, else hardware_concurrency() (else 1). Always >= 1 — campaigns
@@ -19,12 +22,20 @@ struct RuntimeConfig {
   /// RETSCAN_SEQUENCES campaign-budget override; nullopt means
   /// unset/invalid (use the caller's default).
   std::optional<std::size_t> sequences;
+  /// RETSCAN_SCHEDULE settle-schedule override; nullopt means unset/invalid
+  /// (engines default to Sweep, campaigns to the spec's schedule knob). An
+  /// explicit CampaignSpec schedule always beats the environment.
+  std::optional<Schedule> schedule;
 };
 
-/// Parse the environment now. Deliberately not cached: tests and embedding
-/// applications mutate the environment between calls, and the parse is two
-/// getenv()s.
+/// The parsed environment, cached after the first call (every SimEngine
+/// construction consults it, so it sits on hot construction paths). Tests
+/// and embedding applications that mutate RETSCAN_* afterwards must call
+/// runtime_config_refresh() to see the change.
 RuntimeConfig runtime_config();
+
+/// Re-parse the environment, replace the cache, and return the result.
+RuntimeConfig runtime_config_refresh();
 
 /// Resolved worker count: RETSCAN_THREADS override, else
 /// hardware_concurrency(), else 1. This is what ThreadPool(0) uses.
@@ -34,5 +45,10 @@ unsigned runtime_threads();
 /// `default_count`. The paper runs 100M FPGA sequences; benches default to
 /// counts that finish in seconds and let this env knob scale them up.
 std::size_t runtime_sequences(std::size_t default_count);
+
+/// Resolve a requested schedule against the environment: an explicit
+/// Sweep/Event request wins; Auto defers to RETSCAN_SCHEDULE when set and
+/// otherwise stays Auto (engine-side activity probing).
+Schedule runtime_schedule(Schedule requested);
 
 }  // namespace retscan

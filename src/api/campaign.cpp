@@ -16,6 +16,7 @@
 #include "atpg/atpg.hpp"
 #include "atpg/scan_test.hpp"
 #include "circuits/fifo.hpp"
+#include "retscan/runtime.hpp"
 #include "retscan/session.hpp"
 #include "sim/packed_sim.hpp"
 #include "util/error.hpp"
@@ -147,6 +148,7 @@ ValidationConfig validation_config(Session& session, const CampaignSpec& spec) {
   config.seed = spec.seed;
   config.corruption = spec.corruption;
   config.rush = spec.rush;
+  config.schedule = spec.schedule;
   return config;
 }
 
@@ -212,6 +214,22 @@ void validate(const CampaignSpec& spec, const Session& session) {
              "already word-parallel per trial); use Backend::Reference, "
              "Backend::PackedParallel or Backend::Auto");
     }
+    if (spec.schedule == Schedule::Event) {
+      if (spec.tier == ValidationTier::Behavioral) {
+        reject(spec,
+               "the behavioral tier evaluates closed-form protectors — there "
+               "is no gate-level settle loop for the event scheduler to "
+               "drive; use tier = structural, or Schedule::Auto (the "
+               "default), which resolves to sweep where event cannot apply");
+      }
+      if (spec.backend == Backend::Reference) {
+        reject(spec,
+               "Backend::Reference is the scalar full-sweep oracle the event "
+               "scheduler is checked against, so it always sweeps; use "
+               "Backend::Packed / Backend::PackedParallel for an event-"
+               "scheduled run, or Schedule::Auto to let the backend decide");
+      }
+    }
     if (spec.kind == CampaignKind::Injection && spec.mode != InjectionMode::RushModel) {
       reject(spec,
              std::string("injection campaigns sample upsets from the electrical "
@@ -232,6 +250,13 @@ void validate(const CampaignSpec& spec, const Session& session) {
                  "change the shard plan (and the statistics) behind your back");
     }
   } else {
+    if (spec.schedule == Schedule::Event) {
+      reject(spec,
+             "the schedule knob drives the settle loop of gate-level "
+             "validation campaigns; fault-coverage and scan-test kinds replay "
+             "fault cones / scan patterns, which have no full-sweep settles "
+             "to schedule — leave schedule = auto for these kinds");
+    }
     if (spec.kind == CampaignKind::ScanTest && !session.is_protected()) {
       reject(spec,
              "this session wraps a bare (unprotected) netlist with no scan "
@@ -295,21 +320,36 @@ parallel::CampaignRunner& select_runner(
 
 void run_validation(Session& session, const CampaignSpec& spec, Backend backend,
                     CampaignResult& result) {
-  const ValidationConfig config = validation_config(session, spec);
+  ValidationConfig config = validation_config(session, spec);
   const bool behavioral = spec.tier == ValidationTier::Behavioral;
+  // Reference is the scalar full-sweep oracle the event scheduler is
+  // validated against, and behavioral runs have no gate level at all;
+  // both pin sweep here (explicit beats RETSCAN_SCHEDULE downstream).
+  // validate() already rejected explicit Event for these combinations.
+  if (behavioral || backend == Backend::Reference) {
+    config.schedule = Schedule::Sweep;
+  }
+  result.schedule = runtime_schedule(config.schedule);
   switch (backend) {
     case Backend::Reference:
-      result.validation = behavioral
-                              ? FastTestbench(config).run(spec.sequences)
-                              : StructuralTestbench(config).run(spec.sequences);
+      if (behavioral) {
+        result.validation = FastTestbench(config).run(spec.sequences);
+      } else {
+        StructuralTestbench bench(config);
+        result.validation = bench.run(spec.sequences);
+        result.activity = bench.take_telemetry();
+      }
       result.threads = 1;
       result.shard_count = 1;
       break;
-    case Backend::Packed:
-      result.validation = StructuralTestbench(config).run_packed(spec.sequences);
+    case Backend::Packed: {
+      StructuralTestbench bench(config);
+      result.validation = bench.run_packed(spec.sequences);
+      result.activity = bench.take_telemetry();
       result.threads = 1;
       result.shard_count = 1;
       break;
+    }
     case Backend::PackedParallel:
     default: {
       std::unique_ptr<parallel::CampaignRunner> local;
@@ -319,6 +359,7 @@ void run_validation(Session& session, const CampaignSpec& spec, Backend backend,
               ? runner.run_fast(config, spec.sequences, spec.shard_size)
               : runner.run_structural_packed(config, spec.sequences, spec.shard_size);
       result.validation = report.stats;
+      result.activity = report.telemetry;
       result.threads = report.threads;
       result.shard_count = report.shard_count;
       break;
@@ -517,6 +558,7 @@ void apply_spec_key(SpecFile& file, const std::string& key, const std::string& v
   else if (key == "campaign.shard_size")         c.shard_size = parse_spec_u64(value, line);
   else if (key == "campaign.sequences")          c.sequences = parse_spec_u64(value, line);
   else if (key == "campaign.tier")               c.tier = parse_spec_enum<ValidationTier>(value, line, "behavioral, structural");
+  else if (key == "campaign.schedule" || key == "schedule") c.schedule = parse_spec_enum<Schedule>(value, line, "auto, sweep, event");
   else if (key == "campaign.mode")               c.mode = parse_spec_enum<InjectionMode>(value, line, "none, single-random, multiple-burst, rush-model");
   else if (key == "campaign.burst_size")         c.burst_size = parse_spec_u64(value, line);
   else if (key == "campaign.burst_spread")       c.burst_spread = parse_spec_u64(value, line);

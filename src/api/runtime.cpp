@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 
 namespace retscan {
@@ -61,22 +62,71 @@ std::optional<std::size_t> sequences_override() {
   return std::nullopt;
 }
 
-}  // namespace
+std::optional<Schedule> schedule_override() {
+  const char* env = std::getenv("RETSCAN_SCHEDULE");
+  if (env == nullptr) {
+    return std::nullopt;
+  }
+  Schedule schedule;
+  if (from_string(env, schedule)) {
+    return schedule;
+  }
+  std::fprintf(stderr,
+               "[retscan] warning: invalid RETSCAN_SCHEDULE='%s' (want "
+               "auto, sweep or event); ignoring\n",
+               env);
+  return std::nullopt;
+}
 
-RuntimeConfig runtime_config() {
+RuntimeConfig parse_runtime_config() {
   RuntimeConfig config;
-  config.threads = runtime_threads();
+  const unsigned override = threads_override();
+  config.threads = override != 0 ? override : hardware_fallback();
   config.sequences = sequences_override();
+  config.schedule = schedule_override();
   return config;
 }
 
+std::mutex& config_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::optional<RuntimeConfig>& config_cache() {
+  static std::optional<RuntimeConfig> cache;
+  return cache;
+}
+
+}  // namespace
+
+RuntimeConfig runtime_config() {
+  const std::lock_guard<std::mutex> lock(config_mutex());
+  std::optional<RuntimeConfig>& cache = config_cache();
+  if (!cache) {
+    cache = parse_runtime_config();
+  }
+  return *cache;
+}
+
+RuntimeConfig runtime_config_refresh() {
+  const std::lock_guard<std::mutex> lock(config_mutex());
+  config_cache() = parse_runtime_config();
+  return *config_cache();
+}
+
 unsigned runtime_threads() {
-  const unsigned override = threads_override();
-  return override != 0 ? override : hardware_fallback();
+  return runtime_config().threads;
 }
 
 std::size_t runtime_sequences(std::size_t default_count) {
-  return sequences_override().value_or(default_count);
+  return runtime_config().sequences.value_or(default_count);
+}
+
+Schedule runtime_schedule(Schedule requested) {
+  if (requested != Schedule::Auto) {
+    return requested;
+  }
+  return runtime_config().schedule.value_or(Schedule::Auto);
 }
 
 }  // namespace retscan

@@ -160,6 +160,19 @@ const CombinationalFrame::FaultCone& CombinationalFrame::fault_cone(NetId net) c
   return *it->second;
 }
 
+CombinationalFrame::FaultCone CombinationalFrame::dirty_cone(
+    const std::vector<NetId>& sources) const {
+  FaultCone fc;
+  fc.cone = compiled_->build_cone(sources);
+  for (const std::uint32_t slot : fc.cone.touched_slots) {
+    const std::uint32_t word = obs_word_of_slot_[slot];
+    if (word != kNoObs) {
+      fc.observables.emplace_back(word, slot);
+    }
+  }
+  return fc;
+}
+
 void CombinationalFrame::warm_cones(const std::vector<Fault>& faults) const {
   for (const Fault& fault : faults) {
     (void)fault_cone(fault.net);
@@ -181,6 +194,25 @@ LaneBlock CombinationalFrame::detect_block(
 LaneBlock CombinationalFrame::detect_block(
     const Fault& fault, const FaultCone& fc, const LoadedPatternBatch& batch,
     const std::vector<LaneBlock>& good_blocks, Workspace& workspace) const {
+  // Single-source specialization of the dirty-set replay; the forced value
+  // lives on the stack so the per-fault hot loop stays allocation-free.
+  const LaneBlock forced = block_broadcast(fault.stuck_at);
+  return replay_span(fc, &forced, 1, batch, good_blocks, workspace);
+}
+
+LaneBlock CombinationalFrame::replay_dirty(
+    const FaultCone& fc, const std::vector<LaneBlock>& forced,
+    const LoadedPatternBatch& batch, const std::vector<LaneBlock>& good_blocks,
+    Workspace& workspace) const {
+  RETSCAN_CHECK(forced.size() == fc.cone.source_slots.size(),
+                "CombinationalFrame::replay_dirty: one forced value per source");
+  return replay_span(fc, forced.data(), forced.size(), batch, good_blocks, workspace);
+}
+
+LaneBlock CombinationalFrame::replay_span(
+    const FaultCone& fc, const LaneBlock* forced, std::size_t forced_count,
+    const LoadedPatternBatch& batch, const std::vector<LaneBlock>& good_blocks,
+    Workspace& workspace) const {
   RETSCAN_CHECK(good_blocks.size() == response_width(),
                 "CombinationalFrame::detect_block: good responses missing");
   // Sync the workspace to this batch's good machine once; every cone pass
@@ -190,7 +222,9 @@ LaneBlock CombinationalFrame::detect_block(
     workspace.synced_tag = batch.tag;
   }
   LaneBlock* v = workspace.values.data();
-  v[fc.cone.source_slot] = block_broadcast(fault.stuck_at);
+  for (std::size_t s = 0; s < forced_count; ++s) {
+    v[fc.cone.source_slots[s]] = forced[s];
+  }
   const CompiledInstr* instrs = compiled_->instrs().data();
   for (const std::uint32_t i : fc.cone.instrs) {
     const CompiledInstr& in = instrs[i];

@@ -109,6 +109,24 @@ class CombinationalFrame {
   /// large, detect_mask_full remains the O(1)-scratch path.
   const FaultCone& fault_cone(NetId net) const;
 
+  /// Cone of an arbitrary dirty set of nets — the multi-source
+  /// generalization the event scheduler shares: the instruction slice any of
+  /// `sources` can disturb, plus every observation point it can reach.
+  /// Uncached (dirty sets are ad hoc); single fault sites should keep using
+  /// fault_cone().
+  FaultCone dirty_cone(const std::vector<NetId>& sources) const;
+
+  /// Replay a dirty set over a loaded batch: force `forced[i]` into
+  /// `cone.cone.source_slots[i]`, re-evaluate the cone slice, and return the
+  /// per-lane OR of observable differences against `good_blocks`. The
+  /// workspace is restored to the batch's settled values before returning.
+  /// detect_block is the single-source specialization of this (forced =
+  /// stuck-at broadcast).
+  LaneBlock replay_dirty(const FaultCone& cone, const std::vector<LaneBlock>& forced,
+                         const LoadedPatternBatch& batch,
+                         const std::vector<LaneBlock>& good_blocks,
+                         Workspace& workspace) const;
+
   /// Block-wide parallel-pattern single-fault propagation: lane p of the
   /// returned LaneBlock is set iff pattern p in the batch detects `fault`,
   /// given the precomputed good responses. Patterns beyond kLaneBlockBits
@@ -157,6 +175,12 @@ class CombinationalFrame {
  private:
   void load(std::vector<LaneBlock>& slot_values,
             const std::vector<BitVec>& patterns) const;
+  /// Shared cone-replay core of detect_block/replay_dirty; forced values are
+  /// passed as a raw span so the single-fault hot loop never allocates.
+  LaneBlock replay_span(const FaultCone& cone, const LaneBlock* forced,
+                        std::size_t forced_count, const LoadedPatternBatch& batch,
+                        const std::vector<LaneBlock>& good_blocks,
+                        Workspace& workspace) const;
 
   const Netlist* netlist_;
   std::shared_ptr<const CompiledNetlist> compiled_;

@@ -39,6 +39,7 @@ namespace {
 bool same_campaign_shape(const ValidationConfig& a, const ValidationConfig& b) {
   return a.fifo.depth == b.fifo.depth && a.fifo.width == b.fifo.width &&
          a.chain_count == b.chain_count && a.kind == b.kind &&
+         a.schedule == b.schedule &&
          a.hamming_r == b.hamming_r && a.mode == b.mode &&
          a.burst_size == b.burst_size && a.burst_spread == b.burst_spread &&
          a.corruption.noise_margin_volts == b.corruption.noise_margin_volts &&
@@ -106,6 +107,18 @@ CampaignRunner::~CampaignRunner() = default;
 
 namespace {
 
+/// Per-shard result pair: campaign statistics plus the shard's drained
+/// schedule telemetry, merged in shard order like everything else.
+struct ShardOutcome {
+  ValidationStats stats;
+  ScheduleTelemetry telemetry;
+  ShardOutcome& operator+=(const ShardOutcome& other) {
+    stats += other.stats;
+    telemetry += other.telemetry;
+    return *this;
+  }
+};
+
 /// Shared campaign driver on top of CampaignRunner::map_reduce — the one
 /// copy of the shard/merge logic: per-shard config with a derived seed
 /// stream, run_shard runs a testbench tier against it.
@@ -116,25 +129,30 @@ CampaignReport run_campaign(CampaignRunner& runner, const ValidationConfig& conf
   CampaignReport report;
   report.threads = runner.threads();
   report.shard_count = plan_shards(count, shard_size).size();
-  report.stats = runner.map_reduce<ValidationStats>(
+  const ShardOutcome merged = runner.map_reduce<ShardOutcome>(
       count, shard_size, [&](const ShardRange& shard) {
         ValidationConfig shard_config = config;
         shard_config.seed = shard_seed(config.seed, shard.index);
         return run_shard(shard_config, shard.count);
       });
+  report.stats = merged.stats;
+  report.telemetry = merged.telemetry;
   return report;
 }
 
 /// Run one shard on a pooled workspace: acquire (reseed or build), run,
 /// release. If the run throws, the instance is simply dropped — the pool
-/// never sees a half-run testbench.
+/// never sees a half-run testbench. Telemetry is drained before release so
+/// a warm instance never carries counters across shards.
 template <typename Tier, typename Run>
-ValidationStats run_on_tier(Tier& tier, const ValidationConfig& shard_config,
-                            Run&& run) {
+ShardOutcome run_on_tier(Tier& tier, const ValidationConfig& shard_config,
+                         Run&& run) {
   auto bench = tier.acquire(shard_config);
-  ValidationStats stats = run(*bench);
+  ShardOutcome outcome;
+  outcome.stats = run(*bench);
+  outcome.telemetry = bench->take_telemetry();
   tier.release(std::move(bench));
-  return stats;
+  return outcome;
 }
 
 }  // namespace

@@ -43,6 +43,11 @@ struct CampaignOptions {
 /// Campaign result plus the parallel execution shape, for BENCH_*.json.
 struct CampaignReport {
   ValidationStats stats;
+  /// Settle-schedule telemetry merged across shards (always zero for the
+  /// behavioral tier). Lives beside — never inside — ValidationStats: the
+  /// statistics must stay bit-identical across schedules and thread counts,
+  /// while telemetry legitimately varies with execution shape.
+  ScheduleTelemetry telemetry;
   unsigned threads = 1;
   std::size_t shard_count = 0;
 };

@@ -114,6 +114,21 @@ CompiledNetlist::CompiledNetlist(const Netlist& netlist) {
     each_operand(instrs_[i],
                  [&](std::uint32_t s) { reader_instrs_[cursor[s]++] = i; });
   }
+
+  // Topological levels for the event scheduler: source slots sit at level 0,
+  // each instruction one above its deepest operand. The stream is already
+  // topological, so one forward pass suffices.
+  std::vector<std::uint32_t> slot_level(net_count, 0);
+  instr_level_.resize(instrs_.size());
+  for (std::uint32_t i = 0; i < instrs_.size(); ++i) {
+    std::uint32_t level = 0;
+    each_operand(instrs_[i], [&](std::uint32_t s) {
+      level = std::max(level, slot_level[s]);
+    });
+    instr_level_[i] = level;
+    slot_level[instrs_[i].out] = level + 1;
+    level_count_ = std::max(level_count_, static_cast<std::size_t>(level) + 1);
+  }
 }
 
 void CompiledNetlist::eval_full(LaneWord* values) const {
@@ -143,8 +158,16 @@ void CompiledNetlist::eval_full_clamped(LaneBlock* values,
 }
 
 CompiledNetlist::Cone CompiledNetlist::build_cone(NetId source) const {
+  return build_cone(std::vector<NetId>{source});
+}
+
+CompiledNetlist::Cone CompiledNetlist::build_cone(
+    const std::vector<NetId>& sources) const {
   Cone cone;
-  cone.source_slot = slot(source);
+  cone.source_slots.reserve(sources.size());
+  for (const NetId source : sources) {
+    cone.source_slots.push_back(slot(source));
+  }
   std::vector<bool> in_cone(instrs_.size(), false);
   // Worklist BFS over the readers CSR; the stream is topological, so the
   // collected indices just need one sort to become an evaluation slice.
@@ -158,14 +181,16 @@ CompiledNetlist::Cone CompiledNetlist::build_cone(NetId source) const {
       }
     }
   };
-  push_readers(cone.source_slot);
+  for (const std::uint32_t s : cone.source_slots) {
+    push_readers(s);
+  }
   for (std::size_t w = 0; w < work.size(); ++w) {
     push_readers(instrs_[work[w]].out);
   }
   std::sort(work.begin(), work.end());
   cone.instrs = std::move(work);
-  cone.touched_slots.reserve(cone.instrs.size() + 1);
-  cone.touched_slots.push_back(cone.source_slot);
+  cone.touched_slots = cone.source_slots;
+  cone.touched_slots.reserve(cone.instrs.size() + cone.source_slots.size());
   for (const std::uint32_t i : cone.instrs) {
     cone.touched_slots.push_back(instrs_[i].out);
   }

@@ -50,9 +50,16 @@ struct CompiledInstr {
 ///    full sweep walks the value array almost monotonically.
 ///  * `eval_full` / `eval_full_clamped` evaluate the whole stream (the
 ///    SimEngine settle and the fault-frame good machine).
-///  * `build_cone` extracts the fanout cone of a net — the instruction
-///    slice it can disturb plus the touched-slot undo list — which is what
-///    makes incremental per-fault simulation O(cone) instead of O(circuit).
+///  * `eval_event` evaluates only the dirty set: a worklist seeded from
+///    changed source slots and propagated level-by-level through the
+///    readers CSR, with caller-side change detection deciding what keeps
+///    propagating. Bit-identical to `eval_full` because instructions are
+///    pure functions of their operands — an instruction with no changed
+///    operand recomputes its current output, so skipping it is exact.
+///  * `build_cone` extracts the fanout cone of one net — or of any dirty
+///    set of nets — as the instruction slice it can disturb plus the
+///    touched-slot undo list, which is what makes incremental per-fault
+///    simulation O(cone) instead of O(circuit).
 ///
 /// A CompiledNetlist is self-contained (no back-pointer into the Netlist),
 /// so the shared instance cached by Netlist::compiled() stays valid across
@@ -78,6 +85,13 @@ class CompiledNetlist {
 
   /// Number of power domains referenced by any cell (>= 1).
   std::size_t domain_count() const { return domain_count_; }
+
+  /// Topological level of instruction `i` (0 = all operands are source
+  /// slots). Within a level, instructions are independent: they write
+  /// distinct slots and read only strictly lower levels.
+  std::uint32_t instr_level(std::uint32_t i) const { return instr_level_[i]; }
+  /// Number of distinct instruction levels (longest combinational path).
+  std::size_t level_count() const { return level_count_; }
 
   /// Evaluate one instruction against a slot-indexed value array. Lanes is
   /// either LaneWord (64 lanes, the cycle engines) or LaneBlock
@@ -112,17 +126,105 @@ class CompiledNetlist {
   /// to every word of each block.
   void eval_full_clamped(LaneBlock* values, const LaneWord* domain_clamps) const;
 
-  /// Fanout cone of a net: everything a stuck-at fault on `source` can
-  /// disturb within the combinational frame.
+  /// Reusable scratch state for `eval_event`: per-level instruction buckets
+  /// plus a scheduled flag per instruction. Both are left empty/zero between
+  /// calls, so one workspace serves any number of settles; allocation
+  /// happens once on first use.
+  struct EventWorkspace {
+    std::vector<std::vector<std::uint32_t>> levels;
+    std::vector<std::uint8_t> scheduled;
+    bool ready = false;
+  };
+  void init_event_workspace(EventWorkspace& ws) const {
+    ws.levels.assign(level_count_, {});
+    ws.scheduled.assign(instrs_.size(), 0);
+    ws.ready = true;
+  }
+
+  struct EventResult {
+    /// Instructions evaluated by the worklist (including partial work of a
+    /// settle that fell back — those values are final either way).
+    std::size_t evaluated = 0;
+    /// True when the worklist crossed `budget` and the caller must finish
+    /// the settle with a full sweep.
+    bool fell_back = false;
+  };
+
+  /// Dirty-set settle: seed the worklist with the readers of `dirty_slots`
+  /// (source slots whose values changed since the last settle), then drain
+  /// level by level. `store(instr) -> bool` owns the value array: it
+  /// evaluates the instruction (applying any clamping/activity accounting)
+  /// and returns whether the output value changed; only changed outputs
+  /// propagate. Level order guarantees every instruction sees final operand
+  /// values, so even the partial work of a fallen-back settle is exact and
+  /// a subsequent full sweep recomputes identical values.
+  template <typename Store>
+  EventResult eval_event(const std::vector<std::uint32_t>& dirty_slots,
+                         EventWorkspace& ws, std::size_t budget,
+                         Store&& store) const {
+    if (!ws.ready) {
+      init_event_workspace(ws);
+    }
+    EventResult result;
+    const auto schedule_readers = [&](std::uint32_t s) {
+      for (std::uint32_t r = reader_offsets_[s]; r < reader_offsets_[s + 1]; ++r) {
+        const std::uint32_t i = reader_instrs_[r];
+        if (!ws.scheduled[i]) {
+          ws.scheduled[i] = 1;
+          ws.levels[instr_level_[i]].push_back(i);
+        }
+      }
+    };
+    for (const std::uint32_t s : dirty_slots) {
+      schedule_readers(s);
+    }
+    for (std::size_t lvl = 0; lvl < ws.levels.size(); ++lvl) {
+      std::vector<std::uint32_t>& bucket = ws.levels[lvl];
+      if (bucket.empty()) {
+        continue;
+      }
+      if (result.evaluated + bucket.size() > budget) {
+        // Clear the remaining schedule so the workspace is reusable; work
+        // already done below this level is final and need not be undone.
+        for (std::size_t l = lvl; l < ws.levels.size(); ++l) {
+          for (const std::uint32_t i : ws.levels[l]) {
+            ws.scheduled[i] = 0;
+          }
+          ws.levels[l].clear();
+        }
+        result.fell_back = true;
+        return result;
+      }
+      // schedule_readers only appends to strictly higher levels (a reader of
+      // this bucket's outputs has level > lvl), so iterating by range is
+      // safe while the worklist grows.
+      for (const std::uint32_t i : bucket) {
+        ws.scheduled[i] = 0;
+        if (store(instrs_[i])) {
+          schedule_readers(instrs_[i].out);
+        }
+      }
+      result.evaluated += bucket.size();
+      bucket.clear();
+    }
+    return result;
+  }
+
+  /// Fanout cone of a dirty set: everything the given source nets can
+  /// disturb within the combinational frame. The single-net form is the
+  /// stuck-at fault cone of PR 3.
   struct Cone {
-    std::uint32_t source_slot = 0;
-    /// Instruction indices downstream of the source, ascending (topological).
+    /// Source slots in the order the sources were given (one per net; the
+    /// caller forces these before replay).
+    std::vector<std::uint32_t> source_slots;
+    /// Instruction indices downstream of any source, ascending (topological).
     std::vector<std::uint32_t> instrs;
-    /// Undo list: the source slot plus every cone output slot — restoring
+    /// Undo list: the source slots plus every cone output slot — restoring
     /// exactly these returns a workspace to the good-machine values.
     std::vector<std::uint32_t> touched_slots;
   };
   Cone build_cone(NetId source) const;
+  Cone build_cone(const std::vector<NetId>& sources) const;
 
   /// The retained reference interpreter: the seed's per-`Cell` evaluation
   /// walk (combinational_order + eval_comb_word over NetId-indexed values,
@@ -135,6 +237,8 @@ class CompiledNetlist {
   std::vector<std::uint32_t> slot_of_net_;
   std::vector<NetId> net_of_slot_;
   std::vector<CompiledInstr> instrs_;
+  std::vector<std::uint32_t> instr_level_;
+  std::size_t level_count_ = 0;
   std::size_t domain_count_ = 1;
   // Readers CSR: reader_instrs_[reader_offsets_[s] .. reader_offsets_[s+1])
   // are the instruction indices whose operands include slot s.

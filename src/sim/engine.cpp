@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "retscan/runtime.hpp"
 #include "util/error.hpp"
 
 namespace retscan {
@@ -71,6 +72,13 @@ SimEngine::SimEngine(const Netlist& netlist, LaneWord activity_lanes)
   }
   next_state_.resize(seq_cells_.size(), 0);
   write_mask_.resize(seq_cells_.size(), 0);
+  slot_dirty_.assign(compiled_->slot_count(), 0);
+  dirty_slots_.reserve(64);
+  // Activity threshold: once a settle's worklist would exceed a quarter of
+  // the instruction stream, the compare-and-schedule overhead stops paying
+  // and one full sweep is cheaper.
+  event_budget_ = std::max<std::size_t>(64, compiled_->instrs().size() / 4);
+  schedule_ = runtime_config().schedule.value_or(Schedule::Sweep);
   reset();
 }
 
@@ -94,8 +102,43 @@ void SimEngine::reset() {
   std::fill(domain_powered_.begin(), domain_powered_.end(), kAllLanes);
   all_powered_ = true;
   std::fill(net_values_.begin(), net_values_.end(), LaneWord{0});
+  clear_dirty();
+  event_needs_full_ = true;
+  rearm_auto_probe();
   commit_sequential_outputs();
   eval();
+}
+
+void SimEngine::set_schedule(Schedule schedule) {
+  if (schedule == schedule_) {
+    return;
+  }
+  schedule_ = schedule;
+  clear_dirty();
+  event_needs_full_ = true;
+  rearm_auto_probe();
+}
+
+ScheduleTelemetry SimEngine::take_schedule_telemetry() {
+  ScheduleTelemetry out = telemetry_;
+  telemetry_ = ScheduleTelemetry{};
+  return out;
+}
+
+void SimEngine::clear_dirty() {
+  for (const std::uint32_t s : dirty_slots_) {
+    slot_dirty_[s] = 0;
+  }
+  dirty_slots_.clear();
+}
+
+void SimEngine::rearm_auto_probe() {
+  auto_use_event_ = true;
+  auto_locked_ = false;
+  auto_probe_left_ = kAutoProbeWindow;
+  auto_event_instrs_ = 0;
+  auto_capacity_ = 0;
+  auto_fallbacks_ = 0;
 }
 
 void SimEngine::drive_slot(std::uint32_t slot, CellId cell, LaneWord value) {
@@ -103,10 +146,13 @@ void SimEngine::drive_slot(std::uint32_t slot, CellId cell, LaneWord value) {
   if (old != value) {
     net_values_[slot] = value;
     toggles_[cell] += static_cast<std::uint64_t>(std::popcount((old ^ value) & activity_lanes_));
+    if (event_active()) {
+      mark_dirty(slot);
+    }
   }
 }
 
-void SimEngine::eval() {
+void SimEngine::full_sweep() {
   // One compiled sweep over the flat instruction stream. Sweep-invariant
   // state is resolved once up front: the all-powered common case skips the
   // per-gate domain lookup entirely (the gated case reads a single snapshot
@@ -117,7 +163,13 @@ void SimEngine::eval() {
   if (all_powered_) {
     if (toggles) {
       for (const CompiledInstr& in : compiled_->instrs()) {
-        drive_slot(in.out, in.cell, CompiledNetlist::eval_instr(in, v));
+        const LaneWord old = v[in.out];
+        const LaneWord value = CompiledNetlist::eval_instr(in, v);
+        if (old != value) {
+          v[in.out] = value;
+          toggles_[in.cell] +=
+              static_cast<std::uint64_t>(std::popcount((old ^ value) & activity_lanes_));
+        }
       }
     } else {
       for (const CompiledInstr& in : compiled_->instrs()) {
@@ -128,12 +180,93 @@ void SimEngine::eval() {
     const LaneWord* clamps = domain_powered_.data();
     if (toggles) {
       for (const CompiledInstr& in : compiled_->instrs()) {
-        drive_slot(in.out, in.cell,
-                   CompiledNetlist::eval_instr(in, v) & clamps[in.domain]);
+        const LaneWord old = v[in.out];
+        const LaneWord value = CompiledNetlist::eval_instr(in, v) & clamps[in.domain];
+        if (old != value) {
+          v[in.out] = value;
+          toggles_[in.cell] +=
+              static_cast<std::uint64_t>(std::popcount((old ^ value) & activity_lanes_));
+        }
       }
     } else {
       for (const CompiledInstr& in : compiled_->instrs()) {
         v[in.out] = CompiledNetlist::eval_instr(in, v) & clamps[in.domain];
+      }
+    }
+  }
+}
+
+void SimEngine::eval() {
+  const std::size_t instr_count = compiled_->instrs().size();
+  telemetry_.instr_capacity += instr_count;
+  if (!event_active()) {
+    full_sweep();
+    telemetry_.full_sweeps += 1;
+    telemetry_.sweep_instrs += instr_count;
+    return;
+  }
+  if (event_needs_full_) {
+    // Resync sweep: the dirty set cannot name everything stale (reset,
+    // power transition, schedule switch). Not an activity signal, so the
+    // Auto probe does not count it.
+    full_sweep();
+    clear_dirty();
+    event_needs_full_ = false;
+    telemetry_.full_sweeps += 1;
+    telemetry_.sweep_instrs += instr_count;
+    return;
+  }
+  // Dirty-net worklist settle. The store owns the value array: it mirrors
+  // drive_slot (clamp, compare, toggle accounting) but does NOT mark dirty —
+  // the worklist already propagates through the readers CSR, and re-marking
+  // would poison the seed set of the next settle.
+  LaneWord* v = net_values_.data();
+  const bool toggles = activity_lanes_ != 0;
+  const LaneWord* clamps = domain_powered_.data();
+  const bool clamp = !all_powered_;
+  const auto store = [&](const CompiledInstr& in) -> bool {
+    LaneWord value = CompiledNetlist::eval_instr(in, v);
+    if (clamp) {
+      value &= clamps[in.domain];
+    }
+    const LaneWord old = v[in.out];
+    if (old == value) {
+      return false;
+    }
+    v[in.out] = value;
+    if (toggles) {
+      toggles_[in.cell] +=
+          static_cast<std::uint64_t>(std::popcount((old ^ value) & activity_lanes_));
+    }
+    return true;
+  };
+  for (const std::uint32_t s : dirty_slots_) {
+    slot_dirty_[s] = 0;
+  }
+  const CompiledNetlist::EventResult result =
+      compiled_->eval_event(dirty_slots_, event_ws_, event_budget_, store);
+  dirty_slots_.clear();
+  telemetry_.event_instrs += result.evaluated;
+  if (result.fell_back) {
+    full_sweep();
+    telemetry_.full_sweeps += 1;
+    telemetry_.full_sweep_fallbacks += 1;
+    telemetry_.sweep_instrs += instr_count;
+  } else {
+    telemetry_.event_sweeps += 1;
+  }
+  // Auto probe: measure genuine event-attempt settles, then commit.
+  if (schedule_ == Schedule::Auto && !auto_locked_) {
+    auto_capacity_ += instr_count;
+    auto_event_instrs_ += result.evaluated + (result.fell_back ? instr_count : 0);
+    auto_fallbacks_ += result.fell_back ? 1 : 0;
+    if (--auto_probe_left_ == 0) {
+      auto_locked_ = true;
+      const bool too_dirty = auto_event_instrs_ * 8 > auto_capacity_;
+      const bool too_flaky = auto_fallbacks_ * 2 > kAutoProbeWindow;
+      auto_use_event_ = !(too_dirty || too_flaky);
+      if (!auto_use_event_) {
+        clear_dirty();
       }
     }
   }
@@ -220,6 +353,9 @@ void SimEngine::power_off(DomainId domain, Rng* rng, bool per_lane_garbage) {
   RETSCAN_CHECK(domain != kAlwaysOnDomain, "SimEngine: cannot power off the always-on domain");
   domain_powered_[domain] = 0;
   all_powered_ = false;
+  // The clamp change can zero nets whose inputs did not move; the dirty set
+  // cannot name them, so the next settle must be a full resync sweep.
+  event_needs_full_ = true;
   for (const CellId id : domain_seq_cells_[domain]) {
     // Master state is physically lost. Retention latches are always-on by
     // construction and keep their contents.
@@ -236,6 +372,7 @@ void SimEngine::power_off(DomainId domain, Rng* rng, bool per_lane_garbage) {
 void SimEngine::power_on(DomainId domain) {
   RETSCAN_CHECK(domain < domain_powered_.size(), "SimEngine::power_on: bad domain");
   domain_powered_[domain] = kAllLanes;
+  event_needs_full_ = true;
   all_powered_ =
       std::all_of(domain_powered_.begin(), domain_powered_.end(),
                   [](LaneWord powered) { return powered == kAllLanes; });

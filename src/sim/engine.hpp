@@ -10,6 +10,7 @@
 #include "netlist/netlist.hpp"
 #include "sim/compiled_netlist.hpp"
 #include "sim/eval_kernel.hpp"
+#include "sim/schedule.hpp"
 #include "util/rng.hpp"
 
 namespace retscan {
@@ -60,12 +61,35 @@ class SimEngine {
   /// One full clock cycle: eval, capture, commit, settle.
   void step();
 
+  // --- evaluation schedule -------------------------------------------------
+  /// Select how settles run (see sim/schedule.hpp). The constructor default
+  /// comes from runtime_config().schedule (RETSCAN_SCHEDULE), falling back
+  /// to Sweep. Switching re-arms the Auto probe and forces one full resync
+  /// sweep on the next settle; values are bit-identical under every mode.
+  void set_schedule(Schedule schedule);
+  Schedule schedule() const { return schedule_; }
+  /// Drain accumulated activity telemetry (counters reset to zero).
+  ScheduleTelemetry take_schedule_telemetry();
+
   // --- lane-word state access --------------------------------------------
   // Net values live in a slot-indexed array (nets renumbered in evaluation
   // order by the compiled core, for hot-loop locality); the NetId accessors
   // translate at the API boundary.
   LaneWord net(NetId net) const { return net_values_[compiled_->slot(net)]; }
-  void set_net(NetId net, LaneWord value) { net_values_[compiled_->slot(net)] = value; }
+  void set_net(NetId net, LaneWord value) {
+    const std::uint32_t s = compiled_->slot(net);
+    if (!event_active()) {
+      net_values_[s] = value;
+      return;
+    }
+    // Event mode: sources seed the worklist, so writes compare-and-mark.
+    // A store of the same value is a no-op either way, so this is exactly
+    // the sweep-mode semantics.
+    if (net_values_[s] != value) {
+      net_values_[s] = value;
+      mark_dirty(s);
+    }
+  }
   std::size_t net_count() const { return net_values_.size(); }
 
   /// Primary-input net by port name; throws if absent.
@@ -130,6 +154,25 @@ class SimEngine {
 
   void drive_slot(std::uint32_t slot, CellId cell, LaneWord value);
 
+  // --- event-schedule internals -------------------------------------------
+  /// True when the next settle should run the dirty-net worklist (explicit
+  /// Event, or Auto still probing / committed to the event path).
+  bool event_active() const {
+    return schedule_ == Schedule::Event ||
+           (schedule_ == Schedule::Auto && auto_use_event_);
+  }
+  void mark_dirty(std::uint32_t slot) {
+    if (!slot_dirty_[slot]) {
+      slot_dirty_[slot] = 1;
+      dirty_slots_.push_back(slot);
+    }
+  }
+  void clear_dirty();
+  /// The unconditional compiled sweep (the PR 3 settle body).
+  void full_sweep();
+  /// Re-arm the Auto probe window (reset / schedule change).
+  void rearm_auto_probe();
+
   const Netlist* netlist_;
   std::shared_ptr<const CompiledNetlist> compiled_;
   LaneWord activity_lanes_;
@@ -156,6 +199,29 @@ class SimEngine {
   std::vector<std::uint64_t> toggles_;  // per cell output, masked lanes only
   std::uint64_t steps_ = 0;
   std::uint64_t clocked_cell_edges_ = 0;
+
+  // --- event-schedule state ------------------------------------------------
+  Schedule schedule_ = Schedule::Sweep;
+  /// Slots changed since the last settle (worklist seed) + membership flags.
+  std::vector<std::uint32_t> dirty_slots_;
+  std::vector<std::uint8_t> slot_dirty_;
+  CompiledNetlist::EventWorkspace event_ws_;
+  /// Worklist budget per settle: crossing it falls back to one full sweep.
+  std::size_t event_budget_ = 0;
+  /// Forces the next settle to be a full resync sweep — set whenever the
+  /// dirty set cannot name everything stale (reset, power transitions,
+  /// schedule switches).
+  bool event_needs_full_ = true;
+  // Auto probe: start on the event path, measure a window of settles, then
+  // commit to Event or Sweep for the rest of the run (until reset()).
+  static constexpr std::uint32_t kAutoProbeWindow = 64;
+  bool auto_use_event_ = true;
+  bool auto_locked_ = false;
+  std::uint32_t auto_probe_left_ = kAutoProbeWindow;
+  std::uint64_t auto_event_instrs_ = 0;
+  std::uint64_t auto_capacity_ = 0;
+  std::uint64_t auto_fallbacks_ = 0;
+  ScheduleTelemetry telemetry_;
 };
 
 }  // namespace retscan

@@ -88,6 +88,13 @@ class PackedSim {
   const std::vector<CellId>& flop_cells() const { return engine_.flop_cells(); }
   const std::vector<CellId>& rdff_cells() const { return engine_.rdff_cells(); }
 
+  // --- evaluation schedule ------------------------------------------------
+  /// Settle scheduling (sweep vs dirty-net worklist, see sim/schedule.hpp);
+  /// all lanes of every net are bit-identical under every mode.
+  void set_schedule(Schedule schedule) { engine_.set_schedule(schedule); }
+  Schedule schedule() const { return engine_.schedule(); }
+  ScheduleTelemetry take_schedule_telemetry() { return engine_.take_schedule_telemetry(); }
+
  private:
   SimEngine engine_;
 };

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace retscan {
+
+/// How an engine settles the combinational logic between state changes.
+///
+///  * Sweep — every settle evaluates the full compiled instruction stream
+///    (the PR 3 kernel). Cost is O(circuit) per settle regardless of how
+///    little changed; still the fastest choice for high-activity phases
+///    (scan circulation toggles every chain flop every cycle).
+///  * Event — dirty-net worklist: settles seed from the source slots that
+///    actually changed since the last settle and propagate level-by-level
+///    through the readers CSR, evaluating only instructions whose inputs
+///    changed. Falls back to one full sweep when the worklist crosses the
+///    activity threshold. Bit-identical to Sweep by construction (and by
+///    test) — instructions are pure functions of their inputs, so skipping
+///    one whose inputs did not change cannot alter any value.
+///  * Auto — start on the event path and measure: after a short probe
+///    window the engine commits to Event or Sweep for the rest of its run,
+///    based on the observed dirty fraction and fallback rate. This is the
+///    per-campaign "pick from measured activity" default of the schedule
+///    API knob.
+enum class Schedule : std::uint8_t {
+  Auto,
+  Sweep,
+  Event,
+};
+
+/// Canonical spellings, matching the spec-file / CLI / RETSCAN_SCHEDULE
+/// values (same convention as the campaign enums in retscan/campaign.hpp).
+inline const char* to_string(Schedule schedule) {
+  switch (schedule) {
+    case Schedule::Auto:  return "auto";
+    case Schedule::Sweep: return "sweep";
+    case Schedule::Event: return "event";
+  }
+  return "?";
+}
+
+inline bool from_string(std::string_view text, Schedule& out) {
+  for (const Schedule value : {Schedule::Auto, Schedule::Sweep, Schedule::Event}) {
+    if (text == to_string(value)) {
+      out = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Activity telemetry accumulated by a SimEngine across its settles and
+/// drained with take_schedule_telemetry(). Counters are pure sums, so
+/// per-shard telemetry merges in shard order exactly like ValidationStats
+/// (but lives outside it: telemetry describes the execution, not the
+/// campaign outcome, and must not participate in the bit-identical
+/// statistics contract).
+struct ScheduleTelemetry {
+  /// Settles completed by the dirty-net worklist alone.
+  std::uint64_t event_sweeps = 0;
+  /// Settles evaluated by a full instruction sweep (Sweep/Auto-sweep mode,
+  /// forced resyncs after power/reset events, and threshold fallbacks).
+  std::uint64_t full_sweeps = 0;
+  /// Subset of full_sweeps that started on the worklist and crossed the
+  /// activity threshold mid-settle.
+  std::uint64_t full_sweep_fallbacks = 0;
+  /// Instructions evaluated by worklist passes (including the partial work
+  /// of settles that later fell back).
+  std::uint64_t event_instrs = 0;
+  /// Instructions evaluated by full sweeps.
+  std::uint64_t sweep_instrs = 0;
+  /// Instruction-stream size summed over every settle — the denominator
+  /// that turns the two instruction counters into a dirty fraction.
+  std::uint64_t instr_capacity = 0;
+
+  std::uint64_t settles() const { return event_sweeps + full_sweeps; }
+
+  /// Average fraction of the compiled instruction stream evaluated per
+  /// settle: 1.0 in pure Sweep mode, near the circuit's true activity on
+  /// the event path (fallback settles count their wasted partial worklist
+  /// work on top of the full sweep, so they can push a settle above 1).
+  double avg_dirty_fraction() const {
+    if (instr_capacity == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(event_instrs + sweep_instrs) /
+           static_cast<double>(instr_capacity);
+  }
+
+  ScheduleTelemetry& operator+=(const ScheduleTelemetry& other) {
+    event_sweeps += other.event_sweeps;
+    full_sweeps += other.full_sweeps;
+    full_sweep_fallbacks += other.full_sweep_fallbacks;
+    event_instrs += other.event_instrs;
+    sweep_instrs += other.sweep_instrs;
+    instr_capacity += other.instr_capacity;
+    return *this;
+  }
+};
+
+}  // namespace retscan

@@ -111,6 +111,13 @@ class Simulator {
   /// Report accumulated since the last reset_activity().
   ActivityReport activity(const TechLibrary& tech) const;
 
+  // --- evaluation schedule --------------------------------------------------
+  /// Settle scheduling (sweep vs dirty-net worklist, see sim/schedule.hpp);
+  /// values, toggle counts and energy are bit-identical under every mode.
+  void set_schedule(Schedule schedule) { engine_.set_schedule(schedule); }
+  Schedule schedule() const { return engine_.schedule(); }
+  ScheduleTelemetry take_schedule_telemetry() { return engine_.take_schedule_telemetry(); }
+
  private:
   SimEngine engine_;
 

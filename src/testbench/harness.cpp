@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "retscan/runtime.hpp"
 #include "scan/scan_io.hpp"
 #include "util/error.hpp"
 
@@ -140,6 +141,13 @@ StructuralTestbench::StructuralTestbench(const ValidationConfig& config)
   protection.test_width = 4;
   design_ = std::make_unique<ProtectedDesign>(make_fifo(config_.fifo), protection);
   session_ = std::make_unique<RetentionSession>(*design_);
+  // The schedule is resolved once against the environment here; reseed()
+  // keeps it, so pooled reuse matches fresh construction. The session
+  // constructor already ran its reset settle under the engine's default
+  // schedule — drain that so telemetry reports only campaign settles under
+  // the configured schedule.
+  session_->sim().set_schedule(runtime_schedule(config_.schedule));
+  session_->sim().take_schedule_telemetry();
   injector_ = std::make_unique<ErrorInjector>(
       config_.chain_count, design_->chain_length(), injector_seed(config_));
   if (config_.mode == InjectionMode::RushModel) {
@@ -181,10 +189,20 @@ std::vector<ErrorLocation> StructuralTestbench::sample_errors() {
   return {};
 }
 
+ScheduleTelemetry StructuralTestbench::take_telemetry() {
+  ScheduleTelemetry telemetry = session_->sim().take_schedule_telemetry();
+  if (packed_session_) {
+    telemetry += packed_session_->sim().take_schedule_telemetry();
+  }
+  return telemetry;
+}
+
 ValidationStats StructuralTestbench::run_packed(std::size_t count) {
   ValidationStats stats;
   if (!packed_session_) {
     packed_session_ = std::make_unique<PackedRetentionSession>(*design_);
+    packed_session_->sim().set_schedule(runtime_schedule(config_.schedule));
+    packed_session_->sim().take_schedule_telemetry();  // construction settle
   }
   PackedSim& sim = packed_session_->sim();
   const Netlist& nl = design_->netlist();

@@ -9,6 +9,7 @@
 #include "coding/protectors.hpp"
 #include "core/protected_design.hpp"
 #include "power/corruption.hpp"
+#include "sim/schedule.hpp"
 #include "util/rng.hpp"
 
 namespace retscan {
@@ -31,6 +32,11 @@ struct ValidationConfig {
   std::size_t burst_size = 4;
   std::size_t burst_spread = 2;
   std::uint64_t seed = 1;
+  /// Settle schedule for the structural simulators (resolved against
+  /// RETSCAN_SCHEDULE at construction; Auto lets each engine probe its own
+  /// activity). Campaign statistics are bit-identical under every mode —
+  /// the knob only selects how settles are computed.
+  Schedule schedule = Schedule::Auto;
   /// Used only with InjectionMode::RushModel.
   CorruptionParameters corruption{};
   RushParameters rush{};
@@ -99,6 +105,10 @@ class FastTestbench {
   /// test_parallel's persistent-workspace case).
   void reseed(std::uint64_t seed);
 
+  /// Behavioral runs have no gate-level settles; always empty. Kept so the
+  /// campaign runner drains telemetry uniformly across testbench tiers.
+  ScheduleTelemetry take_telemetry() { return ScheduleTelemetry{}; }
+
  private:
   ValidationConfig config_;
   std::size_t chain_length_;
@@ -134,6 +144,10 @@ class StructuralTestbench {
   /// sessions are kept — this is the persistent-workspace fast path of the
   /// pooled campaign runner.
   void reseed(std::uint64_t seed);
+
+  /// Drain accumulated settle-schedule telemetry from both simulators
+  /// (scalar session + packed session when it exists); counters reset.
+  ScheduleTelemetry take_telemetry();
 
  private:
   std::vector<ErrorLocation> sample_errors();

@@ -176,6 +176,54 @@ TEST(ApiValidation, StructuralBackendsMatchTestbenches) {
   EXPECT_TRUE(pooled.passed());
 }
 
+// The schedule knob must never change campaign statistics — only how the
+// gate-level settles are computed. Sweep, Event and Auto runs of the same
+// seeded structural campaign must agree counter-for-counter, at one thread
+// and several, and the telemetry must reflect the schedule actually run.
+TEST(ApiValidation, ScheduleIsStatisticsInvariant) {
+  Session session = gate_session();
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Validation;
+  spec.tier = ValidationTier::Structural;
+  spec.backend = Backend::Packed;
+  spec.seed = 23;
+  spec.sequences = 128;
+
+  spec.schedule = Schedule::Sweep;
+  const CampaignResult sweep = session.run(spec);
+  EXPECT_EQ(sweep.schedule, Schedule::Sweep);
+  EXPECT_GT(sweep.activity.full_sweeps, 0u);
+  EXPECT_EQ(sweep.activity.event_sweeps, 0u);
+  EXPECT_DOUBLE_EQ(sweep.activity.avg_dirty_fraction(), 1.0);
+
+  spec.schedule = Schedule::Event;
+  const CampaignResult event = session.run(spec);
+  EXPECT_EQ(event.schedule, Schedule::Event);
+  EXPECT_EQ(event.validation, sweep.validation);
+  EXPECT_GT(event.activity.event_sweeps, 0u);
+  EXPECT_LT(event.activity.avg_dirty_fraction(), 1.0);
+
+  spec.schedule = Schedule::Auto;
+  const CampaignResult probed = session.run(spec);
+  EXPECT_EQ(probed.validation, sweep.validation);
+
+  // Pooled at several thread counts: still the same counters, telemetry
+  // merged across shards instead of lost.
+  spec.backend = Backend::PackedParallel;
+  spec.shard_size = 64;
+  spec.schedule = Schedule::Sweep;
+  spec.threads = 1;
+  const CampaignResult pooled_sweep = session.run(spec);
+  EXPECT_EQ(pooled_sweep.validation, sweep.validation);
+  for (const unsigned threads : {1u, 3u}) {
+    spec.threads = threads;
+    spec.schedule = Schedule::Event;
+    const CampaignResult pooled_event = session.run(spec);
+    EXPECT_EQ(pooled_event.validation, sweep.validation) << threads;
+    EXPECT_GT(pooled_event.activity.event_sweeps, 0u) << threads;
+  }
+}
+
 TEST(ApiInjection, RushModelMatchesLegacyRunner) {
   RushParameters rush;
   rush.resistance_ohm = 0.2;
@@ -385,6 +433,36 @@ TEST(ApiValidate, RejectsUnrunnableSpecs) {
                 .find("monitor feedback muxes"),
             std::string::npos);
 
+  // Explicit event scheduling needs a gate-level sweep to schedule:
+  // behavioral tier, the Reference oracle and non-validation kinds reject.
+  CampaignSpec behavioral_event;
+  behavioral_event.kind = CampaignKind::Validation;
+  behavioral_event.sequences = 10;
+  behavioral_event.schedule = Schedule::Event;
+  EXPECT_NE(error_message([&] { validate(behavioral_event, session); })
+                .find("behavioral tier"),
+            std::string::npos);
+
+  CampaignSpec reference_event = behavioral_event;
+  reference_event.tier = ValidationTier::Structural;
+  reference_event.backend = Backend::Reference;
+  EXPECT_NE(error_message([&] { validate(reference_event, session); })
+                .find("full-sweep oracle"),
+            std::string::npos);
+
+  CampaignSpec coverage_event;
+  coverage_event.kind = CampaignKind::FaultCoverage;
+  coverage_event.atpg.random_patterns = 16;
+  coverage_event.schedule = Schedule::Event;
+  EXPECT_NE(error_message([&] { validate(coverage_event, session); })
+                .find("schedule = auto"),
+            std::string::npos);
+
+  // Auto is always accepted (it resolves to sweep where event can't apply).
+  CampaignSpec auto_schedule = behavioral_event;
+  auto_schedule.schedule = Schedule::Auto;
+  EXPECT_NO_THROW(validate(auto_schedule, session));
+
   // Netlist-backed sessions cannot run validation campaigns...
   ProtectionConfig protection;
   protection.chain_count = 4;
@@ -444,6 +522,7 @@ campaign.sequences = 200000
 campaign.mode = multiple-burst
 campaign.burst_size = 4
 campaign.burst_spread = 1
+campaign.schedule = event
 )");
   EXPECT_EQ(file.fifo.depth, 32u);
   EXPECT_EQ(file.fifo.width, 32u);
@@ -455,6 +534,14 @@ campaign.burst_spread = 1
   EXPECT_EQ(file.campaign.sequences, 200000u);
   EXPECT_EQ(file.campaign.mode, InjectionMode::MultipleBurst);
   EXPECT_EQ(file.campaign.burst_size, 4u);
+  EXPECT_EQ(file.campaign.schedule, Schedule::Event);
+
+  // `schedule =` is the short spelling of campaign.schedule.
+  EXPECT_EQ(parse_spec_text("schedule = sweep\n").campaign.schedule,
+            Schedule::Sweep);
+  EXPECT_NE(error_message([] { parse_spec_text("schedule = sometimes\n"); })
+                .find("auto, sweep, event"),
+            std::string::npos);
 }
 
 TEST(ApiSpecFile, ErrorsNameTheLine) {
@@ -513,8 +600,15 @@ TEST(ApiSpecFile, EnumRoundTrips) {
     EXPECT_TRUE(from_string(to_string(backend), out));
     EXPECT_EQ(out, backend);
   }
+  for (const auto schedule : {Schedule::Auto, Schedule::Sweep, Schedule::Event}) {
+    Schedule out{};
+    EXPECT_TRUE(from_string(to_string(schedule), out));
+    EXPECT_EQ(out, schedule);
+  }
   Backend out{};
   EXPECT_FALSE(from_string("warp-drive", out));
+  Schedule schedule_out{};
+  EXPECT_FALSE(from_string("lazy", schedule_out));
 }
 
 // --- runtime config ---------------------------------------------------------
@@ -522,7 +616,7 @@ TEST(ApiSpecFile, EnumRoundTrips) {
 TEST(ApiRuntime, ParsesAndRejectsEnvOverrides) {
   ::setenv("RETSCAN_THREADS", "3", 1);
   ::setenv("RETSCAN_SEQUENCES", "12345", 1);
-  RuntimeConfig config = runtime_config();
+  RuntimeConfig config = runtime_config_refresh();
   EXPECT_EQ(config.threads, 3u);
   ASSERT_TRUE(config.sequences.has_value());
   EXPECT_EQ(*config.sequences, 12345u);
@@ -531,7 +625,10 @@ TEST(ApiRuntime, ParsesAndRejectsEnvOverrides) {
 
   ::setenv("RETSCAN_THREADS", "0", 1);
   ::setenv("RETSCAN_SEQUENCES", "12x", 1);
-  config = runtime_config();
+  // runtime_config() is a cache — environment edits are invisible until the
+  // next refresh (one getenv round per process, not per engine).
+  EXPECT_EQ(runtime_config().threads, 3u);
+  config = runtime_config_refresh();
   // Invalid override → the resolved hardware default (always >= 1).
   EXPECT_EQ(config.threads, runtime_threads());
   EXPECT_GE(config.threads, 1u);
@@ -540,20 +637,55 @@ TEST(ApiRuntime, ParsesAndRejectsEnvOverrides) {
   EXPECT_GE(runtime_threads(), 1u);
 
   ::setenv("RETSCAN_THREADS", "5000", 1);  // over the 4096 cap → hardware default
-  EXPECT_EQ(runtime_config().threads, runtime_threads());
+  EXPECT_EQ(runtime_config_refresh().threads, runtime_threads());
 
   // RETSCAN_THREADS=1 is the explicit serial opt-out.
   ::setenv("RETSCAN_THREADS", "1", 1);
-  EXPECT_EQ(runtime_config().threads, 1u);
+  EXPECT_EQ(runtime_config_refresh().threads, 1u);
 
   ::unsetenv("RETSCAN_THREADS");
   ::unsetenv("RETSCAN_SEQUENCES");
-  config = runtime_config();
+  config = runtime_config_refresh();
   // Unset → threads defaults to hardware concurrency, never 0.
   EXPECT_EQ(config.threads, runtime_threads());
   EXPECT_GE(config.threads, 1u);
   EXPECT_FALSE(config.sequences.has_value());
   EXPECT_EQ(runtime_sequences(42), 42u);
+}
+
+TEST(ApiRuntime, ScheduleEnvKnob) {
+  // Tests inherit the driver's environment; note what we must restore.
+  const char* inherited = std::getenv("RETSCAN_SCHEDULE");
+  const std::string saved = inherited != nullptr ? inherited : "";
+
+  ::unsetenv("RETSCAN_SCHEDULE");
+  EXPECT_FALSE(runtime_config_refresh().schedule.has_value());
+  // Unset env: explicit requests pass through, Auto stays Auto.
+  EXPECT_EQ(runtime_schedule(Schedule::Auto), Schedule::Auto);
+  EXPECT_EQ(runtime_schedule(Schedule::Event), Schedule::Event);
+
+  for (const auto& [text, want] :
+       {std::pair<const char*, Schedule>{"sweep", Schedule::Sweep},
+        {"event", Schedule::Event},
+        {"auto", Schedule::Auto}}) {
+    ::setenv("RETSCAN_SCHEDULE", text, 1);
+    const RuntimeConfig config = runtime_config_refresh();
+    ASSERT_TRUE(config.schedule.has_value()) << text;
+    EXPECT_EQ(*config.schedule, want) << text;
+    // The env knob only fills in Auto; explicit code wins.
+    EXPECT_EQ(runtime_schedule(Schedule::Auto), want) << text;
+    EXPECT_EQ(runtime_schedule(Schedule::Sweep), Schedule::Sweep) << text;
+  }
+
+  ::setenv("RETSCAN_SCHEDULE", "bogus", 1);  // warns on stderr, then ignores
+  EXPECT_FALSE(runtime_config_refresh().schedule.has_value());
+
+  if (saved.empty()) {
+    ::unsetenv("RETSCAN_SCHEDULE");
+  } else {
+    ::setenv("RETSCAN_SCHEDULE", saved.c_str(), 1);
+  }
+  runtime_config_refresh();
 }
 
 TEST(ApiVersion, ConstantsAgree) {

@@ -12,11 +12,19 @@ namespace {
 
 class SequenceBudgetTest : public ::testing::Test {
  protected:
-  void SetUp() override { unsetenv("RETSCAN_SEQUENCES"); }
-  void TearDown() override { unsetenv("RETSCAN_SEQUENCES"); }
+  // runtime_config() caches the parsed environment, so every mutation here
+  // must be followed by a refresh before sequence_budget consults it.
+  void SetUp() override { clear(); }
+  void TearDown() override { clear(); }
+
+  void clear() {
+    unsetenv("RETSCAN_SEQUENCES");
+    retscan::runtime_config_refresh();
+  }
 
   std::size_t budget(const char* env) {
     setenv("RETSCAN_SEQUENCES", env, 1);
+    retscan::runtime_config_refresh();
     return retscan::bench::sequence_budget(12345);
   }
 };

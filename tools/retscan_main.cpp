@@ -5,7 +5,7 @@
 //   retscan --version                         print the library version
 //
 // Overrides (applied after the file is parsed):
-//   --seed N --threads N --sequences N --backend NAME
+//   --seed N --threads N --sequences N --backend NAME --schedule NAME
 //
 // The spec format is `key = value` lines with '#' comments; see
 // examples/validation.spec for the full key reference. Exit status: 0 when
@@ -42,6 +42,7 @@ int usage(std::ostream& out, int status) {
   out << "usage: retscan run <campaign.spec> [--seed N] [--threads N]\n"
          "                   [--sequences N] [--backend auto|reference|packed|"
          "packed-parallel]\n"
+         "                   [--schedule auto|sweep|event]\n"
          "       retscan describe <campaign.spec>\n"
          "       retscan --version | --help\n";
   return status;
@@ -91,7 +92,8 @@ void print_plan(std::ostream& out, const SpecFile& file, const Netlist* base,
   out << ", " << threads << " threads\n";
   if (c.kind == CampaignKind::Validation || c.kind == CampaignKind::Injection) {
     out << "workload: " << c.sequences << " sequences, tier " << to_string(c.tier)
-        << ", mode " << to_string(c.mode) << "\n";
+        << ", mode " << to_string(c.mode) << ", schedule " << to_string(c.schedule)
+        << "\n";
   } else {
     out << "workload: atpg " << c.atpg.random_patterns << " random patterns, podem "
         << (c.atpg.run_podem ? "on" : "off");
@@ -115,6 +117,13 @@ void print_result(std::ostream& out, const CampaignResult& r) {
           << "%, correction " << 100.0 * v.correction_rate() << "%\n"
           << "          flagged-uncorrectable " << v.flagged_uncorrectable
           << ", silent corruptions " << v.silent_corruptions << "\n";
+      if (r.activity.settles() != 0) {
+        out << "schedule: " << to_string(r.schedule) << " — "
+            << r.activity.event_sweeps << " event settles, "
+            << r.activity.full_sweeps << " full sweeps ("
+            << r.activity.full_sweep_fallbacks << " fallbacks), avg dirty "
+            << "fraction " << r.activity.avg_dirty_fraction() << "\n";
+      }
       break;
     }
     case CampaignKind::FaultCoverage:
@@ -154,6 +163,12 @@ int run_command(const std::string& command, int argc, char** argv) {
     } else if (flag == "--backend") {
       if (!from_string(value, file.campaign.backend)) {
         std::cerr << "retscan: unknown backend '" << value << "'\n";
+        return 2;
+      }
+    } else if (flag == "--schedule") {
+      if (!from_string(value, file.campaign.schedule)) {
+        std::cerr << "retscan: unknown schedule '" << value
+                  << "' (want auto, sweep or event)\n";
         return 2;
       }
     } else {
