@@ -15,7 +15,9 @@
 // near-linear core scaling — threads/shards/efficiency land in
 // BENCH_validation.json.
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -131,6 +133,53 @@ int main() {
     const unsigned cores = std::thread::hardware_concurrency();
     ok = ok && (threads < 4 || threads > cores || cores < 8 ||
                 reference_sequences < 50000 || speedup >= 3.0);
+  }
+
+  bench::header("Checkpoint journal overhead (serial, append per shard)");
+  {
+    // checkpoint_overhead is the durability-gated metric (≤ 1.05 in
+    // ci/check_bench_json.py): wall clock of a checkpointed campaign over
+    // the identical plain campaign, both serial (no pool scheduling noise),
+    // min-of-3. Small shards on purpose — more appends per second of work
+    // than the defaults, so the gate bounds the journal's worst side.
+    const std::size_t ck_sequences =
+        std::max<std::size_t>(std::size_t{4096}, fast_sequences / 8);
+    const std::size_t ck_shard = 512;
+    const std::string path = "bench_checkpoint.journal";
+    const auto min_of_3 = [](auto&& body) {
+      double best = 1e300;
+      for (int rep = 0; rep < 3; ++rep) {
+        bench::Stopwatch timer;
+        body();
+        best = std::min(best, timer.seconds());
+      }
+      return best;
+    };
+    parallel::CampaignReport plain, durable;
+    const double plain_seconds = min_of_3(
+        [&] { plain = serial.run_fast(single, ck_sequences, ck_shard); });
+    const double durable_seconds = min_of_3([&] {
+      // Journal construction, every per-shard append and the atomic
+      // renames are all inside the timed region — the full durability tax.
+      std::remove(path.c_str());
+      CampaignJournal journal(path, /*fingerprint=*/1, single.seed,
+                              CampaignJournal::Mode::Truncate);
+      parallel::RunControls controls;
+      controls.journal = &journal;
+      durable = serial.run_fast(single, ck_sequences, ck_shard, controls);
+    });
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    const double overhead = durable_seconds / plain_seconds;
+    std::cout << "checkpoint: " << ck_sequences << " sequences x "
+              << durable.shard_count << " shards: plain " << plain_seconds
+              << " s, journaled " << durable_seconds << " s (overhead "
+              << overhead << "x)\n";
+    json.set("checkpoint_overhead", overhead);
+    json.set("checkpoint_shards", static_cast<double>(durable.shard_count));
+    // Journaling must not perturb the statistics, only persist them.
+    ok = ok && durable.stats == plain.stats &&
+         durable.status == CampaignStatus::Complete;
   }
 
   bench::header("Section IV experiment 2 — clustered multiple errors (behavioral tier)");

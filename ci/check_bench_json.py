@@ -38,6 +38,7 @@ REQUIRED_KEYS = {
         "event_speedup",
         "event_sweeps",
         "avg_dirty_fraction",
+        "checkpoint_overhead",
     ]
     + [f"parallel_speedup_t{n}" for n in (1, 2, 4, 8)]
     + [f"scaling_efficiency_t{n}" for n in (1, 2, 4, 8)],
@@ -119,6 +120,22 @@ def conditional_gates(name, report):
     return gates
 
 
+def conditional_ceilings(name, report):
+    """Absolute ceilings — ratios that must stay NEAR 1 rather than large.
+    Same shape as conditional_gates, but the check is value <= ceiling.
+
+    Returns a list of (key, ceiling, reason) tuples.
+    """
+    del report
+    ceilings = []
+    if name == "validation":
+        # Checkpointing a campaign (one journal append + atomic rename per
+        # shard) must cost at most 5% wall clock over the identical plain
+        # campaign — durability is supposed to be noise, not a tax.
+        ceilings.append(("checkpoint_overhead", 1.05, "journal append per shard"))
+    return ceilings
+
+
 def fail(message):
     print(f"FAIL: {message}")
     return 1
@@ -162,6 +179,15 @@ def check_report(path, baselines_dir, max_regression):
             )
         else:
             print(f"ok:   {name}.{key} = {value:.2f} (floor {floor}, {reason})")
+
+    for key, ceiling, reason in conditional_ceilings(name, report):
+        value = report.get(key)
+        if not isinstance(value, (int, float)) or value > ceiling:
+            errors += fail(
+                f"{path}: conditional ceiling on '{key}': {value} > {ceiling} ({reason})"
+            )
+        else:
+            print(f"ok:   {name}.{key} = {value:.2f} (ceiling {ceiling}, {reason})")
 
     baseline_path = baselines_dir / f"BENCH_{name}.json"
     gated = GATED_KEYS.get(name, [])

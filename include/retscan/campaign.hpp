@@ -131,6 +131,26 @@ struct CampaignSpec {
   ScanAccess access = ScanAccess::TestMode;
   /// ScanTest PackedParallel: patterns per pool shard.
   std::size_t patterns_per_shard = 256;
+
+  // --- Durability (validation kinds, sharded backends) -----------------
+  /// Checkpoint journal path (`checkpoint =` spec key / `--checkpoint`):
+  /// completed shards are appended as fixed-format CRC'd records via
+  /// write-temp-then-atomic-rename, so an interrupted campaign loses at
+  /// most the shards in flight. Empty = no checkpointing. Validation
+  /// kinds on the sharded (Auto/PackedParallel) backends only.
+  std::string checkpoint;
+  /// Resume from `checkpoint` (`resume =` / `--resume`): the journal
+  /// header is validated against the current spec/design/version
+  /// fingerprint, completed shards are merged from the journal in shard
+  /// order, and the rest run — the final CampaignResult is bit-identical
+  /// to an uninterrupted run. Requires `checkpoint` to be set.
+  bool resume = false;
+  /// Wall-clock budget (`deadline_ms =` / `--deadline-ms`): once elapsed,
+  /// shards not yet started are skipped and the result carries
+  /// CampaignStatus::Timeout with the partial statistics (checkpointed if
+  /// a journal is armed) instead of running forever. nullopt = no budget;
+  /// an explicit 0 is rejected by validate().
+  std::optional<std::uint64_t> deadline_ms;
 };
 
 /// Everything a campaign produced. Only the section matching `kind` is
@@ -144,6 +164,15 @@ struct CampaignResult {
   unsigned threads = 1;
   std::size_t shard_count = 1;
   double seconds = 0.0; ///< wall-clock of the campaign body
+
+  /// How the campaign ended (util/cancel.hpp). Complete unless a SIGINT /
+  /// cancellation request or an expired deadline_ms stopped it early; then
+  /// the statistics cover shards_completed of shard_count shards and
+  /// passed() is false regardless of the verdict counters.
+  CampaignStatus status = CampaignStatus::Complete;
+  std::size_t shards_completed = 0;
+  /// Shards merged from the checkpoint journal instead of rerun (--resume).
+  std::size_t shards_resumed = 0;
 
   /// Activity telemetry from the gate-level engines (avg_dirty_fraction(),
   /// event_sweeps, full_sweep_fallbacks, ...) — why Auto chose what it
@@ -174,6 +203,14 @@ Backend resolve_backend(const CampaignSpec& spec, const Session& session);
 /// Run the campaign on the session's design. Validates first; throws
 /// retscan::Error on a bad spec.
 CampaignResult run(Session& session, const CampaignSpec& spec);
+
+/// FNV-1a hash binding a checkpoint journal to one exact campaign: the
+/// library version, the spec's statistics-shaping fields (kind, tier,
+/// resolved schedule, seed, sequences, injection/corruption parameters) and
+/// the session's design geometry (FIFO shape + protection architecture).
+/// Two specs with equal fingerprints produce bit-identical shard outcomes,
+/// which is what makes merging a journal from one into the other safe.
+std::uint64_t campaign_fingerprint(const CampaignSpec& spec, const Session& session);
 
 // --- campaign spec files (the `retscan run campaign.spec` format) --------
 

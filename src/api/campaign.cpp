@@ -7,9 +7,13 @@
 
 #include "retscan/campaign.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -18,8 +22,10 @@
 #include "circuits/fifo.hpp"
 #include "retscan/runtime.hpp"
 #include "retscan/session.hpp"
+#include "retscan/version.hpp"
 #include "sim/packed_sim.hpp"
 #include "util/error.hpp"
+#include "util/journal.hpp"
 
 namespace retscan {
 
@@ -114,6 +120,11 @@ bool from_string(std::string_view text, InjectionMode& out) {
 }
 
 bool CampaignResult::passed() const {
+  if (status != CampaignStatus::Complete) {
+    // Partial statistics can't certify anything: a cancelled or timed-out
+    // campaign never passes, however clean the shards that did finish look.
+    return false;
+  }
   switch (kind) {
     case CampaignKind::Validation:
     case CampaignKind::Injection:
@@ -157,7 +168,161 @@ ValidationConfig validation_config(Session& session, const CampaignSpec& spec) {
               to_string(spec.backend) + "): " + why);
 }
 
+/// FNV-1a 64 accumulator for the campaign fingerprint. Every field is
+/// hashed through a fixed-width integer representation so the fingerprint
+/// is stable across platforms with the same integer model.
+struct Fingerprint {
+  std::uint64_t hash = 1469598103934665603ull;
+
+  void add(std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xFF;
+      hash *= 1099511628211ull;
+    }
+  }
+  void add_double(double value) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    add(bits);
+  }
+  void add_text(std::string_view text) {
+    add(text.size());
+    for (const char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+  }
+};
+
+/// True when the spec carries any of the durability knobs this PR routes
+/// through the sharded campaign runner.
+bool wants_durability(const CampaignSpec& spec) {
+  return !spec.checkpoint.empty() || spec.resume || spec.deadline_ms.has_value();
+}
+
+void validate_durability(const CampaignSpec& spec, const Session& session) {
+  if (spec.deadline_ms && *spec.deadline_ms == 0) {
+    reject(spec,
+           "deadline_ms = 0 would time out before the first shard — drop the "
+           "key for no deadline, or give the campaign a real budget");
+  }
+  if (spec.resume && spec.checkpoint.empty()) {
+    reject(spec,
+           "resume = true without a checkpoint path: there is no journal to "
+           "resume from — set checkpoint = <path> (the same path the "
+           "interrupted run used)");
+  }
+  if (!wants_durability(spec)) {
+    return;
+  }
+  // Checkpoint/resume/deadline all ride the shard loop of the pooled
+  // campaign runner — the only place with a resumable unit of work.
+  if (!is_validation_kind(spec.kind)) {
+    reject(spec,
+           "checkpoint/resume/deadline_ms ride the sharded validation "
+           "campaign runner; fault-coverage and scan-test kinds replay a "
+           "pattern set in one pass — split the pattern set and rerun "
+           "instead");
+  }
+  if (spec.backend == Backend::Reference || spec.backend == Backend::Packed) {
+    reject(spec,
+           std::string("checkpoint/resume/deadline_ms need the sharded "
+                       "campaign runner, but Backend::") +
+               (spec.backend == Backend::Reference ? "Reference" : "Packed") +
+               " runs one unsharded pass with nothing to checkpoint between "
+               "— use Backend::PackedParallel or Backend::Auto");
+  }
+  if (!spec.checkpoint.empty()) {
+    namespace fs = std::filesystem;
+    const fs::path path(spec.checkpoint);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      reject(spec, "checkpoint path '" + spec.checkpoint +
+                       "' is a directory — name a journal file inside it");
+    }
+    fs::path dir = path.parent_path();
+    if (dir.empty()) {
+      dir = ".";
+    }
+    if (!fs::is_directory(dir, ec)) {
+      reject(spec, "checkpoint directory '" + dir.string() +
+                       "' does not exist (or is not a directory) — create it "
+                       "first; the journal only creates the file, never its "
+                       "parents");
+    }
+    if (::access(dir.c_str(), W_OK) != 0) {
+      reject(spec, "checkpoint directory '" + dir.string() +
+                       "' is not writable — the journal appends a record "
+                       "after every shard; pick a writable location");
+    }
+    if (spec.resume) {
+      if (const std::optional<CampaignJournal::Header> header =
+              CampaignJournal::peek(spec.checkpoint)) {
+        const std::uint64_t current = campaign_fingerprint(spec, session);
+        if (header->fingerprint != current || header->seed != spec.seed) {
+          reject(spec,
+                 "checkpoint journal '" + spec.checkpoint +
+                     "' was written by a different campaign, design, seed or "
+                     "library version — merging it would corrupt the "
+                     "statistics; rerun without resume to discard it, or "
+                     "restore the original spec/netlist/seed");
+        }
+      }
+      // No file (or a torn header) is fine: resume degenerates to a fresh
+      // checkpointed run.
+    }
+  }
+}
+
 }  // namespace
+
+std::uint64_t campaign_fingerprint(const CampaignSpec& spec, const Session& session) {
+  Fingerprint fp;
+  fp.add_text(RETSCAN_VERSION_STRING);
+  // Workload: everything that shapes per-shard outcomes. The seed and shard
+  // plan are stored (and checked) separately in the journal header; the
+  // seed also folds in here so one comparison catches everything.
+  fp.add(static_cast<std::uint64_t>(spec.kind));
+  fp.add(static_cast<std::uint64_t>(spec.tier));
+  fp.add(static_cast<std::uint64_t>(runtime_schedule(spec.schedule)));
+  fp.add(spec.seed);
+  fp.add(spec.sequences);
+  fp.add(static_cast<std::uint64_t>(spec.mode));
+  fp.add(spec.burst_size);
+  fp.add(spec.burst_spread);
+  fp.add_double(spec.corruption.noise_margin_volts);
+  fp.add_double(spec.corruption.margin_sigma_volts);
+  fp.add_double(spec.corruption.vulnerability);
+  fp.add(spec.corruption.cluster_spread);
+  fp.add_double(spec.corruption.cluster_fraction);
+  fp.add_double(spec.rush.vdd_volts);
+  fp.add_double(spec.rush.resistance_ohm);
+  fp.add_double(spec.rush.inductance_nh);
+  fp.add_double(spec.rush.capacitance_nf);
+  fp.add(spec.rush.stagger_stages);
+  // Design geometry: the session side of validation_config(). Hashing the
+  // construction inputs (not the synthesized gates) keeps lazy sessions
+  // lazy; equal inputs synthesize equal designs.
+  fp.add(session.has_fifo() ? 1 : 0);
+  if (session.has_fifo()) {
+    fp.add(session.fifo().depth);
+    fp.add(session.fifo().width);
+  }
+  const ProtectionConfig& protection = session.protection();
+  fp.add(static_cast<std::uint64_t>(protection.kind));
+  fp.add(protection.hamming_r);
+  fp.add(protection.secded ? 1 : 0);
+  fp.add(protection.crc_polynomial);
+  fp.add(protection.chain_count);
+  fp.add(protection.crc_group_width);
+  fp.add(protection.test_width);
+  fp.add(static_cast<std::uint64_t>(protection.assignment));
+  fp.add(protection.gated_domain);
+  fp.add(protection.hardware_controller ? 1 : 0);
+  fp.add(protection.settle_cycles);
+  return fp.hash;
+}
 
 void validate(const CampaignSpec& spec, const Session& session) {
   if (spec.threads > 4096) {
@@ -291,6 +456,7 @@ void validate(const CampaignSpec& spec, const Session& session) {
              "drop shard_size or pick Backend::PackedParallel");
     }
   }
+  validate_durability(spec, session);
 }
 
 Backend resolve_backend(const CampaignSpec& spec, const Session& session) {
@@ -341,6 +507,7 @@ void run_validation(Session& session, const CampaignSpec& spec, Backend backend,
       }
       result.threads = 1;
       result.shard_count = 1;
+      result.shards_completed = 1;
       break;
     case Backend::Packed: {
       StructuralTestbench bench(config);
@@ -348,20 +515,44 @@ void run_validation(Session& session, const CampaignSpec& spec, Backend backend,
       result.activity = bench.take_telemetry();
       result.threads = 1;
       result.shard_count = 1;
+      result.shards_completed = 1;
       break;
     }
     case Backend::PackedParallel:
     default: {
       std::unique_ptr<parallel::CampaignRunner> local;
       parallel::CampaignRunner& runner = select_runner(session, spec, local);
+      // Durability hooks: a cancel token (SIGINT via the global flag plus
+      // the spec's deadline budget) and, when armed, the checkpoint
+      // journal. validate() has already vetted the path and, for resume,
+      // the journal header — constructing the journal re-checks both
+      // anyway (TOCTOU-safe).
+      CancelToken cancel;
+      if (spec.deadline_ms) {
+        cancel.set_deadline_ms(*spec.deadline_ms);
+      }
+      parallel::RunControls controls;
+      controls.cancel = &cancel;
+      std::unique_ptr<CampaignJournal> journal;
+      if (!spec.checkpoint.empty()) {
+        journal = std::make_unique<CampaignJournal>(
+            spec.checkpoint, campaign_fingerprint(spec, session), spec.seed,
+            spec.resume ? CampaignJournal::Mode::Resume
+                        : CampaignJournal::Mode::Truncate);
+        controls.journal = journal.get();
+      }
       const parallel::CampaignReport report =
           behavioral
-              ? runner.run_fast(config, spec.sequences, spec.shard_size)
-              : runner.run_structural_packed(config, spec.sequences, spec.shard_size);
+              ? runner.run_fast(config, spec.sequences, spec.shard_size, controls)
+              : runner.run_structural_packed(config, spec.sequences,
+                                             spec.shard_size, controls);
       result.validation = report.stats;
       result.activity = report.telemetry;
       result.threads = report.threads;
       result.shard_count = report.shard_count;
+      result.status = report.status;
+      result.shards_completed = report.shards_completed;
+      result.shards_resumed = report.shards_resumed;
       break;
     }
   }
@@ -564,6 +755,9 @@ void apply_spec_key(SpecFile& file, const std::string& key, const std::string& v
   else if (key == "campaign.burst_spread")       c.burst_spread = parse_spec_u64(value, line);
   else if (key == "campaign.access")             c.access = parse_spec_enum<ScanAccess>(value, line, "test-mode, full-width");
   else if (key == "campaign.patterns_per_shard") c.patterns_per_shard = parse_spec_u64(value, line);
+  else if (key == "campaign.checkpoint" || key == "checkpoint") c.checkpoint = value;
+  else if (key == "campaign.resume" || key == "resume")         c.resume = parse_spec_bool(value, line);
+  else if (key == "campaign.deadline_ms" || key == "deadline_ms") c.deadline_ms = parse_spec_u64(value, line);
   else if (key == "campaign.atpg.random_patterns") c.atpg.random_patterns = parse_spec_u64(value, line);
   else if (key == "campaign.atpg.max_backtracks")  c.atpg.max_backtracks = parse_spec_u64(value, line);
   else if (key == "campaign.atpg.run_podem")       c.atpg.run_podem = parse_spec_bool(value, line);

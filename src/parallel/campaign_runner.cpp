@@ -1,8 +1,12 @@
 #include "parallel/campaign_runner.hpp"
 
+#include <atomic>
 #include <mutex>
+#include <optional>
 
 #include "sim/packed_sim.hpp"
+#include "util/failpoint.hpp"
+#include "util/journal.hpp"
 #include "util/rng.hpp"
 
 namespace retscan::parallel {
@@ -119,24 +123,123 @@ struct ShardOutcome {
   }
 };
 
-/// Shared campaign driver on top of CampaignRunner::map_reduce — the one
-/// copy of the shard/merge logic: per-shard config with a derived seed
-/// stream, run_shard runs a testbench tier against it.
+/// ShardOutcome ⇄ JournalRecord: the journal stores raw u64 counters (it is
+/// a util-layer facility with no view of the testbench types), so the
+/// flattening lives here, field by field in declaration order.
+JournalRecord encode_outcome(std::uint64_t shard_index,
+                             const ShardOutcome& outcome) {
+  JournalRecord record;
+  record.shard_index = shard_index;
+  const ValidationStats& s = outcome.stats;
+  const std::uint64_t stats[JournalRecord::kStatsWords] = {
+      s.sequences,  s.errors_injected,       s.sequences_with_errors,
+      s.detected,   s.corrected,             s.flagged_uncorrectable,
+      s.comparator_mismatches, s.silent_corruptions};
+  const ScheduleTelemetry& t = outcome.telemetry;
+  const std::uint64_t telemetry[JournalRecord::kTelemetryWords] = {
+      t.event_sweeps, t.full_sweeps,  t.full_sweep_fallbacks,
+      t.event_instrs, t.sweep_instrs, t.instr_capacity};
+  for (std::size_t i = 0; i < JournalRecord::kStatsWords; ++i) {
+    record.stats[i] = stats[i];
+  }
+  for (std::size_t i = 0; i < JournalRecord::kTelemetryWords; ++i) {
+    record.telemetry[i] = telemetry[i];
+  }
+  return record;
+}
+
+ShardOutcome decode_outcome(const JournalRecord& record) {
+  ShardOutcome outcome;
+  ValidationStats& s = outcome.stats;
+  s.sequences = record.stats[0];
+  s.errors_injected = record.stats[1];
+  s.sequences_with_errors = record.stats[2];
+  s.detected = record.stats[3];
+  s.corrected = record.stats[4];
+  s.flagged_uncorrectable = record.stats[5];
+  s.comparator_mismatches = record.stats[6];
+  s.silent_corruptions = record.stats[7];
+  ScheduleTelemetry& t = outcome.telemetry;
+  t.event_sweeps = record.telemetry[0];
+  t.full_sweeps = record.telemetry[1];
+  t.full_sweep_fallbacks = record.telemetry[2];
+  t.event_instrs = record.telemetry[3];
+  t.sweep_instrs = record.telemetry[4];
+  t.instr_capacity = record.telemetry[5];
+  return outcome;
+}
+
+/// Shared campaign driver — the one copy of the shard/merge logic: per-shard
+/// config with a derived seed stream, run_shard runs a testbench tier
+/// against it, per-shard outcomes merge in shard-index order. The
+/// RunControls hooks slot in around that invariant: journaled shards merge
+/// from the checkpoint instead of rerunning, a cancelled token (or a
+/// Cancelled thrown out of a settle loop) leaves shards incomplete rather
+/// than failing the campaign, and every completed shard is appended to the
+/// journal the moment it finishes. Because the shard plan, the per-shard
+/// seeds and the merge order never depend on which shards came from the
+/// journal, a resumed campaign is bit-identical to an uninterrupted one.
 template <typename RunShard>
 CampaignReport run_campaign(CampaignRunner& runner, const ValidationConfig& config,
                             std::size_t count, std::size_t shard_size,
-                            RunShard&& run_shard) {
+                            const RunControls& controls, RunShard&& run_shard) {
   CampaignReport report;
   report.threads = runner.threads();
-  report.shard_count = plan_shards(count, shard_size).size();
-  const ShardOutcome merged = runner.map_reduce<ShardOutcome>(
-      count, shard_size, [&](const ShardRange& shard) {
-        ValidationConfig shard_config = config;
-        shard_config.seed = shard_seed(config.seed, shard.index);
-        return run_shard(shard_config, shard.count);
-      });
+  const std::vector<ShardRange> shards = plan_shards(count, shard_size);
+  report.shard_count = shards.size();
+  if (controls.journal != nullptr) {
+    controls.journal->bind_plan(count, shard_size, shards.size());
+  }
+
+  std::vector<std::optional<ShardOutcome>> partial(shards.size());
+  std::atomic<std::size_t> resumed{0};
+  runner.pool().parallel_for(shards.size(), [&](std::size_t s) {
+    if (controls.journal != nullptr) {
+      if (const std::optional<JournalRecord> record =
+              controls.journal->find(shards[s].index)) {
+        partial[s] = decode_outcome(*record);
+        resumed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    if (controls.cancel != nullptr && controls.cancel->cancelled()) {
+      return;  // skip: merged below as "not completed"
+    }
+    failpoint("shard.run");
+    ValidationConfig shard_config = config;
+    shard_config.seed = shard_seed(config.seed, shards[s].index);
+    ShardOutcome outcome;
+    try {
+      outcome = run_shard(shard_config, shards[s].count);
+    } catch (const Cancelled&) {
+      return;  // interrupted mid-shard (settle-loop cancellation point)
+    }
+    if (controls.journal != nullptr) {
+      controls.journal->append(encode_outcome(shards[s].index, outcome));
+    }
+    partial[s] = outcome;
+  });
+
+  ShardOutcome merged;
+  std::size_t completed = 0;
+  for (const std::optional<ShardOutcome>& outcome : partial) {
+    if (outcome) {
+      merged += *outcome;
+      ++completed;
+    }
+  }
   report.stats = merged.stats;
   report.telemetry = merged.telemetry;
+  report.shards_completed = completed;
+  report.shards_resumed = resumed.load(std::memory_order_relaxed);
+  if (completed == shards.size()) {
+    report.status = CampaignStatus::Complete;
+  } else if (controls.cancel != nullptr &&
+             controls.cancel->why() == CancelReason::Deadline) {
+    report.status = CampaignStatus::Timeout;
+  } else {
+    report.status = CampaignStatus::Cancelled;
+  }
   return report;
 }
 
@@ -148,6 +251,13 @@ template <typename Tier, typename Run>
 ShardOutcome run_on_tier(Tier& tier, const ValidationConfig& shard_config,
                          Run&& run) {
   auto bench = tier.acquire(shard_config);
+  // Discard acquire-time counters (construction / reseed resync settles) so
+  // a shard's telemetry covers exactly its own run. Without this, warm and
+  // fresh workspaces report different counts for the same shard — and which
+  // shards land on warm instances is a scheduling accident, which would make
+  // the merged telemetry vary across thread counts and break the
+  // kill/resume byte-identical contract.
+  (void)bench->take_telemetry();
   ShardOutcome outcome;
   outcome.stats = run(*bench);
   outcome.telemetry = bench->take_telemetry();
@@ -158,11 +268,12 @@ ShardOutcome run_on_tier(Tier& tier, const ValidationConfig& shard_config,
 }  // namespace
 
 CampaignReport CampaignRunner::run_fast(const ValidationConfig& config,
-                                        std::size_t count, std::size_t shard_size) {
+                                        std::size_t count, std::size_t shard_size,
+                                        const RunControls& controls) {
   if (shard_size == 0) {
     shard_size = options_.shard_size;
   }
-  return run_campaign(*this, config, count, shard_size,
+  return run_campaign(*this, config, count, shard_size, controls,
                       [this](const ValidationConfig& shard_config, std::size_t n) {
                         return run_on_tier(workspaces_->fast, shard_config,
                                            [n](FastTestbench& b) { return b.run(n); });
@@ -171,14 +282,15 @@ CampaignReport CampaignRunner::run_fast(const ValidationConfig& config,
 
 CampaignReport CampaignRunner::run_structural_packed(const ValidationConfig& config,
                                                      std::size_t count,
-                                                     std::size_t shard_size) {
+                                                     std::size_t shard_size,
+                                                     const RunControls& controls) {
   if (shard_size == 0) {
     shard_size = options_.structural_shard_size;
   }
   const std::size_t lanes = PackedSim::lane_count();
   shard_size = (shard_size + lanes - 1) / lanes * lanes;
   return run_campaign(
-      *this, config, count, shard_size,
+      *this, config, count, shard_size, controls,
       [this](const ValidationConfig& shard_config, std::size_t n) {
         return run_on_tier(workspaces_->structural, shard_config,
                            [n](StructuralTestbench& b) { return b.run_packed(n); });

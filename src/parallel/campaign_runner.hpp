@@ -6,7 +6,12 @@
 #include <vector>
 
 #include "testbench/harness.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
+
+namespace retscan {
+class CampaignJournal;
+}  // namespace retscan
 
 namespace retscan::parallel {
 
@@ -40,6 +45,18 @@ struct CampaignOptions {
   std::size_t structural_shard_size = 256;
 };
 
+/// Durability hooks threaded through a campaign run. Both optional; the
+/// default (nullptrs) reproduces the plain uninterruptible run exactly.
+struct RunControls {
+  /// Polled before each shard; a cancelled token skips the shards that have
+  /// not started (completed shards still merge — partial statistics).
+  const CancelToken* cancel = nullptr;
+  /// Checkpoint journal: completed shards are appended (and flushed) as
+  /// they finish; shards already in the journal are merged from it instead
+  /// of rerun. Shard-order determinism makes the merge bit-exact.
+  CampaignJournal* journal = nullptr;
+};
+
 /// Campaign result plus the parallel execution shape, for BENCH_*.json.
 struct CampaignReport {
   ValidationStats stats;
@@ -50,6 +67,12 @@ struct CampaignReport {
   ScheduleTelemetry telemetry;
   unsigned threads = 1;
   std::size_t shard_count = 0;
+  /// Complete unless a RunControls cancel token fired mid-campaign; then
+  /// stats/telemetry cover shards_completed shards, not the whole count.
+  CampaignStatus status = CampaignStatus::Complete;
+  std::size_t shards_completed = 0;
+  /// Subset of shards_completed merged from the journal instead of run.
+  std::size_t shards_resumed = 0;
 };
 
 /// Shard-map-reduce driver for statistical campaigns: shards a trial count
@@ -84,14 +107,16 @@ class CampaignRunner {
   /// Behavioral-tier validation campaign (FastTestbench::run) across the
   /// pool. shard_size == 0 → options().shard_size.
   CampaignReport run_fast(const ValidationConfig& config, std::size_t count,
-                          std::size_t shard_size = 0);
+                          std::size_t shard_size = 0,
+                          const RunControls& controls = {});
 
   /// Gate-level packed campaign (StructuralTestbench::run_packed): each
   /// shard simulates its own design copy with 64 corruption trials per
   /// batch. shard_size == 0 → options().structural_shard_size.
   CampaignReport run_structural_packed(const ValidationConfig& config,
                                        std::size_t count,
-                                       std::size_t shard_size = 0);
+                                       std::size_t shard_size = 0,
+                                       const RunControls& controls = {});
 
  private:
   // Persistent per-thread workspaces: warm testbenches (compiled design +

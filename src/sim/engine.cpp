@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "retscan/runtime.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 
 namespace retscan {
@@ -125,6 +126,12 @@ ScheduleTelemetry SimEngine::take_schedule_telemetry() {
   return out;
 }
 
+void SimEngine::invalidate_schedule_state() {
+  clear_dirty();
+  event_needs_full_ = true;
+  rearm_auto_probe();
+}
+
 void SimEngine::clear_dirty() {
   for (const std::uint32_t s : dirty_slots_) {
     slot_dirty_[s] = 0;
@@ -197,6 +204,16 @@ void SimEngine::full_sweep() {
 }
 
 void SimEngine::eval() {
+  // Cancellation point of the compiled-kernel settle loop: one relaxed
+  // atomic load per settle (noise next to a sweep), so a SIGINT lands
+  // within one settle even when a shard is deep in a long sequence. The
+  // campaign shard loop catches Cancelled and reports the shard as not
+  // completed — partial statistics stay mergeable.
+  if (global_cancel_requested()) {
+    throw Cancelled(CancelReason::User,
+                    "SimEngine: settle loop interrupted by cancellation "
+                    "request");
+  }
   const std::size_t instr_count = compiled_->instrs().size();
   telemetry_.instr_capacity += instr_count;
   if (!event_active()) {

@@ -70,6 +70,13 @@ class SimEngine {
   Schedule schedule() const { return schedule_; }
   /// Drain accumulated activity telemetry (counters reset to zero).
   ScheduleTelemetry take_schedule_telemetry();
+  /// Mark the whole net state stale: the next settle runs as one full
+  /// resync sweep and the Auto probe restarts. Pooled testbenches call this
+  /// on construction AND on reseed so warm and fresh engines enter a shard
+  /// in the identical schedule state — per-shard telemetry stays a pure
+  /// function of the shard, never of workspace history (the kill/resume
+  /// byte-identical contract depends on it).
+  void invalidate_schedule_state();
 
   // --- lane-word state access --------------------------------------------
   // Net values live in a slot-indexed array (nets renumbered in evaluation

@@ -88,6 +88,11 @@ struct ScheduleTelemetry {
            static_cast<double>(instr_capacity);
   }
 
+  /// Field-wise equality — what the kill/resume equivalence tests assert:
+  /// a resumed campaign's merged telemetry must match the uninterrupted
+  /// run's bit for bit, not just its statistics.
+  bool operator==(const ScheduleTelemetry&) const = default;
+
   ScheduleTelemetry& operator+=(const ScheduleTelemetry& other) {
     event_sweeps += other.event_sweeps;
     full_sweeps += other.full_sweeps;

@@ -117,6 +117,7 @@ class Simulator {
   void set_schedule(Schedule schedule) { engine_.set_schedule(schedule); }
   Schedule schedule() const { return engine_.schedule(); }
   ScheduleTelemetry take_schedule_telemetry() { return engine_.take_schedule_telemetry(); }
+  void invalidate_schedule_state() { engine_.invalidate_schedule_state(); }
 
  private:
   SimEngine engine_;

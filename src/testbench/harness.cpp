@@ -147,6 +147,7 @@ StructuralTestbench::StructuralTestbench(const ValidationConfig& config)
   // schedule — drain that so telemetry reports only campaign settles under
   // the configured schedule.
   session_->sim().set_schedule(runtime_schedule(config_.schedule));
+  session_->sim().invalidate_schedule_state();
   session_->sim().take_schedule_telemetry();
   injector_ = std::make_unique<ErrorInjector>(
       config_.chain_count, design_->chain_length(), injector_seed(config_));
@@ -167,11 +168,18 @@ void StructuralTestbench::reseed(std::uint64_t seed) {
   }
   // The session constructors perform nothing but a reset (controls low,
   // inputs zero, one settle), so resetting the simulators restores the
-  // exact fresh-construction state without recompiling the design.
+  // exact fresh-construction state without recompiling the design. The
+  // explicit invalidate matches construction, which always enters the first
+  // shard with a forced resync armed (reset()'s own settle consumes the one
+  // it arms) — without it a warm engine's first settle could take the event
+  // path where a fresh engine's runs a full sweep, and the shard's
+  // telemetry would depend on workspace history.
   session_->sim().reset();
+  session_->sim().invalidate_schedule_state();
   session_->reset_fsm();
   if (packed_session_) {
     packed_session_->sim().reset();
+    packed_session_->sim().invalidate_schedule_state();
   }
 }
 
@@ -202,6 +210,7 @@ ValidationStats StructuralTestbench::run_packed(std::size_t count) {
   if (!packed_session_) {
     packed_session_ = std::make_unique<PackedRetentionSession>(*design_);
     packed_session_->sim().set_schedule(runtime_schedule(config_.schedule));
+    packed_session_->sim().invalidate_schedule_state();
     packed_session_->sim().take_schedule_telemetry();  // construction settle
   }
   PackedSim& sim = packed_session_->sim();

@@ -1,0 +1,85 @@
+#include "util/cancel.hpp"
+
+#include <atomic>
+
+namespace retscan {
+
+namespace {
+std::atomic<bool> g_cancel{false};
+}  // namespace
+
+bool global_cancel_requested() noexcept {
+  return g_cancel.load(std::memory_order_relaxed);
+}
+
+void request_global_cancel() noexcept {
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
+void reset_global_cancel() noexcept {
+  g_cancel.store(false, std::memory_order_relaxed);
+}
+
+const char* to_string(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::None:     return "none";
+    case CancelReason::User:     return "user";
+    case CancelReason::Deadline: return "deadline";
+  }
+  return "?";
+}
+
+const char* to_string(CampaignStatus status) {
+  switch (status) {
+    case CampaignStatus::Complete:  return "complete";
+    case CampaignStatus::Cancelled: return "cancelled";
+    case CampaignStatus::Timeout:   return "timeout";
+  }
+  return "?";
+}
+
+struct CancelToken::State {
+  std::atomic<bool> requested{false};
+  /// Release-store after `deadline` is written; acquire-load before it is
+  /// read — the only synchronization the plain time_point needs, because a
+  /// deadline is armed once, before the token fans out to workers.
+  std::atomic<bool> has_deadline{false};
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+CancelToken::CancelToken() : state_(std::make_shared<State>()) {}
+
+void CancelToken::request_cancel() {
+  state_->requested.store(true, std::memory_order_relaxed);
+}
+
+void CancelToken::set_deadline_ms(std::uint64_t ms) {
+  state_->deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  state_->has_deadline.store(true, std::memory_order_release);
+}
+
+CancelReason CancelToken::why() const {
+  if (state_->requested.load(std::memory_order_relaxed) ||
+      global_cancel_requested()) {
+    return CancelReason::User;
+  }
+  if (state_->has_deadline.load(std::memory_order_acquire) &&
+      std::chrono::steady_clock::now() >= state_->deadline) {
+    return CancelReason::Deadline;
+  }
+  return CancelReason::None;
+}
+
+void CancelToken::check() const {
+  switch (why()) {
+    case CancelReason::None:
+      return;
+    case CancelReason::User:
+      throw Cancelled(CancelReason::User, "cancelled by user request");
+    case CancelReason::Deadline:
+      throw Cancelled(CancelReason::Deadline, "deadline_ms budget elapsed");
+  }
+}
+
+}  // namespace retscan

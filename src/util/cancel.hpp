@@ -1,0 +1,85 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+/// Why a cooperative cancellation fired.
+enum class CancelReason : std::uint8_t {
+  None,     ///< still live
+  User,     ///< request_cancel() / SIGINT / SIGTERM
+  Deadline, ///< the token's deadline_ms budget elapsed
+};
+
+/// How a campaign ended. Complete is the only status on which the
+/// bit-identical statistics contract holds for the *whole* trial count; the
+/// other two carry the partial statistics of the shards that finished (and,
+/// with a checkpoint journal, everything needed to resume bit-exactly).
+enum class CampaignStatus : std::uint8_t {
+  Complete,  ///< every shard ran (or was resumed from the journal)
+  Cancelled, ///< interrupted by a user cancellation request
+  Timeout,   ///< interrupted by an expired deadline_ms budget
+};
+
+const char* to_string(CancelReason reason);
+const char* to_string(CampaignStatus status);
+
+/// Thrown at cancellation points (CancelToken::check, the SimEngine settle
+/// loop) when a cooperative cancellation is observed mid-work. Campaign
+/// shard loops catch it and convert the shard into "not completed" rather
+/// than an error — cancellation is an outcome, not a failure.
+class Cancelled : public Error {
+ public:
+  Cancelled(CancelReason reason, const std::string& message)
+      : Error(message), reason_(reason) {}
+  CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+/// Cooperative cancellation handle shared between a campaign driver and the
+/// shard loops running it. Copies share state (shared_ptr). A token also
+/// observes the process-global cancel flag, so one SIGINT handler stops
+/// every campaign in flight. All queries are thread-safe and cheap enough
+/// for per-shard polling.
+class CancelToken {
+ public:
+  CancelToken();
+
+  /// Request cancellation (idempotent, thread-safe, not signal-safe — use
+  /// request_global_cancel() from signal handlers).
+  void request_cancel();
+
+  /// Arm a deadline `ms` milliseconds from now; the token reports
+  /// CancelReason::Deadline once it elapses. Call before handing the token
+  /// to workers.
+  void set_deadline_ms(std::uint64_t ms);
+
+  /// Why the token is cancelled — CancelReason::None while still live.
+  CancelReason why() const;
+  bool cancelled() const { return why() != CancelReason::None; }
+
+  /// Throw Cancelled when the token is cancelled; no-op otherwise.
+  void check() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Process-global cancellation flag. request_global_cancel() is
+/// async-signal-safe (a relaxed atomic store), which is why the CLI's
+/// SIGINT/SIGTERM handlers drive this instead of a CancelToken. Observed by
+/// every CancelToken and by the SimEngine settle loop (the long-running
+/// compiled-kernel inner loop a per-shard poll cannot reach into).
+bool global_cancel_requested() noexcept;
+void request_global_cancel() noexcept;
+/// Clear the flag (tests; a CLI that handled one cancellation).
+void reset_global_cancel() noexcept;
+
+}  // namespace retscan

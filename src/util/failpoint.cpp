@@ -1,0 +1,192 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+namespace {
+
+enum class Kind { Throw, Delay, Kill, ShortWrite };
+
+struct Arm {
+  Kind kind = Kind::Throw;
+  std::uint64_t delay_ms = 0;
+  std::uint64_t trigger_hit = 1;  // 1-based hit that fires (ignored if every)
+  bool every = false;
+  std::uint64_t hits = 0;  // guarded by g_mutex
+};
+
+std::mutex g_mutex;
+std::unordered_map<std::string, Arm> g_arms;
+/// Fast-path gate: false ⇒ failpoint() is a single relaxed load.
+std::atomic<bool> g_enabled{false};
+bool g_parsed = false;
+
+void warn(const std::string& entry, const char* why) {
+  std::fprintf(stderr,
+               "retscan: warning: RETSCAN_FAILPOINTS entry '%s' %s — ignored\n",
+               entry.c_str(), why);
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool parse_count(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+/// One entry: site=action[:arg][@N|@every]
+void parse_entry(std::string_view entry) {
+  const std::string original(entry);
+  entry = trim(entry);
+  if (entry.empty()) {
+    return;
+  }
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    warn(original, "has no site=action form");
+    return;
+  }
+  const std::string site(trim(entry.substr(0, eq)));
+  std::string_view action = trim(entry.substr(eq + 1));
+
+  Arm arm;
+  const std::size_t at = action.rfind('@');
+  if (at != std::string_view::npos) {
+    const std::string_view count = trim(action.substr(at + 1));
+    if (count == "every") {
+      arm.every = true;
+    } else if (!parse_count(count, arm.trigger_hit) || arm.trigger_hit == 0) {
+      warn(original, "has a bad @N hit count");
+      return;
+    }
+    action = trim(action.substr(0, at));
+  }
+
+  if (action == "throw") {
+    arm.kind = Kind::Throw;
+  } else if (action == "kill") {
+    arm.kind = Kind::Kill;
+  } else if (action == "shortwrite") {
+    arm.kind = Kind::ShortWrite;
+  } else if (action.substr(0, 6) == "delay:") {
+    arm.kind = Kind::Delay;
+    if (!parse_count(trim(action.substr(6)), arm.delay_ms)) {
+      warn(original, "has a bad delay:<ms> value");
+      return;
+    }
+  } else {
+    warn(original, "names an unknown action");
+    return;
+  }
+  g_arms[site] = arm;  // last entry for a site wins
+}
+
+/// Parse RETSCAN_FAILPOINTS into g_arms. Caller holds g_mutex.
+void parse_env_locked() {
+  g_arms.clear();
+  g_parsed = true;
+  const char* env = std::getenv("RETSCAN_FAILPOINTS");
+  if (env == nullptr || *env == '\0') {
+    g_enabled.store(false, std::memory_order_release);
+    return;
+  }
+  std::string_view rest(env);
+  while (!rest.empty()) {
+    const std::size_t sep = rest.find_first_of(";,");
+    parse_entry(rest.substr(0, sep));
+    if (sep == std::string_view::npos) {
+      break;
+    }
+    rest.remove_prefix(sep + 1);
+  }
+  g_enabled.store(!g_arms.empty(), std::memory_order_release);
+}
+
+}  // namespace
+
+void failpoints_refresh() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  parse_env_locked();
+}
+
+bool failpoints_enabled() {
+  if (!g_enabled.load(std::memory_order_acquire)) {
+    // Either nothing armed or never parsed — settle which, once.
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    if (!g_parsed) {
+      parse_env_locked();
+    }
+    return g_enabled.load(std::memory_order_acquire);
+  }
+  return true;
+}
+
+FailAction failpoint(const char* site) {
+  if (!failpoints_enabled()) {
+    return FailAction::None;
+  }
+  Kind kind;
+  std::uint64_t delay_ms;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    const auto it = g_arms.find(site);
+    if (it == g_arms.end()) {
+      return FailAction::None;
+    }
+    Arm& arm = it->second;
+    ++arm.hits;
+    if (!arm.every && arm.hits != arm.trigger_hit) {
+      return FailAction::None;
+    }
+    kind = arm.kind;
+    delay_ms = arm.delay_ms;
+  }
+  switch (kind) {
+    case Kind::Throw:
+      throw Error(std::string("failpoint ") + site);
+    case Kind::Delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return FailAction::None;
+    case Kind::Kill:
+      // Die the way an OOM-kill would: no unwinding, no flush, no atexit.
+      std::raise(SIGKILL);
+      return FailAction::None;  // unreachable (but keeps -Wreturn-type quiet)
+    case Kind::ShortWrite:
+      return FailAction::ShortWrite;
+  }
+  return FailAction::None;
+}
+
+}  // namespace retscan

@@ -1,0 +1,48 @@
+#pragma once
+
+namespace retscan {
+
+/// Deterministic fault injection for tests, driven by the RETSCAN_FAILPOINTS
+/// environment variable — the harness that turns the library's error paths
+/// into first-class tested code (journal short-writes, throwing shards,
+/// killed campaigns) without recompiling.
+///
+/// Syntax (';' or ',' separated entries):
+///
+///     RETSCAN_FAILPOINTS="site=action[@N];site2=action2"
+///
+/// `site` is a compiled-in name (see docs/architecture.md for the list:
+/// shard.run, pool.dispatch, journal.flush, journal.load). `@N` fires the
+/// action on the N-th hit of that site only (1-based, one-shot); omitted it
+/// defaults to `@1`; `@every` fires on every hit. Actions:
+///
+///   * `throw`      — throw retscan::Error("failpoint <site>")
+///   * `delay:<ms>` — sleep for <ms> milliseconds
+///   * `kill`       — raise(SIGKILL): die exactly like an OOM-kill would
+///   * `shortwrite` — report FailAction::ShortWrite to the call site, which
+///                    truncates its write (journal I/O sites only)
+///
+/// Unknown sites are fine (they simply never fire); malformed entries and
+/// unknown actions warn once on stderr and are ignored, matching the strict
+/// RETSCAN_* env convention. With the variable unset the fast path is one
+/// relaxed atomic load per site hit.
+enum class FailAction {
+  None,       ///< nothing armed (or the armed hit count not reached)
+  ShortWrite, ///< truncate the write in progress (journal sites)
+};
+
+/// Execute the failpoint named `site`: counts the hit, then throws, sleeps,
+/// or kills per the armed action. Returns ShortWrite for an armed
+/// `shortwrite` action (the only action delegated back to the caller).
+FailAction failpoint(const char* site);
+
+/// Re-read RETSCAN_FAILPOINTS and reset all hit counters. Tests that arm
+/// failpoints via setenv() mid-process call this, mirroring
+/// runtime_config_refresh() for the RETSCAN_* knobs.
+void failpoints_refresh();
+
+/// True when any failpoint is armed (cheap; the same fast-path check
+/// failpoint() itself uses).
+bool failpoints_enabled();
+
+}  // namespace retscan

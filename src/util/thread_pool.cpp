@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include "retscan/runtime.hpp"
+#include "util/cancel.hpp"
+#include "util/failpoint.hpp"
 
 namespace retscan {
 
@@ -41,6 +43,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  failpoint("pool.dispatch");
   const std::size_t index =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   // Increment pending_ BEFORE the task becomes stealable, so a concurrent
@@ -112,25 +115,20 @@ void ThreadPool::worker_loop(std::size_t index) {
 }
 
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              const CancelToken* cancel) {
   if (count == 0) {
     return;
   }
   if (tl_pool == this || size() <= 1 || count == 1) {
-    // Same contract as the pooled path: every body runs, first exception
-    // rethrown at the end — side effects must not depend on thread count.
-    std::exception_ptr error;
+    // Same contract as the pooled path: a thrown exception (or a cancelled
+    // token) skips the bodies not yet started; the first error by index is
+    // the one rethrown. Inline, index order and start order coincide.
     for (std::size_t i = 0; i < count; ++i) {
-      try {
-        body(i);
-      } catch (...) {
-        if (!error) {
-          error = std::current_exception();
-        }
+      if (cancel != nullptr && cancel->cancelled()) {
+        return;
       }
-    }
-    if (error) {
-      std::rethrow_exception(error);
+      body(i);
     }
     return;
   }
@@ -139,32 +137,62 @@ void ThreadPool::parallel_for(std::size_t count,
     std::mutex mutex;
     std::condition_variable done;
     std::size_t remaining;
+    /// One body threw: bodies that have not started yet are skipped (they
+    /// still drain `remaining`, so the wait below always completes).
+    std::atomic<bool> abandoned{false};
+    /// Lowest body index that threw, and its exception — campaigns report
+    /// the first failing shard deterministically, not whichever worker's
+    /// throw won the wall-clock race.
+    std::size_t error_index;
     std::exception_ptr error;
   };
   auto state = std::make_shared<State>();
   state->remaining = count;
+  state->error_index = count;
 
+  std::size_t enqueued = 0;
+  std::exception_ptr dispatch_error;
   for (std::size_t i = 0; i < count; ++i) {
-    enqueue([state, i, &body] {
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        if (!state->error) {
-          state->error = std::current_exception();
+    auto task = [state, i, &body, cancel] {
+      if (!state->abandoned.load(std::memory_order_relaxed) &&
+          (cancel == nullptr || !cancel->cancelled())) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          state->abandoned.store(true, std::memory_order_relaxed);
+          if (i < state->error_index) {
+            state->error_index = i;
+            state->error = std::current_exception();
+          }
         }
       }
       std::lock_guard<std::mutex> lock(state->mutex);
       if (--state->remaining == 0) {
         state->done.notify_all();
       }
-    });
+    };
+    try {
+      enqueue(std::move(task));
+    } catch (...) {
+      // Dispatch itself failed (allocation, pool.dispatch failpoint): stop
+      // submitting, settle the count for the tasks that will never run, and
+      // report after the ones already in flight drain — never deadlock.
+      dispatch_error = std::current_exception();
+      state->abandoned.store(true, std::memory_order_relaxed);
+      break;
+    }
+    ++enqueued;
   }
 
   std::unique_lock<std::mutex> lock(state->mutex);
+  state->remaining -= count - enqueued;
   state->done.wait(lock, [&] { return state->remaining == 0; });
   if (state->error) {
     std::rethrow_exception(state->error);
+  }
+  if (dispatch_error) {
+    std::rethrow_exception(dispatch_error);
   }
 }
 

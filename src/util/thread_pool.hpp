@@ -14,6 +14,8 @@
 
 namespace retscan {
 
+class CancelToken;
+
 /// Small work-stealing thread pool: one task deque per worker, owners pop
 /// from the back (LIFO, cache-warm), thieves steal from the front (FIFO,
 /// oldest work first). This is the execution substrate of the
@@ -52,12 +54,18 @@ class ThreadPool {
     return future;
   }
 
-  /// Run body(0) .. body(count-1) across the pool and block until all
-  /// complete. The first exception thrown by any body is rethrown here
-  /// (after every submitted body has finished, so the pool is left clean).
-  /// Runs inline when called from a pool worker (no nested deadlock) or
-  /// when the pool is effectively serial.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+  /// Run body(0) .. body(count-1) across the pool and block until every
+  /// submitted body has finished or been skipped (the pool is always left
+  /// clean — no deadlock, no orphaned tasks). A throwing body cancels the
+  /// bodies that have not started yet, and of the bodies that did throw,
+  /// the one with the LOWEST index is rethrown here — deterministic by
+  /// shard id, never by wall clock. If `cancel` is non-null, bodies are
+  /// likewise skipped once the token reports cancelled (no exception: the
+  /// caller owns the token and inspects it). Runs inline when called from a
+  /// pool worker (no nested deadlock) or when the pool is effectively
+  /// serial, with the same skip-after-error/cancel semantics.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                    const CancelToken* cancel = nullptr);
 
   /// RETSCAN_THREADS env override (strictly parsed), else
   /// hardware_concurrency(), else 1.

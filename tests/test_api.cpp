@@ -9,6 +9,7 @@
 
 #define RETSCAN_SUPPRESS_DEPRECATED  // legacy entry points are the oracles here
 
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <string>
@@ -479,6 +480,134 @@ TEST(ApiValidate, RejectsUnrunnableSpecs) {
   coverage.atpg.random_patterns = 64;
   coverage.atpg.run_podem = false;
   EXPECT_NO_THROW(validate(coverage, counter));
+}
+
+TEST(ApiValidate, RejectsBadDurabilitySpecs) {
+  Session session = paper_session();
+
+  CampaignSpec base;
+  base.kind = CampaignKind::Validation;
+  base.sequences = 64;
+
+  // A zero deadline would expire before any work happens.
+  CampaignSpec zero_deadline = base;
+  zero_deadline.deadline_ms = 0;
+  EXPECT_NE(error_message([&] { validate(zero_deadline, session); })
+                .find("deadline_ms = 0"),
+            std::string::npos);
+
+  // Resume without a journal path has nothing to resume from.
+  CampaignSpec resume_only = base;
+  resume_only.resume = true;
+  EXPECT_NE(error_message([&] { validate(resume_only, session); })
+                .find("no journal"),
+            std::string::npos);
+
+  // Durability rides the sharded validation runner only.
+  CampaignSpec coverage = base;
+  coverage.kind = CampaignKind::FaultCoverage;
+  coverage.atpg.random_patterns = 16;
+  coverage.checkpoint = "coverage.journal";
+  EXPECT_NE(error_message([&] { validate(coverage, session); })
+                .find("sharded validation"),
+            std::string::npos);
+
+  CampaignSpec reference = base;
+  reference.backend = Backend::Reference;
+  reference.checkpoint = "reference.journal";
+  EXPECT_NE(error_message([&] { validate(reference, session); })
+                .find("unsharded"),
+            std::string::npos);
+
+  // Checkpoint path problems are caught before any work runs.
+  CampaignSpec dir_path = base;
+  dir_path.checkpoint = ".";
+  EXPECT_NE(error_message([&] { validate(dir_path, session); })
+                .find("is a directory"),
+            std::string::npos);
+
+  CampaignSpec missing_dir = base;
+  missing_dir.checkpoint = "/no/such/directory/campaign.journal";
+  EXPECT_NE(error_message([&] { validate(missing_dir, session); })
+                .find("does not exist"),
+            std::string::npos);
+
+  CampaignSpec file_parent = base;
+  file_parent.checkpoint = "/etc/passwd/campaign.journal";
+  EXPECT_NE(error_message([&] { validate(file_parent, session); })
+                .find("does not exist"),
+            std::string::npos);
+
+  // A journal written by a different campaign (here: a foreign fingerprint)
+  // is rejected on resume instead of silently merged.
+  const std::string path = "test_api_foreign.journal";
+  std::remove(path.c_str());
+  {
+    CampaignJournal foreign(path, 0xDEADBEEFu, base.seed,
+                            CampaignJournal::Mode::Truncate);
+    foreign.bind_plan(64, 64, 1);
+    foreign.append(JournalRecord{});
+  }
+  CampaignSpec resume = base;
+  resume.checkpoint = path;
+  resume.resume = true;
+  EXPECT_NE(error_message([&] { validate(resume, session); })
+                .find("different campaign"),
+            std::string::npos);
+  // Same journal, same spec, different seed: also foreign.
+  std::remove(path.c_str());
+  {
+    CampaignJournal mine(path, campaign_fingerprint(resume, session),
+                         base.seed + 1, CampaignJournal::Mode::Truncate);
+    mine.bind_plan(64, 64, 1);
+    mine.append(JournalRecord{});
+  }
+  EXPECT_NE(error_message([&] { validate(resume, session); })
+                .find("different campaign"),
+            std::string::npos);
+  // Matching fingerprint and seed: accepted.
+  std::remove(path.c_str());
+  {
+    CampaignJournal mine(path, campaign_fingerprint(resume, session),
+                         base.seed, CampaignJournal::Mode::Truncate);
+    mine.bind_plan(64, 64, 1);
+    mine.append(JournalRecord{});
+  }
+  EXPECT_NO_THROW(validate(resume, session));
+  std::remove(path.c_str());
+}
+
+TEST(ApiSpecFile, ParsesDurabilityKeys) {
+  const SpecFile file = parse_spec_text(R"(
+campaign.checkpoint = run.journal
+campaign.resume = true
+campaign.deadline_ms = 5000
+)");
+  EXPECT_EQ(file.campaign.checkpoint, "run.journal");
+  EXPECT_TRUE(file.campaign.resume);
+  ASSERT_TRUE(file.campaign.deadline_ms.has_value());
+  EXPECT_EQ(*file.campaign.deadline_ms, 5000u);
+
+  // Bare shorthands, matching the CLI flag names.
+  const SpecFile bare = parse_spec_text(
+      "checkpoint = ck.journal\nresume = false\ndeadline_ms = 9\n");
+  EXPECT_EQ(bare.campaign.checkpoint, "ck.journal");
+  EXPECT_FALSE(bare.campaign.resume);
+  EXPECT_EQ(*bare.campaign.deadline_ms, 9u);
+
+  // Defaults: durability off.
+  const SpecFile none = parse_spec_text("fifo.depth = 32\n");
+  EXPECT_TRUE(none.campaign.checkpoint.empty());
+  EXPECT_FALSE(none.campaign.resume);
+  EXPECT_FALSE(none.campaign.deadline_ms.has_value());
+
+  EXPECT_NE(error_message([] { parse_spec_text("campaign.resume = maybe\n"); })
+                .find("not a boolean"),
+            std::string::npos);
+  EXPECT_NE(
+      error_message([] { parse_spec_text("campaign.deadline_ms = -4\n"); })
+          .find("not a non-negative integer"),
+      std::string::npos);
 }
 
 TEST(ApiSession, ConstructionRejectsBadGeometry) {

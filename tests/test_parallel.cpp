@@ -12,8 +12,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "atpg/fault.hpp"
@@ -23,6 +25,8 @@
 #include "core/protected_design.hpp"
 #include "parallel/campaign_runner.hpp"
 #include "testbench/harness.hpp"
+#include "util/cancel.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -50,27 +54,37 @@ TEST(ThreadPool, SubmitDeliversResultsAndExceptions) {
 
 TEST(ThreadPool, ParallelForPropagatesExceptionAndPoolSurvives) {
   ThreadPool pool(4);
-  std::atomic<std::size_t> ran{0};
-  EXPECT_THROW(pool.parallel_for(64,
-                                 [&](std::size_t i) {
-                                   ran.fetch_add(1, std::memory_order_relaxed);
-                                   if (i % 7 == 3) {
-                                     throw std::runtime_error("shard failed");
-                                   }
-                                 }),
-               std::runtime_error);
-  // Every body still ran (the pool drains before rethrowing) …
-  EXPECT_EQ(ran.load(), 64u);
-  // … and the pool stays usable afterwards; destruction at scope end is the
+  // Every body throws, carrying its own index as the message. The contract:
+  // the first failure (by index, not wall clock) is what propagates, and
+  // bodies not yet started are abandoned rather than run to completion.
+  std::vector<std::atomic<int>> threw(64);
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      threw[i].store(1, std::memory_order_relaxed);
+      throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "parallel_for swallowed the exception";
+  } catch (const std::runtime_error& error) {
+    std::size_t lowest = 64;
+    for (std::size_t i = 0; i < 64; ++i) {
+      if (threw[i].load(std::memory_order_relaxed) != 0) {
+        lowest = i;
+        break;
+      }
+    }
+    ASSERT_LT(lowest, 64u);
+    EXPECT_EQ(error.what(), std::to_string(lowest));
+  }
+  // The pool stays usable afterwards; destruction at scope end is the
   // shutdown-under-exceptions check.
-  ran.store(0);
+  std::atomic<std::size_t> ran{0};
   pool.parallel_for(32, [&](std::size_t) {
     ran.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(ran.load(), 32u);
 
-  // The inline (serial-pool) path honors the same drain-before-rethrow
-  // contract, so side effects do not depend on the thread count.
+  // The inline (serial-pool) path stops at the first failure — bodies after
+  // the throwing index never run.
   ThreadPool solo(1);
   std::size_t solo_ran = 0;
   EXPECT_THROW(solo.parallel_for(16,
@@ -81,6 +95,31 @@ TEST(ThreadPool, ParallelForPropagatesExceptionAndPoolSurvives) {
                                    }
                                  }),
                std::runtime_error);
+  EXPECT_EQ(solo_ran, 3u);
+}
+
+TEST(ThreadPool, ParallelForSkipsBodiesOnceTokenIsCancelled) {
+  // A pre-cancelled token is the deterministic case: no body may run, on
+  // either dispatch path, and the call returns normally (cancellation is a
+  // skip, not a failure — the campaign layer decides what partial means).
+  CancelToken cancel;
+  cancel.request_cancel();
+
+  ThreadPool pooled(4);
+  std::atomic<std::size_t> ran{0};
+  pooled.parallel_for(64, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  }, &cancel);
+  EXPECT_EQ(ran.load(), 0u);
+
+  ThreadPool solo(1);
+  std::size_t solo_ran = 0;
+  solo.parallel_for(16, [&](std::size_t) { ++solo_ran; }, &cancel);
+  EXPECT_EQ(solo_ran, 0u);
+
+  // A fresh token lets everything through.
+  CancelToken open;
+  solo.parallel_for(16, [&](std::size_t) { ++solo_ran; }, &open);
   EXPECT_EQ(solo_ran, 16u);
 }
 
@@ -157,6 +196,27 @@ TEST(CampaignRunner, FastCampaignIsThreadCountInvariant) {
   EXPECT_EQ(reports[0].stats.detection_rate(), 1.0);
   EXPECT_EQ(reports[0].stats.correction_rate(), 1.0);
   EXPECT_EQ(reports[0].stats.silent_corruptions, 0u);
+}
+
+// Satellite regression for the exception-semantics fix, run under TSan via
+// this binary: a shard that throws (injected through the failpoint harness,
+// exactly how the resilience CI job arms it) must cancel the rest of the
+// campaign, propagate, and leave the runner reusable — a clean rerun on the
+// same warm runner reproduces an undisturbed runner's statistics.
+TEST(CampaignRunner, FailpointThrownShardCancelsCampaignAndRunnerSurvives) {
+  const ValidationConfig config = fast_config();
+  parallel::CampaignRunner baseline(parallel::CampaignOptions{.threads = 4});
+  const ValidationStats expected = baseline.run_fast(config, 1024, 128).stats;
+
+  ::setenv("RETSCAN_FAILPOINTS", "shard.run=throw@2", 1);
+  failpoints_refresh();
+  parallel::CampaignRunner runner(parallel::CampaignOptions{.threads = 4});
+  EXPECT_THROW(runner.run_fast(config, 1024, 128), Error);
+  ::unsetenv("RETSCAN_FAILPOINTS");
+  failpoints_refresh();
+
+  const ValidationStats rerun = runner.run_fast(config, 1024, 128).stats;
+  EXPECT_TRUE(rerun == expected);
 }
 
 TEST(CampaignRunner, BurstCampaignIsThreadCountInvariant) {

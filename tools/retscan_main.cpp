@@ -6,12 +6,16 @@
 //
 // Overrides (applied after the file is parsed):
 //   --seed N --threads N --sequences N --backend NAME --schedule NAME
+//   --checkpoint PATH --resume --deadline-ms N
 //
 // The spec format is `key = value` lines with '#' comments; see
 // examples/validation.spec for the full key reference. Exit status: 0 when
 // the campaign's pass verdict holds (no silent corruptions / no delivery
-// mismatches), 1 otherwise, 2 on usage or spec errors.
+// mismatches), 1 otherwise, 2 on usage or spec errors, 3 when a deadline_ms
+// budget expired, 130 when interrupted by SIGINT/SIGTERM (partial results —
+// and, with --checkpoint, a journal to --resume from).
 
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -43,9 +47,21 @@ int usage(std::ostream& out, int status) {
          "                   [--sequences N] [--backend auto|reference|packed|"
          "packed-parallel]\n"
          "                   [--schedule auto|sweep|event]\n"
+         "                   [--checkpoint PATH] [--resume] [--deadline-ms N]\n"
          "       retscan describe <campaign.spec>\n"
          "       retscan --version | --help\n";
   return status;
+}
+
+/// SIGINT/SIGTERM land on the process-global cooperative cancel flag (an
+/// async-signal-safe atomic store): running shards finish, pending shards
+/// are skipped, the checkpoint journal keeps whatever completed, and the
+/// campaign returns with CampaignStatus::Cancelled instead of dying
+/// mid-write. A second signal falls back to the default handler — if the
+/// graceful path itself wedged, the user can still kill the process.
+extern "C" void on_cancel_signal(int signum) {
+  retscan::request_global_cancel();
+  std::signal(signum, SIG_DFL);
 }
 
 /// The spec's base netlist provenance + size — generator vs. imported file,
@@ -102,12 +118,39 @@ void print_plan(std::ostream& out, const SpecFile& file, const Netlist* base,
     }
     out << "\n";
   }
+  if (!c.checkpoint.empty() || c.deadline_ms) {
+    out << "durable:  ";
+    if (!c.checkpoint.empty()) {
+      out << "checkpoint " << c.checkpoint << (c.resume ? " (resume)" : "");
+    }
+    if (c.deadline_ms) {
+      out << (c.checkpoint.empty() ? "" : ", ") << "deadline " << *c.deadline_ms
+          << " ms";
+    }
+    out << "\n";
+  }
 }
 
-void print_result(std::ostream& out, const CampaignResult& r) {
+void print_result(std::ostream& out, const CampaignResult& r,
+                  const CampaignSpec& spec) {
   out << "ran:      " << to_string(r.kind) << " on " << to_string(r.backend) << ", "
       << r.threads << " threads x " << r.shard_count << " shards, " << r.seconds
       << " s\n";
+  if (r.shards_resumed != 0) {
+    out << "resumed:  " << r.shards_resumed << " of " << r.shard_count
+        << " shards merged from " << spec.checkpoint << "\n";
+  }
+  if (r.status != CampaignStatus::Complete) {
+    // Interrupted: the statistics below are partial (completed shards
+    // only) — still exact for those shards, and checkpointed if armed.
+    out << "status:   " << to_string(r.status) << " after " << r.shards_completed
+        << " of " << r.shard_count << " shards";
+    if (!spec.checkpoint.empty()) {
+      out << "; journal " << spec.checkpoint << " holds the completed work "
+          << "(rerun with --resume)";
+    }
+    out << "\n";
+  }
   switch (r.kind) {
     case CampaignKind::Validation:
     case CampaignKind::Injection: {
@@ -146,13 +189,20 @@ int run_command(const std::string& command, int argc, char** argv) {
     return usage(std::cerr, 2);
   }
   SpecFile file = load_spec_file(argv[0]);
-  for (int i = 1; i < argc; i += 2) {
+  for (int i = 1; i < argc;) {
     const std::string flag = argv[i];
+    // Boolean flags (no value operand) first.
+    if (flag == "--resume") {
+      file.campaign.resume = true;
+      i += 1;
+      continue;
+    }
     if (i + 1 >= argc) {
       std::cerr << "retscan: " << flag << " needs a value\n";
       return 2;
     }
     const std::string value = argv[i + 1];
+    i += 2;
     if (flag == "--seed") {
       file.campaign.seed = parse_override_u64(flag, value);
     } else if (flag == "--threads") {
@@ -171,6 +221,10 @@ int run_command(const std::string& command, int argc, char** argv) {
                   << "' (want auto, sweep or event)\n";
         return 2;
       }
+    } else if (flag == "--checkpoint") {
+      file.campaign.checkpoint = value;
+    } else if (flag == "--deadline-ms") {
+      file.campaign.deadline_ms = parse_override_u64(flag, value);
     } else {
       std::cerr << "retscan: unknown flag '" << flag << "'\n";
       return usage(std::cerr, 2);
@@ -196,8 +250,22 @@ int run_command(const std::string& command, int argc, char** argv) {
     std::cout << "spec OK (describe only, nothing run)\n";
     return 0;
   }
+  // Graceful SIGINT/SIGTERM only around the actual campaign body — spec
+  // parsing and synthesis stay immediately killable.
+  std::signal(SIGINT, on_cancel_signal);
+  std::signal(SIGTERM, on_cancel_signal);
   const CampaignResult result = run(session, file.campaign);
-  print_result(std::cout, result);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  print_result(std::cout, result, file.campaign);
+  switch (result.status) {
+    case CampaignStatus::Cancelled:
+      return 130;  // 128 + SIGINT, the shell convention for "interrupted"
+    case CampaignStatus::Timeout:
+      return 3;
+    case CampaignStatus::Complete:
+      break;
+  }
   return result.passed() ? 0 : 1;
 }
 
