@@ -39,6 +39,9 @@ REQUIRED_KEYS = {
         "event_sweeps",
         "avg_dirty_fraction",
         "checkpoint_overhead",
+        "artifact_warm_speedup",
+        "artifact_cold_setup_sec",
+        "artifact_warm_setup_sec",
     ]
     + [f"parallel_speedup_t{n}" for n in (1, 2, 4, 8)]
     + [f"scaling_efficiency_t{n}" for n in (1, 2, 4, 8)],
@@ -103,6 +106,11 @@ def conditional_gates(name, report):
         # low-activity retention workload (the PR7 tentpole contract). A
         # pure same-binary same-host scheduling ratio, so no shape guard.
         gates.append(("event_speedup", 2.0, "low-activity workload"))
+        # A warm resubmission through the serve daemon's caches must beat
+        # the cold job's setup (spec parse + synthesis + compile + warm-up)
+        # by >= 1.2x — same binary, same host, a pure ratio (the PR9
+        # tentpole contract; in practice it lands far above this floor).
+        gates.append(("artifact_warm_speedup", 1.2, "serve warm resubmission"))
         # Thread-scaling floors need real cores (>= 8 logical, i.e. ~4
         # physical with SMT) and a non-trivial budget — tiny smoke runs are
         # dominated by shard setup.

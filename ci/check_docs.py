@@ -23,6 +23,7 @@ REQUIRED_DOCS = {
     "docs/architecture.md": 2000,
     "docs/spec-reference.md": 2000,
     "docs/verilog-frontend.md": 2000,
+    "docs/serve.md": 2000,
 }
 
 SPEC_KEY_RE = re.compile(r'key == "([a-z0-9_.+]+)"')

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -203,6 +204,32 @@ Backend resolve_backend(const CampaignSpec& spec, const Session& session);
 /// Run the campaign on the session's design. Validates first; throws
 /// retscan::Error on a bad spec.
 CampaignResult run(Session& session, const CampaignSpec& spec);
+
+/// Execution hooks for services embedding the campaign router — the
+/// `retscan serve` daemon runs every job through these so concurrent
+/// campaigns share one pool fairly and stay individually cancellable.
+/// All optional; run(session, spec) is exactly run(session, spec, {}).
+/// None of the hooks can change campaign statistics: same seed → same
+/// results, hooked or not (asserted by tests/test_serve.cpp).
+struct RunHooks {
+  /// Shared campaign runner (pool + warm workspaces) to execute on,
+  /// overriding both the session's runner and the spec's threads knob.
+  parallel::CampaignRunner* runner = nullptr;
+  /// Caller-owned cancel token polled by the shard loop. When the spec
+  /// carries deadline_ms, run() arms it on this token. nullptr → run()
+  /// uses a private token (global-cancel + deadline only).
+  CancelToken* cancel = nullptr;
+  /// Fair shard dispatcher (parallel/fair_scheduler.hpp) multiplexing this
+  /// campaign with others on the same pool. Must wrap hooks.runner's pool.
+  parallel::FairScheduler* scheduler = nullptr;
+  /// Per-shard progress observer, (shards_done, shard_count); called from
+  /// pool threads. Sharded validation kinds only.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// run() with service hooks — see RunHooks.
+CampaignResult run(Session& session, const CampaignSpec& spec,
+                   const RunHooks& hooks);
 
 /// FNV-1a hash binding a checkpoint journal to one exact campaign: the
 /// library version, the spec's statistics-shaping fields (kind, tier,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <optional>
 
 #include "sim/schedule.hpp"
@@ -50,5 +51,30 @@ std::size_t runtime_sequences(std::size_t default_count);
 /// Sweep/Event request wins; Auto defers to RETSCAN_SCHEDULE when set and
 /// otherwise stays Auto (engine-side activity probing).
 Schedule runtime_schedule(Schedule requested);
+
+/// Build + runtime provenance in one queryable record: what this binary
+/// was compiled as (version, lane geometry, AVX2 kernels) and what the
+/// current environment resolves to (threads, schedule). `retscan describe`
+/// and the `retscan serve` startup banner print exactly this, so a result
+/// can always be tied back to the configuration that produced it.
+struct BuildInfo {
+  const char* version;       ///< RETSCAN_VERSION_STRING
+  unsigned lane_words;       ///< 64-bit words per LaneBlock (RETSCAN_LANE_WORDS)
+  unsigned lane_bits;        ///< lanes per block = 64 * lane_words
+  bool avx2;                 ///< explicit AVX2 LaneBlock kernels compiled in
+  unsigned threads;          ///< resolved worker count (RETSCAN_THREADS / hw)
+  std::optional<Schedule> schedule; ///< RETSCAN_SCHEDULE override, if any
+};
+
+/// Snapshot the provenance (consults the cached runtime_config()).
+BuildInfo build_info();
+
+/// The canonical multi-line provenance block:
+///
+///     retscan:  1.0.0
+///     lanes:    4 x 64 = 256 per block (avx2 kernels)
+///     threads:  8 (hardware)
+///     schedule: auto (engine activity probing)
+void print_build_info(std::ostream& out);
 
 }  // namespace retscan

@@ -25,6 +25,7 @@
 #include "retscan/version.hpp"
 #include "sim/packed_sim.hpp"
 #include "util/error.hpp"
+#include "util/fnv.hpp"
 #include "util/journal.hpp"
 
 namespace retscan {
@@ -168,32 +169,10 @@ ValidationConfig validation_config(Session& session, const CampaignSpec& spec) {
               to_string(spec.backend) + "): " + why);
 }
 
-/// FNV-1a 64 accumulator for the campaign fingerprint. Every field is
-/// hashed through a fixed-width integer representation so the fingerprint
-/// is stable across platforms with the same integer model.
-struct Fingerprint {
-  std::uint64_t hash = 1469598103934665603ull;
-
-  void add(std::uint64_t value) {
-    for (int byte = 0; byte < 8; ++byte) {
-      hash ^= (value >> (byte * 8)) & 0xFF;
-      hash *= 1099511628211ull;
-    }
-  }
-  void add_double(double value) {
-    std::uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(value));
-    std::memcpy(&bits, &value, sizeof(bits));
-    add(bits);
-  }
-  void add_text(std::string_view text) {
-    add(text.size());
-    for (const char c : text) {
-      hash ^= static_cast<unsigned char>(c);
-      hash *= 1099511628211ull;
-    }
-  }
-};
+/// The campaign fingerprint is a plain FNV-1a 64 over the fields below —
+/// the shared util accumulator, so journal headers and artifact keys hash
+/// identically everywhere.
+using Fingerprint = Fnv1a;
 
 /// True when the spec carries any of the durability knobs this PR routes
 /// through the sharded campaign runner.
@@ -469,12 +448,16 @@ Backend resolve_backend(const CampaignSpec& spec, const Session& session) {
 
 namespace {
 
-/// Campaign runner honouring a per-spec thread override: the session's
-/// shared pool when the spec doesn't insist, a private pool otherwise.
+/// Campaign runner honouring the service/thread overrides, strongest
+/// first: an embedding service's shared runner (RunHooks), else the
+/// session's pool when the spec doesn't insist, else a private pool.
 /// (Results are thread-count invariant either way; this is throughput only.)
 parallel::CampaignRunner& select_runner(
-    Session& session, const CampaignSpec& spec,
+    Session& session, const CampaignSpec& spec, const RunHooks& hooks,
     std::unique_ptr<parallel::CampaignRunner>& local) {
+  if (hooks.runner != nullptr) {
+    return *hooks.runner;
+  }
   if (spec.threads == 0 || spec.threads == session.threads()) {
     return session.runner();
   }
@@ -485,7 +468,7 @@ parallel::CampaignRunner& select_runner(
 }
 
 void run_validation(Session& session, const CampaignSpec& spec, Backend backend,
-                    CampaignResult& result) {
+                    const RunHooks& hooks, CampaignResult& result) {
   ValidationConfig config = validation_config(session, spec);
   const bool behavioral = spec.tier == ValidationTier::Behavioral;
   // Reference is the scalar full-sweep oracle the event scheduler is
@@ -521,18 +504,23 @@ void run_validation(Session& session, const CampaignSpec& spec, Backend backend,
     case Backend::PackedParallel:
     default: {
       std::unique_ptr<parallel::CampaignRunner> local;
-      parallel::CampaignRunner& runner = select_runner(session, spec, local);
+      parallel::CampaignRunner& runner = select_runner(session, spec, hooks, local);
       // Durability hooks: a cancel token (SIGINT via the global flag plus
       // the spec's deadline budget) and, when armed, the checkpoint
-      // journal. validate() has already vetted the path and, for resume,
-      // the journal header — constructing the journal re-checks both
-      // anyway (TOCTOU-safe).
-      CancelToken cancel;
+      // journal. A service passes its own per-job token via RunHooks so it
+      // can cancel this campaign without touching the others; the deadline
+      // is armed on whichever token is in play. validate() has already
+      // vetted the checkpoint path and, for resume, the journal header —
+      // constructing the journal re-checks both anyway (TOCTOU-safe).
+      CancelToken local_cancel;
+      CancelToken* cancel = hooks.cancel != nullptr ? hooks.cancel : &local_cancel;
       if (spec.deadline_ms) {
-        cancel.set_deadline_ms(*spec.deadline_ms);
+        cancel->set_deadline_ms(*spec.deadline_ms);
       }
       parallel::RunControls controls;
-      controls.cancel = &cancel;
+      controls.cancel = cancel;
+      controls.scheduler = hooks.scheduler;
+      controls.progress = hooks.progress;
       std::unique_ptr<CampaignJournal> journal;
       if (!spec.checkpoint.empty()) {
         journal = std::make_unique<CampaignJournal>(
@@ -559,13 +547,13 @@ void run_validation(Session& session, const CampaignSpec& spec, Backend backend,
 }
 
 void run_fault_coverage(Session& session, const CampaignSpec& spec, Backend backend,
-                        CampaignResult& result) {
+                        const RunHooks& hooks, CampaignResult& result) {
   AtpgOptions options = spec.atpg;
   options.seed = spec.seed;
   result.atpg = run_atpg(session.frame(), session.faults(), options);
   if (backend == Backend::PackedParallel) {
     std::unique_ptr<parallel::CampaignRunner> local;
-    parallel::CampaignRunner& runner = select_runner(session, spec, local);
+    parallel::CampaignRunner& runner = select_runner(session, spec, hooks, local);
     const std::size_t fault_shard = spec.shard_size != 0 ? spec.shard_size : 128;
     result.faults = fault_simulate(session.frame(), session.faults(),
                                    result.atpg.patterns, runner.pool(), fault_shard);
@@ -583,7 +571,8 @@ void run_fault_coverage(Session& session, const CampaignSpec& spec, Backend back
 }
 
 void run_scan_test_campaign(Session& session, const CampaignSpec& spec,
-                            Backend backend, CampaignResult& result) {
+                            Backend backend, const RunHooks& hooks,
+                            CampaignResult& result) {
   AtpgOptions options = spec.atpg;
   options.seed = spec.seed;
   result.atpg = run_atpg(session.frame(), session.faults(), options);
@@ -591,7 +580,7 @@ void run_scan_test_campaign(Session& session, const CampaignSpec& spec,
     // Routed directly (not via Session::run_scan_test, which always uses the
     // session's shared pool) so the spec's threads knob is honored here too.
     std::unique_ptr<parallel::CampaignRunner> local;
-    parallel::CampaignRunner& runner = select_runner(session, spec, local);
+    parallel::CampaignRunner& runner = select_runner(session, spec, hooks, local);
     result.scan_test =
         apply_test_mode_scan_test_packed(session.design(), session.frame(),
                                          result.atpg.patterns, runner.pool(),
@@ -615,6 +604,11 @@ void run_scan_test_campaign(Session& session, const CampaignSpec& spec,
 }  // namespace
 
 CampaignResult run(Session& session, const CampaignSpec& spec) {
+  return run(session, spec, RunHooks{});
+}
+
+CampaignResult run(Session& session, const CampaignSpec& spec,
+                   const RunHooks& hooks) {
   const Backend backend = resolve_backend(spec, session);
   CampaignResult result;
   result.kind = spec.kind;
@@ -623,13 +617,13 @@ CampaignResult run(Session& session, const CampaignSpec& spec) {
   switch (spec.kind) {
     case CampaignKind::Validation:
     case CampaignKind::Injection:
-      run_validation(session, spec, backend, result);
+      run_validation(session, spec, backend, hooks, result);
       break;
     case CampaignKind::FaultCoverage:
-      run_fault_coverage(session, spec, backend, result);
+      run_fault_coverage(session, spec, backend, hooks, result);
       break;
     case CampaignKind::ScanTest:
-      run_scan_test_campaign(session, spec, backend, result);
+      run_scan_test_campaign(session, spec, backend, hooks, result);
       break;
   }
   result.seconds =

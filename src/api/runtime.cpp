@@ -4,7 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <ostream>
 #include <thread>
+
+#include "retscan/version.hpp"
+#include "util/lanes.hpp"
 
 namespace retscan {
 
@@ -127,6 +131,41 @@ Schedule runtime_schedule(Schedule requested) {
     return requested;
   }
   return runtime_config().schedule.value_or(Schedule::Auto);
+}
+
+BuildInfo build_info() {
+  const RuntimeConfig config = runtime_config();
+  BuildInfo info;
+  info.version = RETSCAN_VERSION_STRING;
+  info.lane_words = kLaneWords;
+  info.lane_bits = kLaneBlockBits;
+#if RETSCAN_LANE_BLOCK_AVX2
+  info.avx2 = true;
+#else
+  info.avx2 = false;
+#endif
+  info.threads = config.threads;
+  info.schedule = config.schedule;
+  return info;
+}
+
+void print_build_info(std::ostream& out) {
+  const BuildInfo info = build_info();
+  out << "retscan:  " << info.version << "\n"
+      << "lanes:    " << info.lane_words << " x 64 = " << info.lane_bits
+      << " per block (" << (info.avx2 ? "avx2" : "portable") << " kernels)\n"
+      << "threads:  " << info.threads << " ("
+      << (std::getenv("RETSCAN_THREADS") != nullptr ? "RETSCAN_THREADS"
+                                                    : "hardware")
+      << ")\n"
+      << "schedule: "
+      << (info.schedule ? to_string(*info.schedule) : "auto");
+  if (!info.schedule) {
+    out << " (engine activity probing)";
+  } else {
+    out << " (RETSCAN_SCHEDULE)";
+  }
+  out << "\n";
 }
 
 }  // namespace retscan

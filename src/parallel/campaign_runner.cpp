@@ -4,6 +4,7 @@
 #include <mutex>
 #include <optional>
 
+#include "parallel/fair_scheduler.hpp"
 #include "sim/packed_sim.hpp"
 #include "util/failpoint.hpp"
 #include "util/journal.hpp"
@@ -193,12 +194,20 @@ CampaignReport run_campaign(CampaignRunner& runner, const ValidationConfig& conf
 
   std::vector<std::optional<ShardOutcome>> partial(shards.size());
   std::atomic<std::size_t> resumed{0};
-  runner.pool().parallel_for(shards.size(), [&](std::size_t s) {
+  std::atomic<std::size_t> settled{0};
+  const auto note_progress = [&] {
+    if (controls.progress) {
+      controls.progress(settled.fetch_add(1, std::memory_order_relaxed) + 1,
+                        shards.size());
+    }
+  };
+  const std::function<void(std::size_t)> shard_body = [&](std::size_t s) {
     if (controls.journal != nullptr) {
       if (const std::optional<JournalRecord> record =
               controls.journal->find(shards[s].index)) {
         partial[s] = decode_outcome(*record);
         resumed.fetch_add(1, std::memory_order_relaxed);
+        note_progress();
         return;
       }
     }
@@ -218,7 +227,16 @@ CampaignReport run_campaign(CampaignRunner& runner, const ValidationConfig& conf
       controls.journal->append(encode_outcome(shards[s].index, outcome));
     }
     partial[s] = outcome;
-  });
+    note_progress();
+  };
+  // The cancel token is deliberately NOT handed to the dispatcher: the body
+  // must still run for every shard so journal-resumed outcomes merge even
+  // under cancellation; the body's own poll skips the actual work.
+  if (controls.scheduler != nullptr) {
+    controls.scheduler->run_job(shards.size(), shard_body);
+  } else {
+    runner.pool().parallel_for(shards.size(), shard_body);
+  }
 
   ShardOutcome merged;
   std::size_t completed = 0;

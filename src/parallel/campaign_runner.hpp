@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -14,6 +15,8 @@ class CampaignJournal;
 }  // namespace retscan
 
 namespace retscan::parallel {
+
+class FairScheduler;
 
 /// One contiguous chunk of a campaign: trials [first, first + count).
 struct ShardRange {
@@ -45,8 +48,10 @@ struct CampaignOptions {
   std::size_t structural_shard_size = 256;
 };
 
-/// Durability hooks threaded through a campaign run. Both optional; the
-/// default (nullptrs) reproduces the plain uninterruptible run exactly.
+/// Durability + service hooks threaded through a campaign run. All
+/// optional; the default (nullptrs) reproduces the plain uninterruptible
+/// single-campaign run exactly. None of them can change the statistics —
+/// they reorder, interrupt or observe the shard loop, never reseed it.
 struct RunControls {
   /// Polled before each shard; a cancelled token skips the shards that have
   /// not started (completed shards still merge — partial statistics).
@@ -55,6 +60,17 @@ struct RunControls {
   /// they finish; shards already in the journal are merged from it instead
   /// of rerun. Shard-order determinism makes the merge bit-exact.
   CampaignJournal* journal = nullptr;
+  /// Fair round-robin shard dispatcher shared across concurrent campaigns
+  /// (the serve daemon): shards go through scheduler->run_job instead of
+  /// the runner's own parallel_for, interleaving with every other job on
+  /// the same pool. Must wrap the same pool as the runner. nullptr → the
+  /// runner's pool runs this campaign alone.
+  FairScheduler* scheduler = nullptr;
+  /// Progress observer, called after each shard completes (run or resumed
+  /// — never for cancel-skipped shards) with (shards_done, shard_count).
+  /// Invoked from pool threads — must be thread-safe and cheap; exceptions
+  /// must not escape.
+  std::function<void(std::size_t, std::size_t)> progress;
 };
 
 /// Campaign result plus the parallel execution shape, for BENCH_*.json.

@@ -1,0 +1,145 @@
+#include "parallel/fair_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/cancel.hpp"
+
+namespace retscan::parallel {
+
+FairScheduler::FairScheduler(ThreadPool& pool)
+    : pool_(pool), window_(std::max<std::size_t>(1, pool.size())) {}
+
+FairScheduler::~FairScheduler() {
+  // Every Job lives on its run_job caller's stack, and the last pool task
+  // of a job releases mutex_ before the caller can return — so once jobs_
+  // drains, no task references this scheduler any more.
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return jobs_.empty(); });
+}
+
+void FairScheduler::finish_one_locked(Job* job) {
+  if (--job->unfinished == 0) {
+    done_.notify_all();
+  }
+}
+
+void FairScheduler::pump_locked() {
+  while (in_flight_ < window_ && !jobs_.empty()) {
+    // Next job with work, round-robin from the cursor. Jobs that were
+    // cancelled or abandoned drain their undispatched tail here — those
+    // bodies are "skipped", exactly like parallel_for's skip-on-cancel.
+    Job* job = nullptr;
+    for (std::size_t k = 0; k < jobs_.size(); ++k) {
+      Job* candidate = jobs_[(rr_ + k) % jobs_.size()];
+      if (candidate->next >= candidate->count) {
+        continue;
+      }
+      if (candidate->abandoned ||
+          (candidate->cancel != nullptr && candidate->cancel->cancelled())) {
+        candidate->unfinished -= candidate->count - candidate->next;
+        candidate->next = candidate->count;
+        if (candidate->unfinished == 0) {
+          done_.notify_all();
+        }
+        continue;
+      }
+      job = candidate;
+      rr_ = (rr_ + k + 1) % jobs_.size();
+      break;
+    }
+    if (job == nullptr) {
+      return;
+    }
+    const std::size_t index = job->next++;
+    ++in_flight_;
+    try {
+      pool_.enqueue([this, job, index] { run_one(job, index); });
+    } catch (...) {
+      // Dispatch itself failed (allocation, pool.dispatch failpoint):
+      // treated like a body failure at this index — lowest index wins,
+      // the job abandons its remaining bodies, and the count settles so
+      // run_job never deadlocks.
+      --in_flight_;
+      job->abandoned = true;
+      if (index < job->error_index) {
+        job->error_index = index;
+        job->error = std::current_exception();
+      }
+      finish_one_locked(job);
+    }
+  }
+}
+
+void FairScheduler::run_one(Job* job, std::size_t index) {
+  bool skip;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    skip = job->abandoned ||
+           (job->cancel != nullptr && job->cancel->cancelled());
+  }
+  if (!skip) {
+    try {
+      (*job->body)(index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job->abandoned = true;
+      if (index < job->error_index) {
+        job->error_index = index;
+        job->error = std::current_exception();
+      }
+    }
+  }
+  // One locked epilogue: free the window slot, settle this body, refill the
+  // window. Holding the lock across the notify means the waiting run_job
+  // cannot return (and pop its Job off its stack) until this task is done
+  // touching the scheduler.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  --in_flight_;
+  finish_one_locked(job);
+  pump_locked();
+}
+
+void FairScheduler::run_job(std::size_t count,
+                            const std::function<void(std::size_t)>& body,
+                            const CancelToken* cancel) {
+  if (count == 0) {
+    return;
+  }
+  if (pool_.size() <= 1 || pool_.on_worker_thread()) {
+    // Inline fallback, same as parallel_for: serial pools have no window to
+    // share, and a pool worker blocking on its own pool would deadlock.
+    // Index order and start order coincide, so error/cancel semantics hold.
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        return;
+      }
+      body(i);
+    }
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.cancel = cancel;
+  job.count = count;
+  job.unfinished = count;
+  job.error_index = count;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  jobs_.push_back(&job);
+  pump_locked();
+  done_.wait(lock, [&job] { return job.unfinished == 0; });
+  jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+  if (jobs_.empty()) {
+    rr_ = 0;
+    done_.notify_all();  // wake a destructor waiting for drain
+  } else {
+    rr_ %= jobs_.size();
+  }
+  lock.unlock();
+  if (job.error) {
+    std::rethrow_exception(job.error);
+  }
+}
+
+}  // namespace retscan::parallel

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace retscan {
+class CancelToken;
+}  // namespace retscan
+
+namespace retscan::parallel {
+
+/// Fair round-robin dispatcher multiplexing concurrent campaigns onto one
+/// shared ThreadPool — the serve daemon's scheduling layer.
+///
+/// ThreadPool::parallel_for enqueues a whole campaign's shards up front, so
+/// a second campaign submitted a moment later waits behind every shard of
+/// the first. FairScheduler instead keeps one shard queue per in-flight job
+/// and feeds the pool through a bounded dispatch window (one slot per pool
+/// worker): each time a slot frees, the next shard comes from the next job
+/// in round-robin order. Two concurrent campaigns therefore interleave
+/// shard-for-shard instead of running back-to-back, and a short job is
+/// never starved by a long one.
+///
+/// run_job() replicates the parallel_for contract exactly — it blocks until
+/// every body has finished or been skipped, a throwing body abandons the
+/// bodies not yet started and the lowest-index exception is the one
+/// rethrown, a cancelled token skips unstarted bodies — so CampaignRunner
+/// can swap it in for parallel_for without changing campaign semantics.
+/// Determinism is untouched: the scheduler only reorders which shard runs
+/// when; shard seeds and the shard-order merge stay the campaign's.
+class FairScheduler {
+ public:
+  explicit FairScheduler(ThreadPool& pool);
+
+  /// Blocks until no job of this scheduler is in flight (callers must have
+  /// returned from run_job; this is a safety net for teardown ordering).
+  ~FairScheduler();
+
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  ThreadPool& pool() { return pool_; }
+
+  /// Run body(0) .. body(count-1) on the shared pool, interleaved fairly
+  /// with every other job currently inside run_job. Thread-safe — each
+  /// concurrent caller is one job. Runs inline (serial loop, same
+  /// skip/error semantics) on a serial pool or when called from a pool
+  /// worker thread.
+  void run_job(std::size_t count, const std::function<void(std::size_t)>& body,
+               const CancelToken* cancel = nullptr);
+
+ private:
+  /// One in-flight run_job call: its body, cursor and completion state.
+  struct Job {
+    const std::function<void(std::size_t)>* body = nullptr;
+    const CancelToken* cancel = nullptr;
+    std::size_t count = 0;
+    std::size_t next = 0;        ///< next body index to dispatch
+    std::size_t unfinished = 0;  ///< bodies not yet finished or skipped
+    bool abandoned = false;      ///< a body threw: skip the rest
+    std::size_t error_index = 0;
+    std::exception_ptr error;
+  };
+
+  void pump_locked();
+  void finish_one_locked(Job* job);
+  void run_one(Job* job, std::size_t index);
+
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::vector<Job*> jobs_;       ///< jobs with work left to dispatch or drain
+  std::size_t rr_ = 0;           ///< round-robin cursor into jobs_
+  std::size_t in_flight_ = 0;    ///< bodies currently enqueued/running
+  std::size_t window_;           ///< dispatch cap: one slot per pool worker
+};
+
+}  // namespace retscan::parallel

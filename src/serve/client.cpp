@@ -1,0 +1,91 @@
+#include "serve/client.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace retscan::serve {
+
+Client::Client(const std::string& socket_path) : socket_path_(socket_path) {
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw Error("socket path too long: '" + socket_path + "'");
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw Error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int connect_errno = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("no retscan daemon at '" + socket_path +
+                "' (connect: " + std::strerror(connect_errno) +
+                "); start one with `retscan serve`");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void Client::send(const Json& request) {
+  const std::string line = request.dump() + "\n";
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      throw Error("daemon connection lost while sending");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Json Client::read_line() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      const std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (line.empty()) {
+        continue;
+      }
+      return Json::parse(line);
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    throw Error("daemon connection closed");
+  }
+}
+
+Json Client::request(const Json& request) {
+  send(request);
+  const Json response = read_line();
+  if (response.has("ok") && !response.at("ok").as_bool()) {
+    throw Error("daemon: " + response.at("error").as_string());
+  }
+  return response;
+}
+
+}  // namespace retscan::serve

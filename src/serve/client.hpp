@@ -1,0 +1,44 @@
+#pragma once
+
+/// Client side of the serve protocol — what `retscan submit`, `jobs`,
+/// `cancel` and `shutdown` are built from, and what tests drive the
+/// daemon with. One connection, blocking, line-delimited JSON.
+
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace retscan::serve {
+
+class Client {
+ public:
+  /// Connect to a daemon's socket; throws retscan::Error (with the
+  /// connect errno) when no daemon is listening.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request line and read one response line. Responses with
+  /// {"ok": false} are surfaced as thrown retscan::Error carrying the
+  /// daemon's message; event lines are NOT consumed here (use read_line
+  /// for streams).
+  Json request(const Json& request);
+
+  /// Send a request without waiting for the response (streamed flows).
+  void send(const Json& request);
+
+  /// Read the next line — an event or the final response. Throws on a
+  /// closed connection.
+  Json read_line();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  std::string socket_path_;
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace retscan::serve

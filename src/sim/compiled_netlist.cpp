@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/artifact_store.hpp"
+
 namespace retscan {
 
 namespace {
@@ -215,7 +217,16 @@ void CompiledNetlist::reference_eval(const Netlist& netlist,
 // cache accessor the netlist declares.
 std::shared_ptr<const CompiledNetlist> Netlist::compiled() const {
   if (!compiled_) {
-    compiled_ = std::make_shared<const CompiledNetlist>(*this);
+    // Artifact-store fast path (sim/artifact_store.hpp): when a store is
+    // installed — `retscan serve --cache-dir`, RETSCAN_ARTIFACT_DIR — a
+    // prior process's lowering is deserialized instead of recompiled. The
+    // loaded stream is keyed by the structure fingerprint, so it is
+    // byte-identical to what the constructor would produce.
+    if (std::shared_ptr<CompiledArtifactStore> store = installed_artifact_store()) {
+      compiled_ = store->load_or_compile(*this);
+    } else {
+      compiled_ = std::make_shared<const CompiledNetlist>(*this);
+    }
   }
   return compiled_;
 }

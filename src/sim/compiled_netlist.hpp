@@ -234,6 +234,12 @@ class CompiledNetlist {
   static void reference_eval(const Netlist& netlist, std::vector<LaneWord>& values_by_net);
 
  private:
+  /// Artifact deserialization (sim/artifact_store.cpp) reconstructs an
+  /// instance field by field from a validated on-disk image — the one
+  /// component allowed to bypass the lowering constructor.
+  CompiledNetlist() = default;
+  friend struct CompiledArtifactCodec;
+
   std::vector<std::uint32_t> slot_of_net_;
   std::vector<NetId> net_of_slot_;
   std::vector<CompiledInstr> instrs_;

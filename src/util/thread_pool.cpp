@@ -12,6 +12,10 @@ namespace {
 thread_local const ThreadPool* tl_pool = nullptr;
 }  // namespace
 
+bool ThreadPool::on_worker_thread() const {
+  return tl_pool == this;
+}
+
 unsigned ThreadPool::default_thread_count() {
   // Env parsing (and its strict-parse warning) lives in retscan::runtime —
   // the one interpreter of RETSCAN_* for the whole library.

@@ -67,6 +67,11 @@ class ThreadPool {
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                     const CancelToken* cancel = nullptr);
 
+  /// True when the calling thread is one of this pool's workers — callers
+  /// that would block waiting on pool tasks (parallel_for, FairScheduler)
+  /// must run inline instead, or a worker deadlocks waiting on itself.
+  bool on_worker_thread() const;
+
   /// RETSCAN_THREADS env override (strictly parsed), else
   /// hardware_concurrency(), else 1.
   static unsigned default_thread_count();

@@ -2,9 +2,12 @@
 //
 //   retscan run <campaign.spec> [overrides]   run a campaign spec file
 //   retscan describe <campaign.spec>          validate + print the plan only
+//   retscan serve [flags]                     campaign daemon (docs/serve.md)
+//   retscan submit <campaign.spec> [flags]    queue a job on the daemon
+//   retscan jobs | job <id> | cancel <id> | shutdown
 //   retscan --version                         print the library version
 //
-// Overrides (applied after the file is parsed):
+// Overrides (applied after the file is parsed; submit forwards them):
 //   --seed N --threads N --sequences N --backend NAME --schedule NAME
 //   --checkpoint PATH --resume --deadline-ms N
 //
@@ -13,7 +16,8 @@
 // the campaign's pass verdict holds (no silent corruptions / no delivery
 // mismatches), 1 otherwise, 2 on usage or spec errors, 3 when a deadline_ms
 // budget expired, 130 when interrupted by SIGINT/SIGTERM (partial results —
-// and, with --checkpoint, a journal to --resume from).
+// and, with --checkpoint, a journal to --resume from). `submit --wait`
+// mirrors the same convention from the daemon-side result.
 
 #include <csignal>
 #include <cstring>
@@ -21,6 +25,7 @@
 #include <string>
 
 #include "retscan/retscan.hpp"
+#include "retscan/serve.hpp"
 
 namespace {
 
@@ -49,7 +54,16 @@ int usage(std::ostream& out, int status) {
          "                   [--schedule auto|sweep|event]\n"
          "                   [--checkpoint PATH] [--resume] [--deadline-ms N]\n"
          "       retscan describe <campaign.spec>\n"
-         "       retscan --version | --help\n";
+         "       retscan serve [--socket PATH] [--cache-dir DIR] [--threads N]\n"
+         "                     [--active N] [--session-cache N]\n"
+         "       retscan submit <campaign.spec> [--socket PATH] [--wait]\n"
+         "                      [run overrides as above]\n"
+         "       retscan jobs [--socket PATH]\n"
+         "       retscan job <id> [--socket PATH]\n"
+         "       retscan cancel <id> [--socket PATH]\n"
+         "       retscan shutdown [--socket PATH]\n"
+         "       retscan --version | --help\n"
+         "The daemon socket defaults to $RETSCAN_SOCKET, then ./retscan.sock.\n";
   return status;
 }
 
@@ -244,6 +258,12 @@ int run_command(const std::string& command, int argc, char** argv) {
   if (command == "describe" || !file.netlist_file.empty()) {
     base.emplace(spec_base_netlist(file));
   }
+  if (command == "describe") {
+    // Provenance first — version, lane geometry, AVX2, resolved threads and
+    // schedule — so a described plan can be tied to the binary/environment
+    // that would execute it.
+    print_build_info(std::cout);
+  }
   print_plan(std::cout, file, base ? &*base : nullptr, session.is_protected(),
              resolved, session.threads());
   if (command == "describe") {
@@ -269,6 +289,247 @@ int run_command(const std::string& command, int argc, char** argv) {
   return result.passed() ? 0 : 1;
 }
 
+// --- service commands (docs/serve.md) --------------------------------------
+
+/// SIGTERM/SIGINT on the daemon start the graceful drain: stop accepting,
+/// finish every queued and running job, then exit. Running campaigns are
+/// NOT cancelled — drain means "finish what was accepted". A second signal
+/// falls back to the default handler for a hard kill.
+extern "C" void on_serve_signal(int signum) {
+  serve::Server::notify_signal();
+  std::signal(signum, SIG_DFL);
+}
+
+int serve_command(int argc, char** argv) {
+  std::string socket_path = serve::default_socket_path();
+  serve::ServeOptions options;
+  for (int i = 0; i < argc;) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::cerr << "retscan serve: " << flag << " needs a value\n";
+      return 2;
+    }
+    const std::string value = argv[i + 1];
+    i += 2;
+    if (flag == "--socket") {
+      socket_path = value;
+    } else if (flag == "--cache-dir") {
+      options.cache_dir = value;
+    } else if (flag == "--threads") {
+      options.threads =
+          static_cast<unsigned>(parse_override_u64(flag, value, 4096));
+    } else if (flag == "--active") {
+      options.max_active =
+          static_cast<std::size_t>(parse_override_u64(flag, value, 64));
+    } else if (flag == "--session-cache") {
+      options.session_capacity =
+          static_cast<std::size_t>(parse_override_u64(flag, value, 1024));
+    } else {
+      std::cerr << "retscan serve: unknown flag '" << flag << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  serve::Server server(socket_path, options);
+  // Startup banner: the same provenance block `retscan describe` prints,
+  // plus where the daemon is listening and what it caches.
+  print_build_info(std::cout);
+  std::cout << "socket:   " << server.socket_path() << "\n"
+            << "cache:    "
+            << (options.cache_dir.empty() ? std::string("(no artifact dir)")
+                                          : options.cache_dir)
+            << ", " << options.session_capacity << " warm sessions, "
+            << options.max_active << " active jobs\n"
+            << "serving\n"
+            << std::flush;
+  std::signal(SIGINT, on_serve_signal);
+  std::signal(SIGTERM, on_serve_signal);
+  server.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  std::cout << "drained, exiting\n";
+  return 0;
+}
+
+/// Shared --socket extraction for the client commands: removes the flag
+/// pair from argv in place and returns the resolved path.
+std::string take_socket_flag(int& argc, char** argv) {
+  std::string socket_path = serve::default_socket_path();
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[i + 1];
+      for (int j = i + 2; j < argc; ++j) {
+        argv[j - 2] = argv[j];
+      }
+      argc -= 2;
+      break;
+    }
+  }
+  return socket_path;
+}
+
+int submit_command(int argc, char** argv) {
+  const std::string socket_path = take_socket_flag(argc, argv);
+  if (argc < 1) {
+    std::cerr << "retscan submit: missing spec file\n";
+    return usage(std::cerr, 2);
+  }
+  const std::string spec_path = argv[0];
+  bool wait = false;
+  serve::SubmitOverrides overrides;
+  for (int i = 1; i < argc;) {
+    const std::string flag = argv[i];
+    if (flag == "--wait") {
+      wait = true;
+      i += 1;
+      continue;
+    }
+    if (flag == "--resume") {
+      overrides.resume = true;
+      i += 1;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "retscan submit: " << flag << " needs a value\n";
+      return 2;
+    }
+    const std::string value = argv[i + 1];
+    i += 2;
+    if (flag == "--seed") {
+      overrides.seed = parse_override_u64(flag, value);
+    } else if (flag == "--threads") {
+      overrides.threads = parse_override_u64(flag, value, 4096);
+    } else if (flag == "--sequences") {
+      overrides.sequences = parse_override_u64(flag, value);
+    } else if (flag == "--backend") {
+      overrides.backend = value;
+    } else if (flag == "--schedule") {
+      overrides.schedule = value;
+    } else if (flag == "--checkpoint") {
+      overrides.checkpoint = value;
+    } else if (flag == "--deadline-ms") {
+      overrides.deadline_ms = parse_override_u64(flag, value);
+    } else {
+      std::cerr << "retscan submit: unknown flag '" << flag << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  serve::Client client(socket_path);
+  serve::Json request = serve::Json::Object{};
+  request.set("cmd", "submit")
+      .set("spec", spec_path)
+      .set("overrides", to_json(overrides));
+  if (!wait) {
+    const serve::Json response = client.request(request);
+    std::cout << "job:      " << response.at("id").as_u64() << "\n";
+    return 0;
+  }
+  request.set("wait", true);
+  client.send(request);
+  // Event lines stream until the terminal record arrives as the response.
+  // Progress goes to stderr so stdout stays byte-comparable with a
+  // one-shot `retscan run` of the same spec.
+  for (;;) {
+    const serve::Json line = client.read_line();
+    if (line.has("event")) {
+      std::cerr << "progress: job " << line.at("id").as_u64() << " "
+                << line.at("state").as_string() << ", "
+                << line.at("shards_done").as_u64() << "/"
+                << line.at("shard_count").as_u64() << " shards\n";
+      continue;
+    }
+    if (!line.at("ok").as_bool()) {
+      std::cerr << "retscan: daemon: " << line.at("error").as_string() << "\n";
+      return 2;
+    }
+    const serve::JobRecord record = serve::job_from_json(line.at("job"));
+    if (record.state == serve::JobState::Failed) {
+      std::cerr << "retscan: job " << record.id << " failed: " << record.error
+                << "\n";
+      return 2;
+    }
+    if (record.summary) {
+      serve::print_summary(std::cout, *record.summary);
+    }
+    return serve::exit_code_for(record.state,
+                                record.summary ? &*record.summary : nullptr);
+  }
+}
+
+void print_job_line(std::ostream& out, const serve::JobRecord& record) {
+  out << record.id << "\t" << to_string(record.state) << "\t"
+      << record.shards_done << "/" << record.shard_count << "\t"
+      << record.spec_path;
+  if (record.summary) {
+    out << "\t" << (record.summary->passed ? "PASS" : "FAIL") << " digest "
+        << serve::summary_digest(*record.summary);
+  }
+  if (!record.error.empty()) {
+    out << "\t" << record.error;
+  }
+  out << "\n";
+}
+
+int jobs_command(int argc, char** argv) {
+  const std::string socket_path = take_socket_flag(argc, argv);
+  serve::Client client(socket_path);
+  serve::Json request = serve::Json::Object{};
+  request.set("cmd", "list");
+  const serve::Json response = client.request(request);
+  for (const serve::Json& json : response.at("jobs").as_array()) {
+    print_job_line(std::cout, serve::job_from_json(json));
+  }
+  return 0;
+}
+
+int job_command(int argc, char** argv) {
+  const std::string socket_path = take_socket_flag(argc, argv);
+  if (argc < 1) {
+    std::cerr << "retscan job: missing job id\n";
+    return 2;
+  }
+  const std::uint64_t id = parse_override_u64("job id", argv[0]);
+  serve::Client client(socket_path);
+  serve::Json request = serve::Json::Object{};
+  request.set("cmd", "status").set("id", id);
+  const serve::Json response = client.request(request);
+  const serve::JobRecord record = serve::job_from_json(response.at("job"));
+  print_job_line(std::cout, record);
+  if (record.summary) {
+    serve::print_summary(std::cout, *record.summary);
+  }
+  return 0;
+}
+
+int cancel_command(int argc, char** argv) {
+  const std::string socket_path = take_socket_flag(argc, argv);
+  if (argc < 1) {
+    std::cerr << "retscan cancel: missing job id\n";
+    return 2;
+  }
+  const std::uint64_t id = parse_override_u64("job id", argv[0]);
+  serve::Client client(socket_path);
+  serve::Json request = serve::Json::Object{};
+  request.set("cmd", "cancel").set("id", id);
+  const serve::Json response = client.request(request);
+  const bool cancelled = response.at("cancelled").as_bool();
+  std::cout << "cancel:   job " << id << " "
+            << (cancelled ? "cancelled" : "not cancellable (unknown or "
+                                          "already finished)")
+            << "\n";
+  return cancelled ? 0 : 1;
+}
+
+int shutdown_command(int argc, char** argv) {
+  const std::string socket_path = take_socket_flag(argc, argv);
+  serve::Client client(socket_path);
+  serve::Json request = serve::Json::Object{};
+  request.set("cmd", "shutdown");
+  client.request(request);
+  std::cout << "shutdown: daemon at " << socket_path << " is draining\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -283,11 +544,29 @@ int main(int argc, char** argv) {
   if (command == "--help" || command == "-h" || command == "help") {
     return usage(std::cout, 0);
   }
-  if (command != "run" && command != "describe") {
-    std::cerr << "retscan: unknown command '" << command << "'\n";
-    return usage(std::cerr, 2);
-  }
   try {
+    if (command == "serve") {
+      return serve_command(argc - 2, argv + 2);
+    }
+    if (command == "submit") {
+      return submit_command(argc - 2, argv + 2);
+    }
+    if (command == "jobs") {
+      return jobs_command(argc - 2, argv + 2);
+    }
+    if (command == "job") {
+      return job_command(argc - 2, argv + 2);
+    }
+    if (command == "cancel") {
+      return cancel_command(argc - 2, argv + 2);
+    }
+    if (command == "shutdown") {
+      return shutdown_command(argc - 2, argv + 2);
+    }
+    if (command != "run" && command != "describe") {
+      std::cerr << "retscan: unknown command '" << command << "'\n";
+      return usage(std::cerr, 2);
+    }
     return run_command(command, argc - 2, argv + 2);
   } catch (const retscan::Error& error) {
     std::cerr << "retscan: " << error.what() << "\n";
