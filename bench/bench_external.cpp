@@ -1,14 +1,18 @@
-// Imported-workload bench: the first externally-authored circuits retscan
-// runs. Every vendored ISCAS-style bench under bench/circuits/ is parsed by
-// the structural-Verilog frontend, lint-checked, and driven through a packed
-// fault-coverage campaign via the same Session/CampaignSpec pipeline the CLI
-// uses; the largest import additionally feeds the compiled-core full-sweep
-// and cone fault-evaluation throughput loops.
+// Imported-workload bench: the externally-authored circuits retscan runs.
+// Every vendored circuit under bench/circuits/ — the ISCAS'85-class
+// combinational set (gate-instance and bus+assign styles), the ISCAS'89-class
+// sequential set and the EPFL-class arithmetic set — is parsed by the
+// structural-Verilog frontend, lint-checked, and driven through packed
+// stuck-at AND transition-delay campaigns via the same Session/CampaignSpec
+// pipeline the CLI uses; the sequential benches additionally run the
+// scan-free sequential-coverage model, and the largest import feeds the
+// compiled-core full-sweep and cone fault-evaluation throughput loops.
 //
-// BENCH_external.json records per-circuit coverage plus the aggregate
-// metrics; ci/check_bench_json.py gates min_coverage (deterministic for a
-// fixed seed) against bench/baselines/BENCH_external.json.
+// BENCH_external.json records per-circuit and per-suite coverage plus the
+// aggregate metrics; ci/check_bench_json.py gates the coverage floors
+// (deterministic for a fixed seed) against bench/baselines/BENCH_external.json.
 
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -30,20 +34,43 @@ namespace {
 
 struct Workload {
   const char* file;
+  const char* suite;  ///< "iscas85" / "iscas89" / "epfl" class
   std::size_t random_patterns;
+  /// PODEM top-up: affordable on the small imports, random-only on the
+  /// multi-thousand-cell ones (the bench measures throughput, not ATPG).
+  bool run_podem;
   /// 0 = bare import; otherwise the circuit is wrapped in the protection
   /// architecture with this many retention scan chains.
   std::size_t chains;
   CodeKind kind;
   std::size_t test_width;
+  /// '89-class circuits additionally run the scan-free sequential model.
+  bool sequential;
 };
 
 constexpr Workload kWorkloads[] = {
-    {"c17.v", 64, 0, CodeKind::CrcDetect, 0},
-    {"add432.v", 256, 0, CodeKind::CrcDetect, 0},
-    {"mul880.v", 256, 0, CodeKind::CrcDetect, 0},
-    {"s27.v", 64, 3, CodeKind::CrcDetect, 3},
-    {"ctrl344.v", 256, 4, CodeKind::HammingPlusCrc, 4},
+    // ISCAS'85-class combinational: gate-instance style...
+    {"c17.v", "iscas85", 64, true, 0, CodeKind::CrcDetect, 0, false},
+    {"add432.v", "iscas85", 256, true, 0, CodeKind::CrcDetect, 0, false},
+    {"mul880.v", "iscas85", 256, true, 0, CodeKind::CrcDetect, 0, false},
+    // ...and bus + assign expression style (the expression-synthesis path).
+    {"ecc499.v", "iscas85", 256, true, 0, CodeKind::CrcDetect, 0, false},
+    {"par1355.v", "iscas85", 256, false, 0, CodeKind::CrcDetect, 0, false},
+    {"cmp1908.v", "iscas85", 256, false, 0, CodeKind::CrcDetect, 0, false},
+    {"ctl2670.v", "iscas85", 256, false, 0, CodeKind::CrcDetect, 0, false},
+    {"alu3540.v", "iscas85", 128, false, 0, CodeKind::CrcDetect, 0, false},
+    {"bar5315.v", "iscas85", 128, false, 0, CodeKind::CrcDetect, 0, false},
+    {"mul6288.v", "iscas85", 128, false, 0, CodeKind::CrcDetect, 0, false},
+    {"vot7552.v", "iscas85", 128, false, 0, CodeKind::CrcDetect, 0, false},
+    // ISCAS'89-class sequential (protected wrap + sequential model).
+    {"s27.v", "iscas89", 64, true, 3, CodeKind::CrcDetect, 3, true},
+    {"ctrl344.v", "iscas89", 256, true, 4, CodeKind::HammingPlusCrc, 4, true},
+    {"pipe1196.v", "iscas89", 128, false, 4, CodeKind::CrcDetect, 4, true},
+    {"ctrl5378.v", "iscas89", 128, false, 4, CodeKind::CrcDetect, 4, true},
+    // EPFL-class arithmetic.
+    {"epfl_adder.v", "epfl", 128, false, 0, CodeKind::CrcDetect, 0, false},
+    {"epfl_bar.v", "epfl", 128, false, 0, CodeKind::CrcDetect, 0, false},
+    {"epfl_max.v", "epfl", 128, false, 0, CodeKind::CrcDetect, 0, false},
 };
 
 std::string circuit_name(const std::string& file) {
@@ -75,6 +102,10 @@ int main() {
 
   const std::string dir = std::string(RETSCAN_CIRCUITS_DIR) + "/";
   double min_coverage = 1.0;
+  double min_coverage_td = 1.0;
+  double min_coverage_seq = 1.0;
+  double suite_min[3] = {1.0, 1.0, 1.0};
+  const char* suite_names[3] = {"iscas85", "iscas89", "epfl"};
   double total_cells = 0.0;
   unsigned threads = 1;
 
@@ -102,20 +133,61 @@ int main() {
     spec.backend = Backend::PackedParallel;
     spec.seed = 7;
     spec.atpg.random_patterns = work.random_patterns;
+    spec.atpg.run_podem = work.run_podem;
     spec.atpg.max_backtracks = 300;
-    const CampaignResult result = session.run(spec);
-    const double coverage = result.atpg.coverage();
+    const CampaignResult stuck = session.run(spec);
+    const double coverage = stuck.atpg.coverage();
     min_coverage = std::min(min_coverage, coverage);
-    threads = result.threads;
+    threads = stuck.threads;
+
+    // Same pattern set, transition-delay model: launch/capture pairs over
+    // the uncollapsed stem universe.
+    spec.kind = CampaignKind::TransitionDelay;
+    const CampaignResult transition = session.run(spec);
+    const double td_coverage = transition.faults.coverage();
+    min_coverage_td = std::min(min_coverage_td, td_coverage);
 
     std::cout << name << ": " << cells << " cells, " << flops << " flops"
               << (work.chains == 0 ? " (bare)" : " (protected)") << " — "
-              << result.atpg.patterns.size() << " patterns, coverage "
-              << 100.0 * coverage << "% (" << result.faults.detected << "/"
-              << result.faults.total_faults << "), " << result.seconds << " s\n";
+              << stuck.atpg.patterns.size() << " patterns, stuck-at "
+              << 100.0 * coverage << "% (" << stuck.faults.detected << "/"
+              << stuck.faults.total_faults << ") in " << stuck.seconds
+              << " s, transition " << 100.0 * td_coverage << "% ("
+              << transition.faults.detected << "/"
+              << transition.faults.total_faults << ") in "
+              << transition.seconds << " s\n";
     json.set("coverage_" + name, coverage);
+    json.set("coverage_td_" + name, td_coverage);
     json.set("cells_" + name, static_cast<double>(cells));
-    ok = ok && result.passed();
+    ok = ok && stuck.passed() && transition.passed();
+
+    // '89-class circuits: the scan-free multi-cycle model on the raw import
+    // (a fresh bare session — no scan fabric, no capture constraints).
+    if (work.sequential) {
+      Session bare = Session::unprotected(Netlist::from_verilog(path));
+      CampaignSpec seq;
+      seq.kind = CampaignKind::SequentialCoverage;
+      seq.backend = Backend::PackedParallel;
+      seq.seed = 7;
+      seq.sequences = 64;
+      seq.cycles = 32;
+      const CampaignResult sequential = bare.run(seq);
+      const double seq_coverage = sequential.faults.coverage();
+      min_coverage_seq = std::min(min_coverage_seq, seq_coverage);
+      std::cout << "  sequential (" << seq.sequences << " seq x " << seq.cycles
+                << " cycles): " << 100.0 * seq_coverage << "% ("
+                << sequential.faults.detected << "/"
+                << sequential.faults.total_faults << ") in "
+                << sequential.seconds << " s\n";
+      json.set("coverage_seq_" + name, seq_coverage);
+      ok = ok && sequential.passed();
+    }
+
+    for (int s = 0; s < 3; ++s) {
+      if (work.suite == std::string(suite_names[s])) {
+        suite_min[s] = std::min(suite_min[s], coverage);
+      }
+    }
   }
 
   // --- compiled-core throughput on the largest import ----------------------
@@ -190,11 +262,20 @@ int main() {
             << gates << " compiled gates\n"
             << "cone path:  " << evals_per_sec << " fault-evals/sec over "
             << faults.size() << " faults x " << loaded.size() << " lane blocks\n"
-            << "min coverage across imports: " << 100.0 * min_coverage << "%\n";
+            << "min stuck-at coverage across imports: " << 100.0 * min_coverage
+            << "%\nmin transition coverage across imports: "
+            << 100.0 * min_coverage_td
+            << "%\nmin sequential coverage across '89-class imports: "
+            << 100.0 * min_coverage_seq << "%\n";
 
   json.set("circuits", static_cast<double>(std::size(kWorkloads)));
   json.set("total_cells", total_cells);
   json.set("min_coverage", min_coverage);
+  json.set("min_coverage_td", min_coverage_td);
+  json.set("min_coverage_seq", min_coverage_seq);
+  for (int s = 0; s < 3; ++s) {
+    json.set(std::string("min_coverage_") + suite_names[s], suite_min[s]);
+  }
   json.set("compiled_meps", compiled_meps);
   json.set("faultsim_evals_per_sec", evals_per_sec);
   json.set("threads", static_cast<double>(threads));

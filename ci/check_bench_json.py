@@ -68,6 +68,11 @@ REQUIRED_KEYS = {
         "circuits",
         "total_cells",
         "min_coverage",
+        "min_coverage_td",
+        "min_coverage_seq",
+        "min_coverage_iscas85",
+        "min_coverage_iscas89",
+        "min_coverage_epfl",
         "compiled_meps",
         "faultsim_evals_per_sec",
     ],
@@ -78,7 +83,14 @@ GATED_KEYS = {
     "validation": ["gate_speedup", "event_speedup"],
     "atpg": ["faultsim_speedup", "delivery_speedup"],
     "engine": ["compile_speedup", "cone_speedup"],
-    "external": ["min_coverage"],
+    "external": [
+        "min_coverage",
+        "min_coverage_td",
+        "min_coverage_seq",
+        "min_coverage_iscas85",
+        "min_coverage_iscas89",
+        "min_coverage_epfl",
+    ],
 }
 
 

@@ -4,7 +4,8 @@
 ///
 /// One spec describes any of the library's statistical workloads —
 /// validation campaigns, fault-injection campaigns, fault-coverage /
-/// ATPG runs, and manufacturing scan-test deliveries — with uniform
+/// ATPG runs, transition-delay / bridging / sequential coverage
+/// measurements, and manufacturing scan-test deliveries — with uniform
 /// seed / threads / shard knobs, and `run(Session&, spec)` routes it to
 /// the fastest backend the session can offer (or exactly the backend you
 /// pin). Same seed → bit-identical results, at any thread count, on any
@@ -34,6 +35,9 @@ enum class CampaignKind {
   Injection,     ///< validation driven by an electrical corruption model
   FaultCoverage, ///< ATPG + stuck-at fault simulation over the scan frame
   ScanTest,      ///< pattern delivery through the scan fabric, checked
+  TransitionDelay,    ///< launch/capture pattern-pair transition-fault coverage
+  Bridging,           ///< wired-AND/OR gate-input bridge coverage
+  SequentialCoverage, ///< multi-cycle stuck-at coverage, no scan access
 };
 
 /// Execution strategy. `Auto` lets the session pick the fastest backend
@@ -127,11 +131,20 @@ struct CampaignSpec {
   CorruptionParameters corruption{};
   RushParameters rush{};
 
-  // --- FaultCoverage / ScanTest ----------------------------------------
+  // --- FaultCoverage / ScanTest / TransitionDelay / Bridging -----------
+  /// Pattern generation. TransitionDelay pairs consecutive patterns
+  /// (pattern k launches, k+1 captures), so N patterns exercise N-1
+  /// transitions; Bridging replays the same set per bridge.
   AtpgOptions atpg{};
   ScanAccess access = ScanAccess::TestMode;
   /// ScanTest PackedParallel: patterns per pool shard.
   std::size_t patterns_per_shard = 256;
+
+  // --- SequentialCoverage ----------------------------------------------
+  /// Clock cycles per random primary-input sequence; `sequences` (above)
+  /// counts the sequences. Must be > 0 for sequential-coverage campaigns
+  /// and 0 (unset) everywhere else — no other kind steps a clock.
+  std::size_t cycles = 0;
 
   // --- Durability (validation kinds, sharded backends) -----------------
   /// Checkpoint journal path (`checkpoint =` spec key / `--checkpoint`):
@@ -181,8 +194,11 @@ struct CampaignResult {
   ScheduleTelemetry activity{};
 
   ValidationStats validation{}; ///< Validation / Injection
-  AtpgResult atpg{};            ///< FaultCoverage / ScanTest
-  FaultSimResult faults{};      ///< FaultCoverage
+  AtpgResult atpg{};            ///< FaultCoverage / ScanTest / TransitionDelay / Bridging
+  /// FaultCoverage / TransitionDelay / Bridging / SequentialCoverage —
+  /// detected_by indexes patterns, pattern *pairs*, patterns, and random
+  /// sequences respectively (see atpg/fault_models.hpp).
+  FaultSimResult faults{};
   ScanTestResult scan_test{};   ///< ScanTest
 
   /// Kind-appropriate "nothing escaped" verdict: no silent corruptions

@@ -61,9 +61,11 @@ class Session {
 
   /// Bare session: wraps `base` with no protection architecture at all —
   /// no scan chains, no monitors, no retention flops. Supports exactly the
-  /// fault-coverage campaign kind (full-scan-assumed ATPG + packed fault
-  /// simulation over the raw netlist); every other workload is rejected by
-  /// validate() / design() with an explanatory error.
+  /// coverage campaign kinds — fault-coverage, transition-delay and
+  /// bridging (full-scan-assumed ATPG + packed fault simulation over the
+  /// raw netlist), plus sequential-coverage for flop-bearing bases (no scan
+  /// assumed at all); every other workload is rejected by validate() /
+  /// design() with an explanatory error.
   static Session unprotected(Netlist base, const SessionOptions& options = {});
 
   ~Session();
@@ -82,7 +84,7 @@ class Session {
   const ScanChains& chains() { return design().chains(); }
   const ProtectionConfig& protection() const { return protection_; }
   /// False for bare sessions (unprotected() / combinational imports): no
-  /// scan fabric, no monitors — fault-coverage campaigns only.
+  /// scan fabric, no monitors — coverage campaign kinds only.
   bool is_protected() const { return protected_; }
   bool has_fifo() const { return has_fifo_; }
   /// The FIFO geometry; only valid when has_fifo().

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "atpg/atpg.hpp"
+#include "atpg/fault_models.hpp"
 #include "atpg/scan_test.hpp"
 #include "circuits/fifo.hpp"
 #include "retscan/runtime.hpp"
@@ -32,10 +33,13 @@ namespace retscan {
 
 const char* to_string(CampaignKind kind) {
   switch (kind) {
-    case CampaignKind::Validation:    return "validation";
-    case CampaignKind::Injection:     return "injection";
-    case CampaignKind::FaultCoverage: return "fault-coverage";
-    case CampaignKind::ScanTest:      return "scan-test";
+    case CampaignKind::Validation:         return "validation";
+    case CampaignKind::Injection:          return "injection";
+    case CampaignKind::FaultCoverage:      return "fault-coverage";
+    case CampaignKind::ScanTest:           return "scan-test";
+    case CampaignKind::TransitionDelay:    return "transition-delay";
+    case CampaignKind::Bridging:           return "bridging";
+    case CampaignKind::SequentialCoverage: return "sequential-coverage";
   }
   return "?";
 }
@@ -94,9 +98,11 @@ bool enum_from_string(std::string_view text, Enum& out,
 }  // namespace
 
 bool from_string(std::string_view text, CampaignKind& out) {
-  return enum_from_string(text, out,
-                          {CampaignKind::Validation, CampaignKind::Injection,
-                           CampaignKind::FaultCoverage, CampaignKind::ScanTest});
+  return enum_from_string(
+      text, out,
+      {CampaignKind::Validation, CampaignKind::Injection, CampaignKind::FaultCoverage,
+       CampaignKind::ScanTest, CampaignKind::TransitionDelay, CampaignKind::Bridging,
+       CampaignKind::SequentialCoverage});
 }
 
 bool from_string(std::string_view text, Backend& out) {
@@ -131,6 +137,9 @@ bool CampaignResult::passed() const {
     case CampaignKind::Injection:
       return validation.silent_corruptions == 0;
     case CampaignKind::FaultCoverage:
+    case CampaignKind::TransitionDelay:
+    case CampaignKind::Bridging:
+    case CampaignKind::SequentialCoverage:
       return true;  // a coverage measurement has no pass/fail verdict
     case CampaignKind::ScanTest:
       return scan_test.all_passed();
@@ -142,6 +151,19 @@ namespace {
 
 bool is_validation_kind(CampaignKind kind) {
   return kind == CampaignKind::Validation || kind == CampaignKind::Injection;
+}
+
+/// Kinds that run ATPG to build the pattern set they replay.
+bool is_pattern_kind(CampaignKind kind) {
+  return kind == CampaignKind::FaultCoverage || kind == CampaignKind::ScanTest ||
+         kind == CampaignKind::TransitionDelay || kind == CampaignKind::Bridging;
+}
+
+/// Kinds whose result is a FaultSimResult coverage measurement.
+bool is_coverage_kind(CampaignKind kind) {
+  return kind == CampaignKind::FaultCoverage ||
+         kind == CampaignKind::TransitionDelay || kind == CampaignKind::Bridging ||
+         kind == CampaignKind::SequentialCoverage;
 }
 
 /// The session's geometry + the spec's workload, as the legacy testbenches
@@ -200,8 +222,8 @@ void validate_durability(const CampaignSpec& spec, const Session& session) {
   if (!is_validation_kind(spec.kind)) {
     reject(spec,
            "checkpoint/resume/deadline_ms ride the sharded validation "
-           "campaign runner; fault-coverage and scan-test kinds replay a "
-           "pattern set in one pass — split the pattern set and rerun "
+           "campaign runner; coverage and scan-test kinds replay a "
+           "fault/pattern set in one pass — split the workload and rerun "
            "instead");
   }
   if (spec.backend == Backend::Reference || spec.backend == Backend::Packed) {
@@ -267,6 +289,7 @@ std::uint64_t campaign_fingerprint(const CampaignSpec& spec, const Session& sess
   fp.add(static_cast<std::uint64_t>(runtime_schedule(spec.schedule)));
   fp.add(spec.seed);
   fp.add(spec.sequences);
+  fp.add(spec.cycles);
   fp.add(static_cast<std::uint64_t>(spec.mode));
   fp.add(spec.burst_size);
   fp.add(spec.burst_spread);
@@ -408,10 +431,25 @@ void validate(const CampaignSpec& spec, const Session& session) {
              "ProtectionConfig (it needs flip-flops), or run a fault-coverage "
              "campaign instead");
     }
-    if (spec.atpg.random_patterns == 0 && !spec.atpg.run_podem) {
+    if (is_pattern_kind(spec.kind) && spec.atpg.random_patterns == 0 &&
+        !spec.atpg.run_podem) {
       reject(spec,
              "atpg.random_patterns == 0 with run_podem == false generates an "
              "empty pattern set — enable one of the two ATPG phases");
+    }
+    if (spec.kind == CampaignKind::SequentialCoverage) {
+      if (spec.sequences == 0) {
+        reject(spec,
+               "sequences must be > 0 — sequential coverage drives random "
+               "primary-input sequences, and zero of them measures nothing");
+      }
+      if (spec.cycles == 0) {
+        reject(spec,
+               "cycles must be > 0 — each sequence clocks the design for "
+               "spec.cycles cycles from the all-zero state; set "
+               "campaign.cycles (32 is a reasonable start for '89-class "
+               "circuits)");
+      }
     }
     if (spec.kind == CampaignKind::ScanTest) {
       if (spec.patterns_per_shard == 0) {
@@ -427,13 +465,17 @@ void validate(const CampaignSpec& spec, const Session& session) {
                "ScanAccess::TestMode (the Fig. 5(b) tsi/tso concatenation), or "
                "drive apply_scan_test on a pre-monitor netlist directly");
       }
-    } else if (spec.kind == CampaignKind::FaultCoverage && spec.shard_size != 0 &&
+    } else if (is_coverage_kind(spec.kind) && spec.shard_size != 0 &&
                (spec.backend == Backend::Reference || spec.backend == Backend::Packed)) {
       reject(spec,
              "shard_size only applies to the pooled fault simulator; "
              "Backend::Reference and Backend::Packed run the serial path — "
              "drop shard_size or pick Backend::PackedParallel");
     }
+  }
+  if (spec.cycles != 0 && spec.kind != CampaignKind::SequentialCoverage) {
+    reject(spec, "cycles only applies to sequential-coverage campaigns — no "
+                 "other kind steps a clock; drop campaign.cycles");
   }
   validate_durability(spec, session);
 }
@@ -570,6 +612,79 @@ void run_fault_coverage(Session& session, const CampaignSpec& spec, Backend back
   }
 }
 
+void run_transition_delay(Session& session, const CampaignSpec& spec, Backend backend,
+                          const RunHooks& hooks, CampaignResult& result) {
+  AtpgOptions options = spec.atpg;
+  options.seed = spec.seed;
+  result.atpg = run_atpg(session.frame(), session.faults(), options);
+  const std::vector<TransitionFault> faults =
+      enumerate_transition_faults(session.netlist());
+  if (backend == Backend::PackedParallel) {
+    std::unique_ptr<parallel::CampaignRunner> local;
+    parallel::CampaignRunner& runner = select_runner(session, spec, hooks, local);
+    const std::size_t fault_shard = spec.shard_size != 0 ? spec.shard_size : 128;
+    result.faults = transition_fault_simulate(session.frame(), faults,
+                                              result.atpg.patterns, runner.pool(),
+                                              fault_shard);
+    result.threads = runner.threads();
+    result.shard_count = (faults.size() + fault_shard - 1) / fault_shard;
+  } else {
+    result.faults =
+        transition_fault_simulate(session.frame(), faults, result.atpg.patterns);
+    result.threads = 1;
+    result.shard_count = 1;
+  }
+}
+
+void run_bridging(Session& session, const CampaignSpec& spec, Backend backend,
+                  const RunHooks& hooks, CampaignResult& result) {
+  AtpgOptions options = spec.atpg;
+  options.seed = spec.seed;
+  result.atpg = run_atpg(session.frame(), session.faults(), options);
+  const std::vector<BridgingFault> faults =
+      enumerate_bridging_faults(session.netlist());
+  if (backend == Backend::PackedParallel) {
+    std::unique_ptr<parallel::CampaignRunner> local;
+    parallel::CampaignRunner& runner = select_runner(session, spec, hooks, local);
+    const std::size_t fault_shard = spec.shard_size != 0 ? spec.shard_size : 128;
+    result.faults = bridging_fault_simulate(session.frame(), faults,
+                                            result.atpg.patterns, runner.pool(),
+                                            fault_shard);
+    result.threads = runner.threads();
+    result.shard_count = (faults.size() + fault_shard - 1) / fault_shard;
+  } else {
+    result.faults =
+        bridging_fault_simulate(session.frame(), faults, result.atpg.patterns);
+    result.threads = 1;
+    result.shard_count = 1;
+  }
+}
+
+void run_sequential_coverage(Session& session, const CampaignSpec& spec,
+                             Backend backend, const RunHooks& hooks,
+                             CampaignResult& result) {
+  // Runs on the session's gate-level netlist directly (no scan frame): the
+  // same collapsed stuck-at universe as fault-coverage, detected through
+  // free-running multi-cycle simulation instead of scan capture.
+  const Netlist& netlist = session.netlist();
+  const std::vector<Fault>& faults = session.faults();
+  if (backend == Backend::PackedParallel) {
+    std::unique_ptr<parallel::CampaignRunner> local;
+    parallel::CampaignRunner& runner = select_runner(session, spec, hooks, local);
+    const std::size_t fault_shard = spec.shard_size != 0 ? spec.shard_size : 64;
+    result.faults = sequential_fault_simulate(netlist, faults, spec.sequences,
+                                              spec.cycles, spec.seed, runner.pool(),
+                                              fault_shard);
+    result.threads = runner.threads();
+    result.shard_count = (faults.size() + fault_shard - 1) / fault_shard;
+  } else {
+    result.faults = sequential_fault_simulate(netlist, faults, spec.sequences,
+                                              spec.cycles, spec.seed);
+    result.threads = 1;
+    result.shard_count = 1;
+  }
+}
+
 void run_scan_test_campaign(Session& session, const CampaignSpec& spec,
                             Backend backend, const RunHooks& hooks,
                             CampaignResult& result) {
@@ -624,6 +739,15 @@ CampaignResult run(Session& session, const CampaignSpec& spec,
       break;
     case CampaignKind::ScanTest:
       run_scan_test_campaign(session, spec, backend, hooks, result);
+      break;
+    case CampaignKind::TransitionDelay:
+      run_transition_delay(session, spec, backend, hooks, result);
+      break;
+    case CampaignKind::Bridging:
+      run_bridging(session, spec, backend, hooks, result);
+      break;
+    case CampaignKind::SequentialCoverage:
+      run_sequential_coverage(session, spec, backend, hooks, result);
       break;
   }
   result.seconds =
@@ -736,12 +860,13 @@ void apply_spec_key(SpecFile& file, const std::string& key, const std::string& v
   else if (key == "protection.crc_group_width")  file.protection.crc_group_width = parse_spec_u64(value, line);
   else if (key == "protection.test_width")       file.protection.test_width = parse_spec_u64(value, line);
   else if (key == "protection.assignment")       file.protection.assignment = parse_assignment(value, line);
-  else if (key == "campaign.kind")               c.kind = parse_spec_enum<CampaignKind>(value, line, "validation, injection, fault-coverage, scan-test");
+  else if (key == "campaign.kind")               c.kind = parse_spec_enum<CampaignKind>(value, line, "validation, injection, fault-coverage, scan-test, transition-delay, bridging, sequential-coverage");
   else if (key == "campaign.backend")            c.backend = parse_spec_enum<Backend>(value, line, "auto, reference, packed, packed-parallel");
   else if (key == "campaign.seed")               c.seed = parse_spec_u64(value, line);
   else if (key == "campaign.threads")            c.threads = static_cast<unsigned>(parse_spec_bounded(value, line, 4096, "campaign.threads"));
   else if (key == "campaign.shard_size")         c.shard_size = parse_spec_u64(value, line);
   else if (key == "campaign.sequences")          c.sequences = parse_spec_u64(value, line);
+  else if (key == "campaign.cycles")             c.cycles = parse_spec_u64(value, line);
   else if (key == "campaign.tier")               c.tier = parse_spec_enum<ValidationTier>(value, line, "behavioral, structural");
   else if (key == "campaign.schedule" || key == "schedule") c.schedule = parse_spec_enum<Schedule>(value, line, "auto, sweep, event");
   else if (key == "campaign.mode")               c.mode = parse_spec_enum<InjectionMode>(value, line, "none, single-random, multiple-burst, rush-model");

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "netlist/netlist.hpp"
+#include "util/thread_pool.hpp"
+
+namespace retscan {
+
+/// Transition-delay fault on a net: the 0→1 (slow-to-rise) or 1→0
+/// (slow-to-fall) transition never completes within the cycle. Simulated as
+/// launch/capture pattern pairs through the CombinationalFrame: pair k is
+/// (patterns[k], patterns[k+1]); the fault is detected by pair k iff the
+/// launch pattern sets the net to the transition's initial value and the
+/// capture pattern detects the corresponding stuck-at fault (the net frozen
+/// at its initial value is exactly SA0 for slow-to-rise, SA1 for
+/// slow-to-fall during capture).
+struct TransitionFault {
+  NetId net = kNullNet;
+  bool slow_to_rise = false;  ///< true: 0→1 fails (STR); false: 1→0 fails (STF)
+
+  bool operator==(const TransitionFault& other) const {
+    return net == other.net && slow_to_rise == other.slow_to_rise;
+  }
+};
+
+/// One STR and one STF per stuck-at fault site (same stem universe).
+std::vector<TransitionFault> enumerate_transition_faults(const Netlist& netlist);
+
+std::string transition_fault_name(const Netlist& netlist, const TransitionFault& fault);
+
+/// Launch/capture transition-delay fault simulation with fault dropping.
+/// detected_by[i] is the index of the first detecting pattern *pair*
+/// (patterns.size() - 1 pairs exist). Reuses the packed kernel: per block,
+/// the launch and capture batches are loaded and settled once, then every
+/// live fault is an incremental cone pass over the capture batch masked by
+/// the launch-value condition.
+FaultSimResult transition_fault_simulate(const CombinationalFrame& frame,
+                                         const std::vector<TransitionFault>& faults,
+                                         const std::vector<BitVec>& patterns);
+/// Pooled variant: bit-identical to the serial result at any thread count
+/// (fault shards own disjoint result slots; pairs are pure functions of the
+/// pattern list).
+FaultSimResult transition_fault_simulate(const CombinationalFrame& frame,
+                                         const std::vector<TransitionFault>& faults,
+                                         const std::vector<BitVec>& patterns,
+                                         ThreadPool& pool, std::size_t fault_shard = 128);
+
+/// Bridging fault between two nets with wired-AND or wired-OR dominance:
+/// both nets take a OP b whenever the pattern drives them apart. Simulated
+/// with the multi-source dirty-cone machinery: force both nets to the wired
+/// value and replay the joint fanout cone.
+struct BridgingFault {
+  NetId a = kNullNet;
+  NetId b = kNullNet;
+  bool wired_and = false;  ///< true: wired-AND; false: wired-OR
+
+  bool operator==(const BridgingFault& other) const {
+    return a == other.a && b == other.b && wired_and == other.wired_and;
+  }
+};
+
+/// Gate-input bridges: every unordered pair of distinct fanin nets of the
+/// same cell, deduplicated across the netlist, with one wired-AND and one
+/// wired-OR fault per pair (the classic intra-gate bridge universe —
+/// quadratic-in-nets universes need a layout, which a netlist doesn't have).
+std::vector<BridgingFault> enumerate_bridging_faults(const Netlist& netlist);
+
+std::string bridging_fault_name(const Netlist& netlist, const BridgingFault& fault);
+
+/// Bridging fault simulation with fault dropping; detected_by[i] is the
+/// first detecting pattern index.
+FaultSimResult bridging_fault_simulate(const CombinationalFrame& frame,
+                                       const std::vector<BridgingFault>& faults,
+                                       const std::vector<BitVec>& patterns);
+FaultSimResult bridging_fault_simulate(const CombinationalFrame& frame,
+                                       const std::vector<BridgingFault>& faults,
+                                       const std::vector<BitVec>& patterns,
+                                       ThreadPool& pool, std::size_t fault_shard = 128);
+
+/// Sequential multi-cycle stuck-at fault simulation for '89-class circuits:
+/// no scan access — lanes are independent random primary-input sequences of
+/// `cycles` cycles from the all-zero flop state, and a fault is detected
+/// when any primary output differs from the good machine in any cycle. The
+/// good trajectory settles once per lane block; every fault is then a full
+/// faulty-machine re-simulation with its net clamped (fault effects must
+/// propagate through the flops cycle over cycle, which a combinational cone
+/// cannot express). detected_by[i] is the first detecting sequence index.
+FaultSimResult sequential_fault_simulate(const Netlist& netlist,
+                                         const std::vector<Fault>& faults,
+                                         std::size_t sequences, std::size_t cycles,
+                                         std::uint64_t seed);
+FaultSimResult sequential_fault_simulate(const Netlist& netlist,
+                                         const std::vector<Fault>& faults,
+                                         std::size_t sequences, std::size_t cycles,
+                                         std::uint64_t seed, ThreadPool& pool,
+                                         std::size_t fault_shard = 64);
+
+}  // namespace retscan

@@ -346,7 +346,7 @@ std::uint64_t CombinationalFrame::detect_mask_full(
 FaultSimResult fault_simulate(const CombinationalFrame& frame,
                               const std::vector<Fault>& faults,
                               const std::vector<BitVec>& patterns) {
-  constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+  constexpr std::size_t npos = FaultSimResult::npos;
   FaultSimResult result;
   result.total_faults = faults.size();
   result.detected_by.assign(faults.size(), npos);
@@ -385,7 +385,7 @@ FaultSimResult fault_simulate(const CombinationalFrame& frame,
                               const std::vector<Fault>& faults,
                               const std::vector<BitVec>& patterns,
                               ThreadPool& pool, std::size_t fault_shard) {
-  constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+  constexpr std::size_t npos = FaultSimResult::npos;
   FaultSimResult result;
   result.total_faults = faults.size();
   result.detected_by.assign(faults.size(), npos);

@@ -201,6 +201,9 @@ class CombinationalFrame {
 
 /// Fault-simulate a pattern set over a fault list with fault dropping.
 struct FaultSimResult {
+  /// Sentinel in detected_by for faults no pattern detected.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   std::size_t total_faults = 0;
   std::size_t detected = 0;
   /// detected_by[i] = index of the first detecting pattern, or npos.

@@ -1,0 +1,140 @@
+#include "netlist/expr_synth.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace retscan {
+
+ExprSynth::ExprSynth(Netlist& netlist, Resolver resolver, std::string filename)
+    : nl_(netlist), resolver_(std::move(resolver)), filename_(std::move(filename)) {}
+
+void ExprSynth::fail(int line, const std::string& message) const {
+  throw Error(filename_ + ":" + std::to_string(line) + ": " + message);
+}
+
+NetId ExprSynth::const_net(bool value) {
+  NetId& cache = const_nets_[value ? 1 : 0];
+  if (cache == kNullNet) {
+    cache = nl_.n_const(value);
+  }
+  return cache;
+}
+
+std::pair<std::vector<NetId>, std::vector<NetId>> ExprSynth::lower_binary(
+    const NetExpr& expr, const char* op) {
+  std::vector<NetId> a = lower(expr.args[0]);
+  std::vector<NetId> b = lower(expr.args[1]);
+  if (a.size() != b.size()) {
+    fail(expr.line, std::string("width mismatch: '") + op + "' operands are " +
+                        std::to_string(a.size()) + " and " + std::to_string(b.size()) +
+                        " bits wide");
+  }
+  return {std::move(a), std::move(b)};
+}
+
+std::vector<NetId> ExprSynth::lower(const NetExpr& expr) {
+  switch (expr.kind) {
+    case NetExpr::Kind::Ref:
+      return resolver_(expr.name, expr.sel_msb, expr.sel_lsb, expr.line);
+
+    case NetExpr::Kind::Const: {
+      std::vector<NetId> out;
+      out.reserve(expr.bits.size());
+      for (const bool bit : expr.bits) {
+        out.push_back(const_net(bit));
+      }
+      return out;
+    }
+
+    case NetExpr::Kind::Not: {
+      std::vector<NetId> a = lower(expr.args[0]);
+      for (NetId& net : a) {
+        net = nl_.n_not(net);
+      }
+      return a;
+    }
+
+    case NetExpr::Kind::And:
+    case NetExpr::Kind::Or:
+    case NetExpr::Kind::Xor: {
+      const char* op = expr.kind == NetExpr::Kind::And  ? "&"
+                       : expr.kind == NetExpr::Kind::Or ? "|"
+                                                        : "^";
+      auto [a, b] = lower_binary(expr, op);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = expr.kind == NetExpr::Kind::And  ? nl_.n_and(a[i], b[i])
+               : expr.kind == NetExpr::Kind::Or ? nl_.n_or(a[i], b[i])
+                                                : nl_.n_xor(a[i], b[i]);
+      }
+      return a;
+    }
+
+    case NetExpr::Kind::Eq:
+    case NetExpr::Kind::Ne: {
+      // a == b lowers to an AND tree over per-bit XNORs; != to an OR tree
+      // over per-bit XORs. Both reduce to one bit.
+      auto [a, b] = lower_binary(expr, expr.kind == NetExpr::Kind::Eq ? "==" : "!=");
+      std::vector<NetId> cmp(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        cmp[i] = expr.kind == NetExpr::Kind::Eq ? nl_.n_xnor(a[i], b[i])
+                                                : nl_.n_xor(a[i], b[i]);
+      }
+      return {expr.kind == NetExpr::Kind::Eq ? nl_.n_and_tree(cmp) : nl_.n_or_tree(cmp)};
+    }
+
+    case NetExpr::Kind::Shl:
+    case NetExpr::Kind::Shr: {
+      // Constant wire shift with zero fill; width preserved (Verilog
+      // self-determined width of the left operand).
+      const std::vector<NetId> a = lower(expr.args[0]);
+      const std::size_t width = a.size();
+      const std::uint64_t k = expr.amount;
+      std::vector<NetId> out(width, kNullNet);
+      for (std::size_t i = 0; i < width; ++i) {
+        if (expr.kind == NetExpr::Kind::Shl) {
+          out[i] = i >= k ? a[i - k] : const_net(false);
+        } else {
+          out[i] = i + k < width ? a[i + k] : const_net(false);
+        }
+      }
+      return out;
+    }
+
+    case NetExpr::Kind::Mux: {
+      const std::vector<NetId> cond = lower(expr.args[0]);
+      if (cond.size() != 1) {
+        fail(expr.line, "width mismatch: '?:' condition must be 1 bit wide, got " +
+                            std::to_string(cond.size()));
+      }
+      std::vector<NetId> then_bus = lower(expr.args[1]);
+      const std::vector<NetId> else_bus = lower(expr.args[2]);
+      if (then_bus.size() != else_bus.size()) {
+        fail(expr.line, "width mismatch: '?:' arms are " +
+                            std::to_string(then_bus.size()) + " and " +
+                            std::to_string(else_bus.size()) + " bits wide");
+      }
+      for (std::size_t i = 0; i < then_bus.size(); ++i) {
+        then_bus[i] = nl_.n_mux(cond[0], else_bus[i], then_bus[i]);
+      }
+      return then_bus;
+    }
+
+    case NetExpr::Kind::Concat: {
+      // Source order is MSB-first; the LSB-first result takes the last
+      // operand's bits lowest.
+      std::vector<NetId> out;
+      for (auto it = expr.args.rbegin(); it != expr.args.rend(); ++it) {
+        const std::vector<NetId> part = lower(*it);
+        out.insert(out.end(), part.begin(), part.end());
+      }
+      if (out.empty()) {
+        fail(expr.line, "empty concatenation");
+      }
+      return out;
+    }
+  }
+  fail(expr.line, "internal error: unhandled expression kind");
+}
+
+}  // namespace retscan

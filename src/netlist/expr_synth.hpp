@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace retscan {
+
+/// Bit-vector expression tree for the synthesizable `assign` subset of the
+/// Verilog frontend. Buses are LSB-first everywhere; a scalar is a width-1
+/// bus. The reader parses `assign` right-hand sides into this AST with
+/// identifiers still unresolved (standard Verilog allows use-before-declare,
+/// so name resolution happens at netlist-build time via ExprSynth::Resolver).
+struct NetExpr {
+  enum class Kind {
+    Ref,     ///< identifier, optionally with a bit or part select
+    Const,   ///< sized literal (bits LSB-first)
+    Not,     ///< ~a, elementwise
+    And,     ///< a & b, elementwise (equal widths)
+    Or,      ///< a | b, elementwise (equal widths)
+    Xor,     ///< a ^ b, elementwise (equal widths)
+    Eq,      ///< a == b, 1-bit result (equal widths)
+    Ne,      ///< a != b, 1-bit result (equal widths)
+    Shl,     ///< a << k, constant shift, zero fill, width preserved
+    Shr,     ///< a >> k, constant shift, zero fill, width preserved
+    Mux,     ///< cond ? a : b — args {cond, a, b}, cond 1-bit, a/b equal widths
+    Concat,  ///< {a, b, ...} — args MSB-first as written
+  };
+
+  Kind kind = Kind::Ref;
+  int line = 0;
+
+  // Ref: signal name plus optional select. sel_msb < 0 means the whole
+  // signal; a bit select has sel_msb == sel_lsb.
+  std::string name;
+  int sel_msb = -1;
+  int sel_lsb = -1;
+
+  std::vector<bool> bits;     ///< Const payload, LSB-first
+  std::uint64_t amount = 0;   ///< Shl/Shr shift distance
+
+  std::vector<NetExpr> args;
+};
+
+/// Lowers NetExpr trees into gate networks on a Netlist — the NetExpr→gates
+/// pattern: every operator becomes a column of 2-input gates (or a
+/// reduction tree for the comparisons), so the result feeds the exact same
+/// compiled kernel as structural imports.
+class ExprSynth {
+ public:
+  /// Maps an identifier reference to its bit nets, LSB-first. `msb`/`lsb`
+  /// mirror NetExpr::sel_msb/sel_lsb (-1 = whole signal). The resolver owns
+  /// the undeclared-net / bad-select diagnostics since it has the symbol
+  /// table; `line` is the reference's source line.
+  using Resolver =
+      std::function<std::vector<NetId>(const std::string& name, int msb, int lsb, int line)>;
+
+  ExprSynth(Netlist& netlist, Resolver resolver, std::string filename);
+
+  /// Synthesize `expr`; returns the result bus LSB-first. Throws Error with
+  /// a `<file>:<line>:` prefix on width mismatches.
+  std::vector<NetId> lower(const NetExpr& expr);
+
+ private:
+  [[noreturn]] void fail(int line, const std::string& message) const;
+  NetId const_net(bool value);
+  /// Lower both operands of a binary node and insist on equal widths.
+  std::pair<std::vector<NetId>, std::vector<NetId>> lower_binary(const NetExpr& expr,
+                                                                 const char* op);
+
+  Netlist& nl_;
+  Resolver resolver_;
+  std::string filename_;
+  NetId const_nets_[2] = {kNullNet, kNullNet};
+};
+
+}  // namespace retscan

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "netlist/expr_synth.hpp"
 #include "netlist/techlib.hpp"
 #include "util/error.hpp"
 
@@ -91,7 +92,8 @@ std::vector<Token> tokenize(const std::string& text, const std::string& filename
         if (end < text.size() && std::isalpha(static_cast<unsigned char>(text[end]))) {
           ++end;
         }
-        while (end < text.size() && std::isalnum(static_cast<unsigned char>(text[end]))) {
+        while (end < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[end])) || text[end] == '_')) {
           ++end;
         }
       }
@@ -99,7 +101,26 @@ std::vector<Token> tokenize(const std::string& text, const std::string& filename
       pos = end;
       continue;
     }
-    const std::string punct = "(),;.=#[]:";
+    // Two-character operators first (the expression subset plus the common
+    // unsupported ones, so they reach the parser as one token and earn a
+    // targeted diagnostic instead of a lex error).
+    static const char* kTwoCharOps[] = {"==", "!=", "<<", ">>", "&&", "||", "<=", ">="};
+    if (pos + 1 < text.size()) {
+      const std::string pair = text.substr(pos, 2);
+      bool matched = false;
+      for (const char* op : kTwoCharOps) {
+        if (pair == op) {
+          tokens.push_back({Token::Kind::Punct, pair, line});
+          pos += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        continue;
+      }
+    }
+    const std::string punct = "(),;.=#[]:~&|^?{}<>!+-*/%";
     if (punct.find(c) != std::string::npos) {
       tokens.push_back({Token::Kind::Punct, std::string(1, c), line});
       ++pos;
@@ -118,6 +139,7 @@ struct Connection {
   std::string pin;   ///< empty for positional connections
   std::string net;   ///< identifier, or empty when constant >= 0
   int constant = -1; ///< 0 / 1 for 1'b0 / 1'b1 connections
+  int index = -1;    ///< bus bit select (net[index]), -1 for scalar refs
   int line = 0;
 };
 
@@ -135,6 +157,24 @@ struct Declaration {
   std::string name;
   DeclKind kind;
   int line;
+  bool vector = false;  ///< declared with a [msb:lsb] range
+  int msb = 0;
+  int lsb = 0;
+};
+
+/// One target of an `assign`, before name resolution: a whole signal, a bit
+/// select, or a part select. msb < 0 means the whole signal.
+struct LValueRef {
+  std::string name;
+  int msb = -1;
+  int lsb = -1;
+  int line = 0;
+};
+
+struct AssignStmt {
+  std::vector<LValueRef> lhs;  ///< MSB-first as written ({a, b} puts a high)
+  NetExpr rhs;
+  int line = 0;
 };
 
 /// Recursive-descent parser over the token stream; collects declarations and
@@ -165,8 +205,13 @@ class Parser {
     return advance();
   }
 
+  bool at_punct(char c) const {
+    return peek().kind == Token::Kind::Punct && peek().text.size() == 1 &&
+           peek().text[0] == c;
+  }
+
   void expect_punct(char c, const std::string& context) {
-    if (peek().kind != Token::Kind::Punct || peek().text[0] != c) {
+    if (!at_punct(c)) {
       fail(peek().line, "expected '" + std::string(1, c) + "' " + context + ", got '" +
                             describe(peek()) + "'");
     }
@@ -174,11 +219,36 @@ class Parser {
   }
 
   bool accept_punct(char c) {
-    if (peek().kind == Token::Kind::Punct && peek().text[0] == c) {
+    if (at_punct(c)) {
       advance();
       return true;
     }
     return false;
+  }
+
+  bool accept_op(const char* op) {
+    if (peek().kind == Token::Kind::Punct && peek().text == op) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  int expect_number(const std::string& what) {
+    if (peek().kind != Token::Kind::Literal) {
+      fail(peek().line, "expected " + what + ", got '" + describe(peek()) + "'");
+    }
+    const Token tok = advance();
+    for (const char c : tok.text) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        fail(tok.line, "expected a plain decimal number for " + what + ", got '" +
+                           tok.text + "'");
+      }
+    }
+    if (tok.text.size() > 7) {
+      fail(tok.line, "number '" + tok.text + "' is implausibly large for " + what);
+    }
+    return std::stoi(tok.text);
   }
 
   static std::string describe(const Token& token) {
@@ -220,10 +290,7 @@ class Parser {
       if (item.text == "input" || item.text == "output" || item.text == "wire") {
         parse_declaration(item);
       } else if (item.text == "assign") {
-        fail(item.line,
-             "continuous 'assign' is unsupported — instantiate a buf/primitive "
-             "gate instead (structural gate-level subset, see "
-             "docs/verilog-frontend.md)");
+        parse_assign(item);
       } else if (item.text == "reg" || item.text == "always" || item.text == "initial" ||
                  item.text == "parameter" || item.text == "specify" ||
                  item.text == "supply0" || item.text == "supply1" ||
@@ -248,14 +315,27 @@ class Parser {
     const DeclKind kind = keyword.text == "input"    ? DeclKind::Input
                           : keyword.text == "output" ? DeclKind::Output
                                                      : DeclKind::Wire;
-    if (peek().kind == Token::Kind::Punct && peek().text[0] == '[') {
-      fail(peek().line,
-           "vector/bus declarations are unsupported — the gate-level subset is "
-           "scalar; expand buses to one net per bit (see docs/verilog-frontend.md)");
+    Declaration proto;
+    proto.kind = kind;
+    if (accept_punct('[')) {
+      const int range_line = peek().line;
+      proto.msb = expect_number("the bus msb");
+      expect_punct(':', "in the [msb:lsb] range");
+      proto.lsb = expect_number("the bus lsb");
+      expect_punct(']', "after the bus range");
+      if (proto.msb < proto.lsb) {
+        fail(range_line, "ascending bit range [" + std::to_string(proto.msb) + ":" +
+                             std::to_string(proto.lsb) +
+                             "] is unsupported — declare [msb:lsb] with msb >= lsb");
+      }
+      proto.vector = true;
     }
     while (true) {
       const Token name = expect_ident("net name in " + keyword.text + " declaration");
-      declarations_.push_back({name.text, kind, name.line});
+      Declaration decl = proto;
+      decl.name = name.text;
+      decl.line = name.line;
+      declarations_.push_back(std::move(decl));
       if (accept_punct(';')) {
         break;
       }
@@ -279,6 +359,10 @@ class Parser {
       return conn;
     }
     conn.net = expect_ident("net name " + context).text;
+    if (accept_punct('[')) {
+      conn.index = expect_number("the bit index");
+      expect_punct(']', "after the bit index");
+    }
     return conn;
   }
 
@@ -310,6 +394,7 @@ class Parser {
           const Connection ref = parse_net_ref("inside .(...)");
           conn.net = ref.net;
           conn.constant = ref.constant;
+          conn.index = ref.index;
           expect_punct(')', "after the pin's net");
           inst.connections.push_back(std::move(conn));
         } else {
@@ -328,15 +413,299 @@ class Parser {
     }
   }
 
+  // --- assign statements and the expression subset ---------------------------
+
+  LValueRef parse_lvalue_ref() {
+    LValueRef ref;
+    const Token name = expect_ident("a net name on the left of the assign");
+    ref.name = name.text;
+    ref.line = name.line;
+    if (accept_punct('[')) {
+      ref.msb = expect_number("the bit index");
+      ref.lsb = accept_punct(':') ? expect_number("the part-select lsb") : ref.msb;
+      expect_punct(']', "after the select");
+    }
+    return ref;
+  }
+
+  void parse_assign(const Token& keyword) {
+    AssignStmt stmt;
+    stmt.line = keyword.line;
+    if (accept_punct('{')) {
+      while (true) {
+        stmt.lhs.push_back(parse_lvalue_ref());
+        if (accept_punct('}')) {
+          break;
+        }
+        expect_punct(',', "between concatenated assign targets");
+      }
+    } else {
+      stmt.lhs.push_back(parse_lvalue_ref());
+    }
+    expect_punct('=', "in the assign statement");
+    stmt.rhs = parse_expression();
+    expect_punct(';', "after the assign statement");
+    assigns_.push_back(std::move(stmt));
+  }
+
+  /// Operators that exist in Verilog but are outside the synthesizable
+  /// subset get a targeted diagnostic instead of a generic parse error.
+  void reject_unsupported_op() {
+    static const char* kUnsupported[] = {"+",  "-",  "*",  "/", "%", "<",
+                                         ">",  "<=", ">=", "&&", "||", "!"};
+    if (peek().kind != Token::Kind::Punct) {
+      return;
+    }
+    for (const char* op : kUnsupported) {
+      if (peek().text == op) {
+        fail(peek().line,
+             "operator '" + peek().text +
+                 "' is unsupported — the synthesizable expression subset is "
+                 "~ & | ^ ?: == != << >> and {concatenation} "
+                 "(see docs/verilog-frontend.md)");
+      }
+    }
+  }
+
+  // Precedence (loosest to tightest), matching Verilog for the subset:
+  // ?:  <  |  <  ^  <  &  <  == !=  <  << >>  <  ~  <  primary.
+  NetExpr parse_expression() { return parse_ternary(); }
+
+  NetExpr parse_ternary() {
+    NetExpr cond = parse_or();
+    if (at_punct('?')) {
+      const int line = advance().line;
+      NetExpr then_arm = parse_expression();
+      expect_punct(':', "in the '?:' expression");
+      NetExpr else_arm = parse_ternary();
+      NetExpr mux;
+      mux.kind = NetExpr::Kind::Mux;
+      mux.line = line;
+      mux.args.push_back(std::move(cond));
+      mux.args.push_back(std::move(then_arm));
+      mux.args.push_back(std::move(else_arm));
+      return mux;
+    }
+    return cond;
+  }
+
+  NetExpr binary_node(NetExpr::Kind kind, int line, NetExpr lhs, NetExpr rhs) {
+    NetExpr node;
+    node.kind = kind;
+    node.line = line;
+    node.args.push_back(std::move(lhs));
+    node.args.push_back(std::move(rhs));
+    return node;
+  }
+
+  NetExpr parse_or() {
+    NetExpr lhs = parse_xor();
+    while (true) {
+      reject_unsupported_op();
+      if (!at_punct('|')) {
+        return lhs;
+      }
+      const int line = advance().line;
+      lhs = binary_node(NetExpr::Kind::Or, line, std::move(lhs), parse_xor());
+    }
+  }
+
+  NetExpr parse_xor() {
+    NetExpr lhs = parse_and();
+    while (at_punct('^')) {
+      const int line = advance().line;
+      lhs = binary_node(NetExpr::Kind::Xor, line, std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  NetExpr parse_and() {
+    NetExpr lhs = parse_equality();
+    while (at_punct('&')) {
+      const int line = advance().line;
+      lhs = binary_node(NetExpr::Kind::And, line, std::move(lhs), parse_equality());
+    }
+    return lhs;
+  }
+
+  NetExpr parse_equality() {
+    NetExpr lhs = parse_shift();
+    while (peek().kind == Token::Kind::Punct &&
+           (peek().text == "==" || peek().text == "!=")) {
+      const Token op = advance();
+      lhs = binary_node(op.text == "==" ? NetExpr::Kind::Eq : NetExpr::Kind::Ne,
+                        op.line, std::move(lhs), parse_shift());
+    }
+    return lhs;
+  }
+
+  NetExpr parse_shift() {
+    NetExpr lhs = parse_unary();
+    while (peek().kind == Token::Kind::Punct &&
+           (peek().text == "<<" || peek().text == ">>")) {
+      const Token op = advance();
+      NetExpr node;
+      node.kind = op.text == "<<" ? NetExpr::Kind::Shl : NetExpr::Kind::Shr;
+      node.line = op.line;
+      if (peek().kind != Token::Kind::Literal) {
+        fail(peek().line, "shift amount must be a constant — variable shifts are "
+                          "unsupported (build the mux stages explicitly)");
+      }
+      node.amount = static_cast<std::uint64_t>(expect_number("the shift amount"));
+      node.args.push_back(std::move(lhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  NetExpr parse_unary() {
+    reject_unsupported_op();
+    if (at_punct('~')) {
+      const int line = advance().line;
+      NetExpr node;
+      node.kind = NetExpr::Kind::Not;
+      node.line = line;
+      node.args.push_back(parse_unary());
+      return node;
+    }
+    return parse_primary();
+  }
+
+  NetExpr parse_primary() {
+    if (accept_punct('(')) {
+      NetExpr inner = parse_expression();
+      expect_punct(')', "to close the parenthesized expression");
+      return inner;
+    }
+    if (at_punct('{')) {
+      NetExpr node;
+      node.kind = NetExpr::Kind::Concat;
+      node.line = advance().line;
+      while (true) {
+        node.args.push_back(parse_expression());
+        if (accept_punct('}')) {
+          return node;
+        }
+        expect_punct(',', "between concatenation operands");
+      }
+    }
+    if (peek().kind == Token::Kind::Literal) {
+      return parse_sized_literal(advance());
+    }
+    const Token name = expect_ident("an operand (net, literal, '(' or '{')");
+    NetExpr ref;
+    ref.kind = NetExpr::Kind::Ref;
+    ref.name = name.text;
+    ref.line = name.line;
+    if (accept_punct('[')) {
+      ref.sel_msb = expect_number("the bit index");
+      ref.sel_lsb = accept_punct(':') ? expect_number("the part-select lsb") : ref.sel_msb;
+      expect_punct(']', "after the select");
+    }
+    return ref;
+  }
+
+  NetExpr parse_sized_literal(const Token& tok) {
+    std::string text;
+    for (const char c : tok.text) {
+      if (c != '_') {
+        text.push_back(c);
+      }
+    }
+    const std::size_t tick = text.find('\'');
+    if (tick == std::string::npos) {
+      fail(tok.line, "unsized literal '" + tok.text +
+                         "' — size it as <width>'b/<width>'h/<width>'d so "
+                         "bit-blasting has a width");
+    }
+    const int width = std::stoi(text.substr(0, tick));
+    if (width < 1 || width > 64) {
+      fail(tok.line, "literal width " + std::to_string(width) + " is out of the "
+                         "supported 1..64 range");
+    }
+    if (tick + 1 >= text.size()) {
+      fail(tok.line, "malformed literal '" + tok.text + "'");
+    }
+    const char base = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[tick + 1])));
+    const std::string digits = text.substr(tick + 2);
+    if (digits.empty()) {
+      fail(tok.line, "malformed literal '" + tok.text + "' — no digits after the base");
+    }
+    std::uint64_t value = 0;
+    for (const char raw : digits) {
+      const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+      int digit = -1;
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = 10 + (c - 'a');
+      }
+      if (c == 'x' || c == 'z') {
+        fail(tok.line, "x/z digits in '" + tok.text +
+                           "' are unsupported — the subset is two-valued");
+      }
+      switch (base) {
+        case 'b':
+          if (digit < 0 || digit > 1) {
+            fail(tok.line, "bad binary digit in '" + tok.text + "'");
+          }
+          value = (value << 1) | static_cast<std::uint64_t>(digit);
+          break;
+        case 'h':
+          if (digit < 0) {
+            fail(tok.line, "bad hex digit in '" + tok.text + "'");
+          }
+          value = (value << 4) | static_cast<std::uint64_t>(digit);
+          break;
+        case 'd':
+          if (digit < 0 || digit > 9) {
+            fail(tok.line, "bad decimal digit in '" + tok.text + "'");
+          }
+          value = value * 10 + static_cast<std::uint64_t>(digit);
+          break;
+        default:
+          fail(tok.line, "unsupported literal base '" + std::string(1, base) +
+                             "' — use 'b, 'h or 'd");
+      }
+    }
+    NetExpr node;
+    node.kind = NetExpr::Kind::Const;
+    node.line = tok.line;
+    node.bits.resize(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      node.bits[static_cast<std::size_t>(i)] = ((value >> i) & 1) != 0;
+    }
+    return node;
+  }
+
   // --- netlist construction -------------------------------------------------
 
-  struct NetRecord {
+  /// Per-bit bookkeeping: buses are bit-blasted at declaration time, so
+  /// drivers and reads are tracked at the bit level (a bus may mix assign-
+  /// and instance-driven bits).
+  struct BitRecord {
     NetId net = kNullNet;
-    DeclKind kind = DeclKind::Wire;
-    int decl_line = 0;
-    int driver_line = -1;  ///< line of the instance driving it, -1 if undriven
+    int driver_line = -1;  ///< line of the driver, -1 if undriven
     int first_read_line = -1;
   };
+
+  struct NetRecord {
+    DeclKind kind = DeclKind::Wire;
+    int decl_line = 0;
+    bool vector = false;
+    int msb = 0;
+    int lsb = 0;
+    std::vector<BitRecord> bits;  ///< LSB-first; scalars have exactly one
+  };
+
+  /// Display name of one bit: `name` for scalars, `name[v]` for bus bits.
+  static std::string bit_label(const std::string& name, const NetRecord& record,
+                               std::size_t bit) {
+    return record.vector
+               ? name + "[" + std::to_string(record.lsb + static_cast<int>(bit)) + "]"
+               : name;
+  }
 
   NetRecord& resolve(const std::string& name, int line) {
     const auto it = nets_.find(name);
@@ -345,6 +714,66 @@ class Parser {
                      ";` (or as a port)");
     }
     return it->second;
+  }
+
+  /// Resolve a scalar bit reference: a plain name for scalar nets, or
+  /// name[index] for one bit of a bus. Connection lists are scalar contexts.
+  BitRecord& select_bit(NetRecord& record, const std::string& name, int index, int line) {
+    if (index < 0) {
+      if (record.vector) {
+        fail(line, "'" + name + "' is a " + std::to_string(record.bits.size()) +
+                       "-bit bus — select one bit (" + name + "[i]) in this context");
+      }
+      return record.bits[0];
+    }
+    if (!record.vector) {
+      fail(line, "'" + name + "' is a scalar net — bit select " + name + "[" +
+                     std::to_string(index) + "] is invalid");
+    }
+    if (index < record.lsb || index > record.msb) {
+      fail(line, "bit select " + name + "[" + std::to_string(index) +
+                     "] is out of range [" + std::to_string(record.msb) + ":" +
+                     std::to_string(record.lsb) + "]");
+    }
+    return record.bits[static_cast<std::size_t>(index - record.lsb)];
+  }
+
+  /// ExprSynth resolver: a whole-signal, bit-select or part-select read in
+  /// an assign expression, returned LSB-first with read lines recorded.
+  std::vector<NetId> resolve_expr_ref(const std::string& name, int msb, int lsb,
+                                      int line) {
+    NetRecord& record = resolve(name, line);
+    std::vector<NetId> out;
+    const auto mark_read = [&](BitRecord& bit) {
+      if (bit.first_read_line < 0) {
+        bit.first_read_line = line;
+      }
+      out.push_back(bit.net);
+    };
+    if (msb < 0) {
+      for (BitRecord& bit : record.bits) {
+        mark_read(bit);
+      }
+      return out;
+    }
+    if (!record.vector) {
+      fail(line, "'" + name + "' is a scalar net — bit select " + name + "[" +
+                     std::to_string(msb) + "] is invalid");
+    }
+    if (msb < lsb) {
+      fail(line, "part select [" + std::to_string(msb) + ":" + std::to_string(lsb) +
+                     "] has msb < lsb");
+    }
+    if (lsb < record.lsb || msb > record.msb) {
+      fail(line, "select " + name + "[" + std::to_string(msb) + ":" +
+                     std::to_string(lsb) + "] is out of range [" +
+                     std::to_string(record.msb) + ":" + std::to_string(record.lsb) +
+                     "]");
+    }
+    for (int v = lsb; v <= msb; ++v) {
+      mark_read(record.bits[static_cast<std::size_t>(v - record.lsb)]);
+    }
+    return out;
   }
 
   NetId read_net(Netlist& nl, const Connection& conn) {
@@ -356,10 +785,11 @@ class Parser {
       return cache;
     }
     NetRecord& record = resolve(conn.net, conn.line);
-    if (record.first_read_line < 0) {
-      record.first_read_line = conn.line;
+    BitRecord& bit = select_bit(record, conn.net, conn.index, conn.line);
+    if (bit.first_read_line < 0) {
+      bit.first_read_line = conn.line;
     }
-    return record.net;
+    return bit.net;
   }
 
   NetId claim_output(const Connection& conn, const std::string& inst_label) {
@@ -370,12 +800,15 @@ class Parser {
     if (record.kind == DeclKind::Input) {
       fail(conn.line, "gate output cannot drive input port '" + conn.net + "'");
     }
-    if (record.driver_line >= 0) {
-      fail(conn.line, "net '" + conn.net + "' is already driven (first driver at line " +
-                          std::to_string(record.driver_line) + ")");
+    BitRecord& bit = select_bit(record, conn.net, conn.index, conn.line);
+    if (bit.driver_line >= 0) {
+      const std::string label =
+          conn.index >= 0 ? conn.net + "[" + std::to_string(conn.index) + "]" : conn.net;
+      fail(conn.line, "net '" + label + "' is already driven (first driver at line " +
+                          std::to_string(bit.driver_line) + ")");
     }
-    record.driver_line = conn.line;
-    return record.net;
+    bit.driver_line = conn.line;
+    return bit.net;
   }
 
   /// Primitive gate table: the Verilog gate name, the 2-input fold cell and
@@ -528,13 +961,24 @@ class Parser {
       NetRecord record;
       record.kind = decl.kind;
       record.decl_line = decl.line;
-      if (decl.kind == DeclKind::Input) {
-        record.net = nl.add_input(decl.name);
-        record.driver_line = decl.line;  // driven by the Input port cell
-      } else {
-        record.net = nl.add_net(decl.name);
+      record.vector = decl.vector;
+      record.msb = decl.msb;
+      record.lsb = decl.lsb;
+      const int width = decl.vector ? decl.msb - decl.lsb + 1 : 1;
+      record.bits.resize(static_cast<std::size_t>(width));
+      for (int i = 0; i < width; ++i) {
+        const std::string bit_name =
+            decl.vector ? decl.name + "[" + std::to_string(decl.lsb + i) + "]"
+                        : decl.name;
+        BitRecord& bit = record.bits[static_cast<std::size_t>(i)];
+        if (decl.kind == DeclKind::Input) {
+          bit.net = nl.add_input(bit_name);
+          bit.driver_line = decl.line;  // driven by the Input port cell
+        } else {
+          bit.net = nl.add_net(bit_name);
+        }
       }
-      nets_.emplace(decl.name, record);
+      nets_.emplace(decl.name, std::move(record));
     }
     for (const auto& [name, line] : header_ports_) {
       const auto it = nets_.find(name);
@@ -557,22 +1001,95 @@ class Parser {
       }
     }
 
+    // Continuous assigns: lower each right-hand side through the expression
+    // synthesizer, then bind the result onto the (bit-blasted) targets with
+    // buffers so bit-level driver bookkeeping stays uniform with instances.
+    ExprSynth synth(
+        nl,
+        [this](const std::string& name, int msb, int lsb, int line) {
+          return this->resolve_expr_ref(name, msb, lsb, line);
+        },
+        filename_);
+    for (const AssignStmt& stmt : assigns_) {
+      const std::vector<NetId> rhs = synth.lower(stmt.rhs);
+      // Flatten the (MSB-first) target list into LSB-first bit records: the
+      // last concat operand takes the low bits, matching Concat lowering.
+      std::vector<std::pair<BitRecord*, std::string>> targets;
+      for (auto it = stmt.lhs.rbegin(); it != stmt.lhs.rend(); ++it) {
+        NetRecord& record = resolve(it->name, it->line);
+        if (record.kind == DeclKind::Input) {
+          fail(it->line, "assign cannot drive input port '" + it->name + "'");
+        }
+        int lo = record.lsb;
+        int hi = record.msb;
+        if (it->msb >= 0) {
+          if (!record.vector) {
+            fail(it->line, "'" + it->name + "' is a scalar net — bit select " +
+                               it->name + "[" + std::to_string(it->msb) +
+                               "] is invalid");
+          }
+          if (it->msb < it->lsb) {
+            fail(it->line, "part select [" + std::to_string(it->msb) + ":" +
+                               std::to_string(it->lsb) + "] has msb < lsb");
+          }
+          if (it->lsb < record.lsb || it->msb > record.msb) {
+            fail(it->line, "select " + it->name + "[" + std::to_string(it->msb) +
+                               ":" + std::to_string(it->lsb) + "] is out of range [" +
+                               std::to_string(record.msb) + ":" +
+                               std::to_string(record.lsb) + "]");
+          }
+          lo = it->lsb;
+          hi = it->msb;
+        }
+        for (int v = lo; v <= hi; ++v) {
+          BitRecord& bit = record.bits[static_cast<std::size_t>(v - record.lsb)];
+          const std::string label =
+              record.vector ? it->name + "[" + std::to_string(v) + "]" : it->name;
+          targets.emplace_back(&bit, label);
+        }
+      }
+      if (targets.size() != rhs.size()) {
+        fail(stmt.line, "width mismatch: assign target is " +
+                            std::to_string(targets.size()) +
+                            " bits but the expression is " +
+                            std::to_string(rhs.size()) + " bits");
+      }
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        BitRecord& bit = *targets[i].first;
+        if (bit.driver_line >= 0) {
+          fail(stmt.line, "net '" + targets[i].second +
+                              "' is already driven (first driver at line " +
+                              std::to_string(bit.driver_line) + ")");
+        }
+        bit.driver_line = stmt.line;
+        nl.add_cell_bound(CellType::Buf, {rhs[i]}, bit.net);
+      }
+    }
+
     // Structural soundness with source locations, so downstream consumers
     // (lint, compile, SimEngine) never see an unbuildable import.
     for (const Declaration& decl : declarations_) {
       const NetRecord& record = nets_.at(decl.name);
-      if (record.kind == DeclKind::Output && record.driver_line < 0) {
-        fail(decl.line, "output port '" + decl.name + "' is never driven");
-      }
-      if (record.kind == DeclKind::Wire && record.driver_line < 0 &&
-          record.first_read_line >= 0) {
-        fail(record.first_read_line,
-             "wire '" + decl.name + "' is read here but never driven");
+      for (std::size_t i = 0; i < record.bits.size(); ++i) {
+        const BitRecord& bit = record.bits[i];
+        if (record.kind == DeclKind::Output && bit.driver_line < 0) {
+          fail(decl.line,
+               "output port '" + bit_label(decl.name, record, i) + "' is never driven");
+        }
+        if (record.kind == DeclKind::Wire && bit.driver_line < 0 &&
+            bit.first_read_line >= 0) {
+          fail(bit.first_read_line, "wire '" + bit_label(decl.name, record, i) +
+                                        "' is read here but never driven");
+        }
       }
     }
     for (const Declaration& decl : declarations_) {
-      if (decl.kind == DeclKind::Output) {
-        nl.add_output(decl.name, nets_.at(decl.name).net);
+      if (decl.kind != DeclKind::Output) {
+        continue;
+      }
+      const NetRecord& record = nets_.at(decl.name);
+      for (std::size_t i = 0; i < record.bits.size(); ++i) {
+        nl.add_output(bit_label(decl.name, record, i), record.bits[i].net);
       }
     }
     try {
@@ -593,6 +1110,7 @@ class Parser {
   std::vector<std::pair<std::string, int>> header_ports_;
   std::vector<Declaration> declarations_;
   std::vector<Instance> instances_;
+  std::vector<AssignStmt> assigns_;
   std::unordered_map<std::string, NetRecord> nets_;
   NetId const_nets_[2] = {kNullNet, kNullNet};
 };
@@ -649,6 +1167,26 @@ std::string unique_name(std::string candidate, std::unordered_set<std::string>& 
   return candidate;
 }
 
+/// Legal-identifier form of a name that isn't one: bus bit nets like `a[3]`
+/// become `a_3_` so exported netlists keep recognizable (and stable) names
+/// instead of falling back to n<id>. Empty when no legal form exists.
+std::string sanitized_ident(const std::string& name) {
+  if (name.empty() || !ident_start(name[0])) {
+    return {};
+  }
+  std::string out = name;
+  for (char& c : out) {
+    if (!ident_char(c)) {
+      c = '_';
+    }
+  }
+  return verilog_ident(out) ? out : std::string{};
+}
+
+std::string ident_candidate(const std::string& name) {
+  return verilog_ident(name) ? name : sanitized_ident(name);
+}
+
 }  // namespace
 
 void write_verilog(std::ostream& os, const Netlist& netlist) {
@@ -658,10 +1196,10 @@ void write_verilog(std::ostream& os, const Netlist& netlist) {
   std::unordered_set<std::string> used;
   std::vector<std::string> net_names(netlist.net_count());
   for (NetId net = 0; net < netlist.net_count(); ++net) {
-    const std::string& name = netlist.net_name(net);
-    if (verilog_ident(name) && !used.contains(name)) {
-      net_names[net] = name;
-      used.insert(name);
+    const std::string candidate = ident_candidate(netlist.net_name(net));
+    if (!candidate.empty() && !used.contains(candidate)) {
+      net_names[net] = candidate;
+      used.insert(candidate);
     }
   }
   for (NetId net = 0; net < netlist.net_count(); ++net) {
@@ -681,11 +1219,12 @@ void write_verilog(std::ostream& os, const Netlist& netlist) {
   for (const CellId id : netlist.outputs()) {
     const Cell& cell = netlist.cell(id);
     const NetId source = cell.fanin[0];
-    if (!cell.name.empty() && cell.name == net_names[source]) {
+    const std::string candidate = ident_candidate(cell.name);
+    if (!candidate.empty() && candidate == net_names[source]) {
       output_ports.push_back(net_names[source]);
     } else {
       const std::string port = unique_name(
-          verilog_ident(cell.name) ? cell.name : "po" + std::to_string(id), used);
+          !candidate.empty() ? candidate : "po" + std::to_string(id), used);
       output_ports.push_back(port);
       buffers.push_back({port, source});
     }

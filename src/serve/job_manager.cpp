@@ -243,11 +243,9 @@ void JobManager::execute(Job& job) {
     }
     const CampaignSpec& spec = file.campaign;
     const bool gate_level =
-        spec.kind == CampaignKind::FaultCoverage ||
-        spec.kind == CampaignKind::ScanTest ||
-        ((spec.kind == CampaignKind::Validation ||
-          spec.kind == CampaignKind::Injection) &&
-         spec.tier == ValidationTier::Structural);
+        !(spec.kind == CampaignKind::Validation ||
+          spec.kind == CampaignKind::Injection) ||
+        spec.tier == ValidationTier::Structural;
     if (gate_level) {
       // Force the compile now so setup_seconds captures it — this is the
       // cost the artifact store amortizes, and what the serve CI job

@@ -262,6 +262,11 @@ void print_summary(std::ostream& out, const ResultSummary& s) {
                          testable)
         << "% (" << s.faults_detected << "/" << s.faults_total
         << " faults via fault-sim)\n";
+  } else if (s.kind == "transition-delay" || s.kind == "bridging" ||
+             s.kind == "sequential-coverage") {
+    out << "result:   " << s.kind << " coverage "
+        << 100.0 * ratio(s.faults_detected, s.faults_total) << "% ("
+        << s.faults_detected << "/" << s.faults_total << " faults)\n";
   } else {
     const std::uint64_t testable = s.atpg_total_faults - s.atpg_untestable;
     out << "result:   " << s.scan_patterns_applied << " patterns delivered, "

@@ -183,9 +183,31 @@ TEST(VerilogReader, DiagnosticsCarryFileAndLine) {
     EXPECT_NE(message.find(needle), std::string::npos) << message;
   };
 
-  expect_error("module m (a);\n  input a;\n  assign a = a;\nendmodule\n", "assign");
-  expect_error("module m (a, y);\n  input a;\n  output y;\n  wire [3:0] v;\n"
-               "  buf (y, a);\nendmodule\n", "vector");
+  expect_error("module m (a);\n  input a;\n  assign a = 1'b0;\nendmodule\n",
+               "assign cannot drive input port");
+  expect_error("module m (a, y);\n  input a;\n  output [1:0] y;\n  assign y = a;\n"
+               "endmodule\n", "width mismatch");
+  expect_error("module m (a, y);\n  input a;\n  output y;\n  assign y = a & ghost;\n"
+               "endmodule\n", "undeclared net 'ghost'");
+  expect_error("module m (a, b, y);\n  input a, b;\n  output y;\n  assign y = a + b;\n"
+               "endmodule\n", "operator '+' is unsupported");
+  expect_error("module m (a, y);\n  input a;\n  output y;\n  wire p, q;\n"
+               "  assign p = q & a;\n  assign q = p;\n  assign y = q;\nendmodule\n",
+               "combinational cycle");
+  expect_error("module m (a, y);\n  input a;\n  output y;\n  assign y = a[2];\n"
+               "endmodule\n", "scalar net");
+  expect_error("module m (a, y);\n  input [3:0] a;\n  output y;\n  assign y = a[7];\n"
+               "endmodule\n", "out of range");
+  expect_error("module m (a, y);\n  input [3:0] a;\n  output y;\n"
+               "  assign y = a == 2'b01;\nendmodule\n", "width mismatch");
+  expect_error("module m (y);\n  output y;\n  assign y = 3;\nendmodule\n",
+               "unsized literal");
+  expect_error("module m (a, y);\n  input [3:0] a;\n  output [3:0] y;\n"
+               "  assign y = a << a;\nendmodule\n", "shift amount must be a constant");
+  expect_error("module m (a, y);\n  input [0:3] a;\n  output y;\n  assign y = a[0];\n"
+               "endmodule\n", "ascending bit range");
+  expect_error("module m (a, b, y);\n  input a, b;\n  output [1:0] y;\n"
+               "  assign y = a ? {a, b} : b;\nendmodule\n", "width mismatch");
   expect_error("module m (a, y);\n  input a;\n  output y;\n  frob u1 (y, a);\n"
                "endmodule\n", "unknown gate or cell 'frob'");
   expect_error("module m (a, y);\n  input a;\n  output y;\n  buf (y, missing);\n"
@@ -220,6 +242,129 @@ TEST(VerilogReader, DiagnosticsCarryFileAndLine) {
       [&] { read_verilog_text("module m (a, y);\n  input a;\n  output y;\n"
                               "  buf (y, zz);\nendmodule\n", "bad.v"); });
   EXPECT_NE(message.find("bad.v:4:"), std::string::npos) << message;
+}
+
+// --- expression synthesis ---------------------------------------------------
+
+const char* kExprModule = R"(
+module exprs (a, b, s, yand, yor, yxor, ynot, ymux, yshl, yshr, yeq, yne,
+              ycat, chi, clo, yprec);
+  input [3:0] a, b;
+  input s;
+  output [3:0] yand, yor, yxor, ynot, ymux, yshl, yshr;
+  output yeq, yne, yprec;
+  output [7:0] ycat;
+  output [1:0] chi, clo;
+  assign yand = a & b;
+  assign yor  = a | b;
+  assign yxor = a ^ b;
+  assign ynot = ~a;
+  assign ymux = s ? a : b;
+  assign yeq  = a == b;
+  assign yne  = a != 4'b0101;
+  assign yshl = a << 1;
+  assign yshr = a >> 2;
+  assign ycat = {a, b};
+  assign {chi, clo} = {a[1:0], b[3:2]};
+  assign yprec = a[0] | b[0] & s;
+endmodule
+)";
+
+TEST(VerilogReader, ExpressionAssignsMatchOracle) {
+  const Netlist nl = read_verilog_text(kExprModule, "exprs.v");
+  CombinationalFrame frame(nl);
+  ASSERT_EQ(frame.pattern_width(), 9u);
+  for (unsigned v = 0; v < 512; ++v) {
+    BitVec pattern(9);
+    pattern.from_uint(0, 9, v);
+    // Inputs in declaration order, buses LSB-first: a[0..3], b[0..3], s.
+    const unsigned a = v & 0xF;
+    const unsigned b = (v >> 4) & 0xF;
+    const bool s = ((v >> 8) & 1) != 0;
+    const BitVec r = frame.good_response(pattern);
+    std::size_t at = 0;
+    const auto take = [&](std::size_t width) {
+      unsigned value = 0;
+      for (std::size_t i = 0; i < width; ++i) {
+        value |= static_cast<unsigned>(r.get(at + i)) << i;
+      }
+      at += width;
+      return value;
+    };
+    EXPECT_EQ(take(4), a & b);
+    EXPECT_EQ(take(4), a | b);
+    EXPECT_EQ(take(4), a ^ b);
+    EXPECT_EQ(take(4), ~a & 0xFu);
+    EXPECT_EQ(take(4), s ? a : b);
+    EXPECT_EQ(take(4), (a << 1) & 0xFu);
+    EXPECT_EQ(take(4), a >> 2);
+    EXPECT_EQ(take(1), a == b ? 1u : 0u);
+    EXPECT_EQ(take(1), a != 5u ? 1u : 0u);
+    EXPECT_EQ(take(1), (a & 1u) | ((b & 1u) & (s ? 1u : 0u)));  // & binds tighter
+    EXPECT_EQ(take(8), (a << 4) | b);              // {a, b}: b takes the low bits
+    EXPECT_EQ(take(2), a & 3u);                    // chi = a[1:0]
+    EXPECT_EQ(take(2), b >> 2);                    // clo = b[3:2]
+    EXPECT_EQ(at, r.size());
+  }
+}
+
+TEST(VerilogReader, BusBitSelectsConnectToInstances) {
+  // Bus bits feed techlib cells and primitives directly, including flops.
+  const Netlist nl = read_verilog_text(R"(
+module mixed (d, q);
+  input [1:0] d;
+  output q;
+  wire [1:0] qi;
+  DFFX1 r0 (.D(d[0]), .Q(qi[0]));
+  DFFX1 r1 (.D(d[1]), .Q(qi[1]));
+  and (q, qi[0], qi[1]);
+endmodule
+)");
+  EXPECT_EQ(nl.flops().size(), 2u);
+  EXPECT_TRUE(lint_netlist(nl).empty());
+}
+
+TEST(VerilogReader, ExpressionCircuitsRoundTripWithIdenticalDigests) {
+  // write_verilog output of a synthesized expression circuit re-parses to a
+  // netlist with identical simulation and fault-coverage digests.
+  const Netlist first = read_verilog_text(kExprModule, "exprs.v");
+  std::ostringstream exported;
+  write_verilog(exported, first);
+  const Netlist second = read_verilog_text(exported.str(), "exprs_rt.v");
+  EXPECT_EQ(first.type_histogram(), second.type_histogram());
+
+  CombinationalFrame frame_a(first);
+  CombinationalFrame frame_b(second);
+  ASSERT_EQ(frame_a.pattern_width(), frame_b.pattern_width());
+  ASSERT_EQ(frame_a.response_width(), frame_b.response_width());
+
+  // Simulation digest: identical responses over a seeded pattern sweep.
+  Rng rng(99);
+  std::vector<BitVec> patterns;
+  for (int i = 0; i < 64; ++i) {
+    patterns.push_back(frame_a.random_pattern(rng));
+  }
+  for (const BitVec& pattern : patterns) {
+    EXPECT_EQ(frame_a.good_response(pattern), frame_b.good_response(pattern));
+  }
+
+  // Fault-coverage digest: identical detect counts on the same fault list.
+  const std::vector<Fault> faults_a = enumerate_faults(first);
+  const std::vector<Fault> faults_b = enumerate_faults(second);
+  ASSERT_EQ(faults_a.size(), faults_b.size());
+  const FaultSimResult cov_a = fault_simulate(frame_a, faults_a, patterns);
+  const FaultSimResult cov_b = fault_simulate(frame_b, faults_b, patterns);
+  EXPECT_EQ(cov_a.detected, cov_b.detected);
+  EXPECT_EQ(cov_a.total_faults, cov_b.total_faults);
+  EXPECT_EQ(cov_a.detected_by, cov_b.detected_by);
+
+  // And the export is a fixed point from the first round-trip on.
+  std::ostringstream exported_again;
+  write_verilog(exported_again, second);
+  const Netlist third = read_verilog_text(exported_again.str(), "exprs_rt2.v");
+  std::ostringstream exported_third;
+  write_verilog(exported_third, third);
+  EXPECT_EQ(exported_again.str(), exported_third.str());
 }
 
 TEST(VerilogReader, SerializeRoundTripPreservesStructure) {

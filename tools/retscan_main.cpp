@@ -104,7 +104,7 @@ void print_plan(std::ostream& out, const SpecFile& file, const Netlist* base,
   print_netlist_line(out, file, base);
   if (!is_protected) {
     out << "design:   bare — no protection architecture (combinational import; "
-           "fault-coverage campaigns only)\n";
+           "coverage campaigns only)\n";
   } else {
     out << "design:   " << file.protection.chain_count << " chains, code ";
     switch (file.protection.kind) {
@@ -124,11 +124,17 @@ void print_plan(std::ostream& out, const SpecFile& file, const Netlist* base,
     out << "workload: " << c.sequences << " sequences, tier " << to_string(c.tier)
         << ", mode " << to_string(c.mode) << ", schedule " << to_string(c.schedule)
         << "\n";
+  } else if (c.kind == CampaignKind::SequentialCoverage) {
+    out << "workload: " << c.sequences << " random sequences x " << c.cycles
+        << " cycles, no scan access\n";
   } else {
     out << "workload: atpg " << c.atpg.random_patterns << " random patterns, podem "
         << (c.atpg.run_podem ? "on" : "off");
     if (c.kind == CampaignKind::ScanTest) {
       out << ", access " << to_string(c.access);
+    }
+    if (c.kind == CampaignKind::TransitionDelay) {
+      out << ", launch/capture pairs";
     }
     out << "\n";
   }
@@ -187,6 +193,24 @@ void print_result(std::ostream& out, const CampaignResult& r,
       out << "result:   " << r.atpg.patterns.size() << " patterns, coverage "
           << 100.0 * r.atpg.coverage() << "% (" << r.faults.detected << "/"
           << r.faults.total_faults << " faults via fault-sim)\n";
+      break;
+    case CampaignKind::TransitionDelay:
+      out << "result:   " << r.atpg.patterns.size() << " patterns ("
+          << (r.atpg.patterns.empty() ? 0 : r.atpg.patterns.size() - 1)
+          << " launch/capture pairs), transition coverage "
+          << 100.0 * r.faults.coverage() << "% (" << r.faults.detected << "/"
+          << r.faults.total_faults << " faults)\n";
+      break;
+    case CampaignKind::Bridging:
+      out << "result:   " << r.atpg.patterns.size() << " patterns, bridging "
+          << "coverage " << 100.0 * r.faults.coverage() << "% ("
+          << r.faults.detected << "/" << r.faults.total_faults << " faults)\n";
+      break;
+    case CampaignKind::SequentialCoverage:
+      out << "result:   " << spec.sequences << " sequences x " << spec.cycles
+          << " cycles, sequential coverage " << 100.0 * r.faults.coverage()
+          << "% (" << r.faults.detected << "/" << r.faults.total_faults
+          << " faults)\n";
       break;
     case CampaignKind::ScanTest:
       out << "result:   " << r.scan_test.patterns_applied << " patterns delivered, "
